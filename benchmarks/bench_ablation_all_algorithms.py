@@ -1,0 +1,44 @@
+"""Grand table: every index in the library on the default workload.
+
+Not a paper figure — a library-wide summary lining up the layer-based
+family (the paper's subject) against the list-based and view-based related
+work under identical cost accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ALGORITHMS
+from repro.bench.harness import build_index, measure_cost
+
+from conftest import record
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT"])
+def test_all_algorithms_table(distribution, ctx, benchmark):
+    config = ctx.config
+    workload = ctx.workload(distribution, min(config.n, 6000), 4)
+    rows = []
+    for name, cls in sorted(ALGORITHMS.items()):
+        index = build_index(cls, workload, max_k=10)
+        cell = measure_cost(index, workload, 10)
+        rows.append((cell.mean_cost, name, index.build_stats.seconds))
+    rows.sort()
+    lines = [
+        f"\nAll algorithms [{distribution}, n={workload.n}, d=4, k=10, "
+        f"{config.queries} queries]",
+        f"{'algorithm':>10} {'mean cost':>12} {'build (s)':>10}",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for mean_cost, name, seconds in rows:
+        lines.append(f"{name:>10} {mean_cost:>12.1f} {seconds:>10.3f}")
+    record("ablation_all_algorithms", "\n".join(lines) + "\n")
+
+    by_name = {name: cost for cost, name, _ in rows}
+    # The paper's headline ordering at defaults.
+    assert by_name["DL+"] <= by_name["DG+"] * 1.05
+    assert by_name["DL"] <= by_name["DG"]
+    assert by_name["DL+"] < by_name["HL+"]
+    assert by_name["SCAN"] == float(workload.n)
+    benchmark(lambda: None)

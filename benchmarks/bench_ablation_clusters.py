@@ -1,0 +1,54 @@
+"""Ablation: zero-layer cluster count (the knob the paper leaves to [5]).
+
+Sweeps the k-means cluster count of DL+'s zero layer.  Too few clusters
+make loose pseudo minima (weak gating); too many make the pseudo layer
+itself expensive to traverse.  The default ``⌈√|L¹|⌉`` heuristic should sit
+near the sweet spot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import measure_cost
+from repro.bench.reporting import format_series_table
+from repro.bench.harness import SweepResult, CellResult
+from repro.core import DLPlusIndex
+from repro.core.zero_layer import default_cluster_count
+
+from conftest import record
+
+CLUSTER_COUNTS = [2, 4, 8, 16, 32, 64]
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT"])
+def test_cluster_count_ablation(distribution, ctx, benchmark):
+    config = ctx.config
+    workload = ctx.workload(distribution, config.n, 4)
+    sweep = SweepResult(parameter="clusters", values=list(CLUSTER_COUNTS))
+    series: list[CellResult] = []
+    for clusters in CLUSTER_COUNTS:
+        index = DLPlusIndex(
+            workload.relation,
+            max_layers=10,
+            clusters=clusters,
+            zero_layer="clusters",
+        ).build()
+        series.append(measure_cost(index, workload, 10))
+    sweep.series["DL+"] = series
+
+    default = default_cluster_count(
+        ctx.index("DL", workload, max_k=10).build_stats.layer_sizes[0]
+    )
+    record(
+        "ablation_clusters",
+        format_series_table(
+            f"Ablation: DL+ zero-layer cluster count [{distribution}, "
+            f"n={config.n}, d=4, k=10; default heuristic -> {default}]",
+            sweep,
+        ),
+    )
+    costs = sweep.mean_series("DL+")
+    # Sanity: some cluster count beats both extremes or ties them.
+    assert min(costs) <= costs[0] and min(costs) <= costs[-1]
+    benchmark(lambda: None)

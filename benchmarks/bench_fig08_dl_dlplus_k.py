@@ -1,0 +1,26 @@
+"""Fig. 8: DL vs DL+ with varying retrieval size k.
+
+Paper shape: DL+ accesses ~2x fewer tuples than DL at every k (the gap is
+roughly constant), and both grow linearly in k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_k_sweep, timed_query_batch
+
+EXPERIMENT = "fig8"
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT"])
+def test_fig08_series(distribution, ctx, benchmark):
+    sweep, workload = run_k_sweep(ctx, EXPERIMENT, distribution)
+    dl = sweep.mean_series("DL")
+    dlp = sweep.mean_series("DL+")
+    # DL+ wins at every k; both curves are monotone in k.
+    assert all(p <= b for p, b in zip(dlp, dl))
+    assert dl == sorted(dl)
+    assert dlp == sorted(dlp)
+    index = ctx.index("DL+", workload, max_k=50)
+    timed_query_batch(benchmark, index, workload, k=10)

@@ -1,0 +1,24 @@
+"""Fig. 9: DL vs DL+ with varying dimensionality d.
+
+Paper shape: the DL/DL+ gap grows with d (≈3x at d=5) — selective access to
+the first layer pays more as first layers balloon with dimensionality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_d_sweep
+
+EXPERIMENT = "fig9"
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT"])
+def test_fig09_series(distribution, ctx, benchmark):
+    sweep = run_d_sweep(ctx, EXPERIMENT, distribution)
+    dl = sweep.mean_series("DL")
+    dlp = sweep.mean_series("DL+")
+    assert all(p <= b * 1.02 for p, b in zip(dlp, dl))
+    # The d=5 ratio must exceed the d=2 ratio (gap grows with d).
+    assert dl[-1] / dlp[-1] >= dl[0] / dlp[0] * 0.9
+    benchmark(lambda: None)  # series computation is the payload here

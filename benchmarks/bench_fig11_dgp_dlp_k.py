@@ -1,0 +1,23 @@
+"""Fig. 11: DG+ vs DL+ with varying retrieval size k.
+
+Paper shape: the optimized variants preserve the DL-over-DG advantage — DL+
+stays below DG+ at every k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_k_sweep, timed_query_batch
+
+EXPERIMENT = "fig11"
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT"])
+def test_fig11_series(distribution, ctx, benchmark):
+    sweep, workload = run_k_sweep(ctx, EXPERIMENT, distribution)
+    dgp = sweep.mean_series("DG+")
+    dlp = sweep.mean_series("DL+")
+    assert all(l <= g * 1.02 for l, g in zip(dlp, dgp))
+    index = ctx.index("DG+", workload, max_k=50)
+    timed_query_batch(benchmark, index, workload, k=10)

@@ -1,0 +1,26 @@
+"""Fig. 12: HL+ vs DL+ with varying retrieval size k.
+
+Paper shape: DL+ far below HL+, and the gap *widens* with k (HL+'s
+threshold processing is sensitive to the retrieval size; at k=50 on
+anti-correlated data the paper reports an order of magnitude).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_k_sweep, timed_query_batch
+
+EXPERIMENT = "fig12"
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT"])
+def test_fig12_series(distribution, ctx, benchmark):
+    sweep, workload = run_k_sweep(ctx, EXPERIMENT, distribution)
+    hlp = sweep.mean_series("HL+")
+    dlp = sweep.mean_series("DL+")
+    assert all(l <= h for l, h in zip(dlp, hlp))
+    # Strong advantage at the largest k.
+    assert hlp[-1] / dlp[-1] > 2.0
+    index = ctx.index("HL+", workload, max_k=50)
+    timed_query_batch(benchmark, index, workload, k=10)

@@ -1,0 +1,24 @@
+"""Fig. 14: DG+ vs DL+ with varying dimensionality d.
+
+Paper shape: DL+ below DG+ throughout, gap widening with d — the
+dual-resolution zero layer (fine pseudo sublayers) beats DG+'s flat one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_d_sweep, timed_query_batch
+
+EXPERIMENT = "fig14"
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT"])
+def test_fig14_series(distribution, ctx, benchmark):
+    sweep = run_d_sweep(ctx, EXPERIMENT, distribution)
+    dgp = sweep.mean_series("DG+")
+    dlp = sweep.mean_series("DL+")
+    assert all(l <= g * 1.05 for l, g in zip(dlp, dgp))
+    workload = ctx.workload(distribution, ctx.config.scaled_n(4), 4)
+    index = ctx.index("DL+", workload, max_k=10)
+    timed_query_batch(benchmark, index, workload, k=10)

@@ -1,0 +1,27 @@
+"""Fig. 15: HL+ vs DL+ with varying dimensionality d.
+
+Paper shape: DL+ far below HL+ at every d, with the gap exploding on
+high-dimensional anti-correlated data (up to two orders of magnitude at
+d=5) — HL+ suffers the curse of dimensionality through huge convex layers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_d_sweep, timed_query_batch
+
+EXPERIMENT = "fig15"
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT"])
+def test_fig15_series(distribution, ctx, benchmark):
+    sweep = run_d_sweep(ctx, EXPERIMENT, distribution)
+    hlp = sweep.mean_series("HL+")
+    dlp = sweep.mean_series("DL+")
+    assert all(l <= h for l, h in zip(dlp, hlp))
+    # Advantage grows with d.
+    assert hlp[-1] / dlp[-1] >= hlp[0] / dlp[0]
+    workload = ctx.workload(distribution, ctx.config.scaled_n(4), 4)
+    index = ctx.index("HL+", workload, max_k=10)
+    timed_query_batch(benchmark, index, workload, k=10)

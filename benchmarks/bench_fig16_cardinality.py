@@ -1,0 +1,27 @@
+"""Fig. 16: DG+ vs DL+ with varying cardinality n.
+
+Paper shape: both algorithms are nearly flat in n — layered indexes give
+access proportional to k, not n — with DL+ below DG+ throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_n_sweep, timed_query_batch
+
+EXPERIMENT = "fig16"
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT"])
+def test_fig16_series(distribution, ctx, benchmark):
+    sweep = run_n_sweep(ctx, EXPERIMENT, distribution)
+    dgp = sweep.mean_series("DG+")
+    dlp = sweep.mean_series("DL+")
+    assert all(l <= g * 1.05 for l, g in zip(dlp, dgp))
+    # Near-flat in n: a 5x cardinality change moves cost far less than 5x.
+    assert max(dlp) / min(dlp) < 3.0
+    assert max(dgp) / min(dgp) < 3.0
+    workload = ctx.workload(distribution, sweep.values[0], 4)
+    index = ctx.index("DL+", workload, max_k=10)
+    timed_query_batch(benchmark, index, workload, k=10)

@@ -1,0 +1,45 @@
+"""Table IV: index construction time per algorithm (IND and ANT).
+
+Paper shape: HL/HL+ build fastest (convex peel + sorting only), DG/DG+ next
+(skyline peel + dominance wiring), DL/DL+ slowest (skylines *and* convex
+sublayers and ∃-gates); ANT costs far more than IND (bigger layers); the
+"+" variants add under ~1% for the zero layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DGIndex, DGPlusIndex, HLIndex, HLPlusIndex
+from repro.bench.harness import build_index
+from repro.bench.reporting import format_build_table
+from repro.core import DLIndex, DLPlusIndex
+
+from conftest import record
+
+CLASSES = [HLIndex, HLPlusIndex, DGIndex, DGPlusIndex, DLIndex, DLPlusIndex]
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT"])
+def test_table4_construction(distribution, ctx, benchmark):
+    workload = ctx.workload(distribution, ctx.config.n, 4)
+    stats = []
+    for cls in CLASSES:
+        index = build_index(cls, workload, max_k=10)
+        stats.append(index.build_stats)
+    record(
+        "table4",
+        format_build_table(
+            f"Table IV: construction time [{distribution}, "
+            f"n={ctx.config.n}, d=4, max_layers=10]",
+            stats,
+        ),
+    )
+
+    by_name = {s.algorithm: s.seconds for s in stats}
+    # The paper's ordering: HL <= DG <= DL (allow generous slack for noise).
+    assert by_name["HL"] <= by_name["DG"] * 2
+    assert by_name["DG"] <= by_name["DL"] * 2
+
+    # Timed payload: rebuild the paper's proposed index.
+    benchmark(lambda: DLIndex(workload.relation, max_layers=10).build())

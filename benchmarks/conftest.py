@@ -1,0 +1,156 @@
+"""Shared machinery for the per-figure benchmark modules.
+
+Each ``bench_*.py`` module reproduces one table/figure of the paper's §VI:
+it computes the paper's series (mean tuples evaluated — Definition 9 — per
+sweep point) once per session, prints it, appends it to
+``benchmarks/results/``, and lets pytest-benchmark time a representative
+query batch per algorithm.
+
+Scale knobs (defaults in :class:`repro.bench.workload.BenchConfig`):
+``REPRO_BENCH_N``, ``REPRO_BENCH_QUERIES``, ``REPRO_BENCH_SEED``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import ALGORITHM_CLASSES, EXPERIMENTS
+from repro.bench.harness import build_index, measure_cost, run_sweep
+from repro.bench.plotting import ascii_series_chart
+from repro.bench.reporting import format_series_table
+from repro.bench.workload import BenchConfig, Workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> BenchConfig:
+    return BenchConfig()
+
+
+class BenchContext:
+    """Session-wide caches: workloads and built indexes."""
+
+    def __init__(self, config: BenchConfig) -> None:
+        self.config = config
+        self._workloads: dict[tuple, Workload] = {}
+        self._indexes: dict[tuple, object] = {}
+
+    def workload(self, distribution: str, n: int, d: int) -> Workload:
+        key = (distribution, n, d)
+        if key not in self._workloads:
+            self._workloads[key] = Workload.make(
+                distribution, n, d, self.config.queries, self.config.seed
+            )
+        return self._workloads[key]
+
+    def index(self, name: str, workload: Workload, max_k: int):
+        key = (name, workload.distribution, workload.n, workload.d, max_k)
+        if key not in self._indexes:
+            self._indexes[key] = build_index(
+                ALGORITHM_CLASSES[name], workload, max_k=max_k
+            )
+        return self._indexes[key]
+
+
+@pytest.fixture(scope="session")
+def ctx(bench_config) -> BenchContext:
+    return BenchContext(bench_config)
+
+
+def record(experiment_id: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.txt"
+    with path.open("a") as handle:
+        handle.write(text)
+
+
+def run_k_sweep(ctx: BenchContext, experiment_id: str, distribution: str):
+    """Execute a k-sweep spec on one distribution and record the table."""
+    spec = EXPERIMENTS[experiment_id]
+    config = ctx.config
+    workload = ctx.workload(distribution, config.n, 4)
+    max_k = max(spec.values)
+    sweep = run_sweep(
+        "k",
+        list(spec.values),
+        {name: ALGORITHM_CLASSES[name] for name in spec.algorithms},
+        workload_for=lambda value: workload,
+        k_for=lambda value: int(value),
+        index_for=ctx.index,
+    )
+    label = (
+        f"{spec.title} [{distribution}, n={config.n}, d=4, "
+        f"{config.queries} queries]"
+    )
+    record(
+        experiment_id,
+        format_series_table(label, sweep, ratio=spec.ratio)
+        + "\n"
+        + ascii_series_chart(label, sweep),
+    )
+    return sweep, workload
+
+
+def run_d_sweep(ctx: BenchContext, experiment_id: str, distribution: str):
+    """Execute a d-sweep spec on one distribution and record the table."""
+    spec = EXPERIMENTS[experiment_id]
+    config = ctx.config
+
+    sweep = run_sweep(
+        "d",
+        list(spec.values),
+        {name: ALGORITHM_CLASSES[name] for name in spec.algorithms},
+        workload_for=lambda d: ctx.workload(
+            distribution, config.scaled_n(int(d)), int(d)
+        ),
+        k_for=lambda d: 10,
+        index_for=ctx.index,
+    )
+    label = f"{spec.title} [{distribution}, k=10, {config.queries} queries]"
+    record(
+        experiment_id,
+        format_series_table(label, sweep, ratio=spec.ratio)
+        + "\n"
+        + ascii_series_chart(label, sweep),
+    )
+    return sweep
+
+
+def run_n_sweep(ctx: BenchContext, experiment_id: str, distribution: str):
+    """Execute the cardinality sweep (fig16) and record the table."""
+    spec = EXPERIMENTS[experiment_id]
+    config = ctx.config
+
+    sweep = run_sweep(
+        "n",
+        [int(config.n * multiple) for multiple in spec.values],
+        {name: ALGORITHM_CLASSES[name] for name in spec.algorithms},
+        workload_for=lambda n: ctx.workload(distribution, int(n), 4),
+        k_for=lambda n: 10,
+        index_for=ctx.index,
+    )
+    label = (
+        f"{spec.title} [{distribution}, k=10, d=4, {config.queries} queries]"
+    )
+    record(
+        experiment_id,
+        format_series_table(label, sweep, ratio=spec.ratio)
+        + "\n"
+        + ascii_series_chart(label, sweep),
+    )
+    return sweep
+
+
+def timed_query_batch(benchmark, index, workload, k: int) -> None:
+    """pytest-benchmark payload: answer the whole query batch once."""
+
+    def batch():
+        for weights in workload.weights:
+            index.query(weights, k)
+
+    benchmark(batch)

@@ -1,0 +1,50 @@
+"""Index shoot-out: every algorithm in the library on one workload.
+
+Reproduces the paper's central comparison in miniature: builds all fourteen
+indexes over the same anti-correlated relation and reports build time and
+mean tuples-evaluated (Definition 9 cost) over a batch of random-preference
+queries, sorted best-first.
+
+Run:  python examples/compare_indexes.py [n] [d] [k]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ALGORITHMS
+from repro.bench.harness import build_index, measure_cost
+from repro.bench.workload import Workload
+
+
+def main(n: int = 6000, d: int = 4, k: int = 10) -> None:
+    workload = Workload.make("ANT", n, d, queries=15, seed=42)
+    print(f"workload: anti-correlated, n={n}, d={d}, top-{k}, "
+          f"{len(workload.weights)} random queries\n")
+
+    rows = []
+    for name, cls in sorted(ALGORITHMS.items()):
+        index = build_index(cls, workload, max_k=k)
+        cell = measure_cost(index, workload, k)
+        rows.append((cell.mean_cost, name, index.build_stats.seconds, cell))
+
+    rows.sort()
+    header = f"{'algorithm':>10} {'mean cost':>10} {'min':>7} {'max':>7} {'build(s)':>9}"
+    print(header)
+    print("-" * len(header))
+    for mean_cost, name, build_seconds, cell in rows:
+        print(f"{name:>10} {mean_cost:>10.1f} {cell.min_cost:>7d} "
+              f"{cell.max_cost:>7d} {build_seconds:>9.3f}")
+
+    best = rows[0]
+    scan = next(r for r in rows if r[1] == "SCAN")
+    print(f"\n{best[1]} evaluates {scan[0] / best[0]:.0f}x fewer tuples than a scan;")
+    dl = next(r for r in rows if r[1] == "DL")
+    dg = next(r for r in rows if r[1] == "DG")
+    print(f"DL beats DG by {dg[0] / dl[0]:.1f}x on this workload — the paper's "
+          "fine-sublayer ∃-dominance filtering at work.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args)

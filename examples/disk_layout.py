@@ -1,0 +1,77 @@
+"""Disk-layout simulation: the paper's §VI-A remark, measured.
+
+"These algorithms can be modified into disk-based algorithms, where tuples
+in the same layer are stored in the same disk block to reduce I/O cost."
+This example builds a DL index, stores the relation two ways — a plain heap
+file vs. pages clustered by fine sublayer — and replays query access traces
+through an LRU buffer pool to count page faults.
+
+Run:  python examples/disk_layout.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DLIndex, generate, random_weight_vector
+from repro.storage import (
+    BlockStore,
+    IOCostModel,
+    layer_clustered_placement,
+    row_order_placement,
+)
+
+PAGE_CAPACITY = 64  # tuples per page (e.g. 4 KiB page / 64-byte tuple)
+BUFFER_PAGES = 8
+
+
+def main() -> None:
+    relation = generate("ANT", n=12_000, d=3, seed=11)
+    index = DLIndex(relation, max_layers=30).build()
+    print(f"relation: {relation.n} tuples; index: "
+          f"{index.build_stats.num_layers} coarse layers")
+
+    sublayer_sequence = [
+        sublayer
+        for sublayers in index.blueprint.fine_layers
+        for sublayer in sublayers
+    ]
+    leftover = index.blueprint.leftover
+    if leftover.shape[0]:
+        sublayer_sequence.append(leftover)
+    layouts = {
+        "heap file (id order)": BlockStore(
+            row_order_placement(relation.n), PAGE_CAPACITY
+        ),
+        "layer-clustered pages": BlockStore(
+            layer_clustered_placement(sublayer_sequence, relation.n),
+            PAGE_CAPACITY,
+        ),
+    }
+
+    rng = np.random.default_rng(1)
+    weights = [random_weight_vector(relation.d, rng) for _ in range(25)]
+
+    print(f"\npage capacity {PAGE_CAPACITY} tuples, buffer {BUFFER_PAGES} pages, "
+          f"25 random top-10 queries (cold cache per query):")
+    results = {}
+    for name, store in layouts.items():
+        model = IOCostModel(index, store, buffer_capacity=BUFFER_PAGES)
+        faults = touched = accessed = 0
+        for w in weights:
+            report = model.run_query(w, 10)
+            faults += report.page_faults
+            touched += report.pages_touched
+            accessed += report.tuples_accessed
+        results[name] = faults
+        print(f"  {name:>22}: {faults:4d} page faults, "
+              f"{touched} pages touched, {accessed} tuples accessed")
+
+    heap, clustered = results["heap file (id order)"], results["layer-clustered pages"]
+    print(f"\nlayer clustering cuts page faults by {heap / clustered:.1f}x — "
+          "the traversal touches a handful of consecutive sublayer pages "
+          "instead of scattering across the heap.")
+
+
+if __name__ == "__main__":
+    main()

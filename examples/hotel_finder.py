@@ -1,0 +1,68 @@
+"""The paper's Example 1: a hotel-finding service with SQL-style top-k.
+
+Builds the exact Fig. 1 toy dataset plus a larger synthetic hotel table
+partitioned by city, registers both in the mini SQL front-end, and runs the
+paper's `ORDER BY ... STOP AFTER k` queries for users Alice and Betty.
+
+Run:  python examples/hotel_finder.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.hotels import HOTEL_NAMES, synthetic_hotels, toy_hotels
+from repro.sql import Database
+
+
+def main() -> None:
+    db = Database()
+
+    # --- The paper's 11-hotel toy dataset (Fig. 1) --------------------- #
+    db.register("toy", toy_hotels())
+    alice = db.execute(
+        "SELECT * FROM toy ORDER BY 0.5*price + 0.5*distance STOP AFTER 5"
+    )
+    print("Alice (0.5, 0.5), top-5:",
+          [HOTEL_NAMES[i] for i in alice.ids],
+          f"— {alice.cost} of 11 tuples evaluated")
+
+    betty = db.execute(
+        "SELECT * FROM toy ORDER BY 0.75*price + 0.25*distance STOP AFTER 5"
+    )
+    print("Betty (0.75, 0.25), top-5:",
+          [HOTEL_NAMES[i] for i in betty.ids],
+          f"— {betty.cost} of 11 tuples evaluated")
+
+    # --- A bigger city-partitioned hotel table ------------------------- #
+    relation, cities = synthetic_hotels(20_000, seed=3, city_count=4)
+    city_names = np.asarray(["washington", "newyork", "boston", "chicago"])
+    labels = city_names[cities]
+    db.register("hotel", relation, labels={"city": labels})
+
+    query = (
+        "SELECT * FROM hotel WHERE city = 'washington' "
+        "ORDER BY 0.5*price + 0.5*distance STOP AFTER 5"
+    )
+    print(f"\n{query}")
+    answer = db.execute(query)
+    print(f"answered by {answer.algorithm}, "
+          f"{answer.cost} tuples evaluated out of "
+          f"{int((labels == 'washington').sum())} Washington hotels:")
+    for rank, (tid, score) in enumerate(zip(answer.ids, answer.scores), 1):
+        price, distance = relation.tuple(int(tid))
+        print(f"  {rank}. hotel #{int(tid):6d}  price={price:.3f} "
+              f"distance={distance:.3f}  score={score:.4f}")
+
+    # Same city, different taste: price is four times as important.
+    price_sensitive = db.execute(
+        "SELECT * FROM hotel WHERE city = 'washington' "
+        "ORDER BY 0.8*price + 0.2*distance STOP AFTER 5"
+    )
+    print("\nprice-sensitive top-5 ids:",
+          [int(i) for i in price_sensitive.ids],
+          f"— cost {price_sensitive.cost} (index reused, no rebuild)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP 517
+editable installs cannot build. ``pip install -e . --no-use-pep517`` (or a
+plain ``pip install -e .`` on modern toolchains) goes through this shim;
+all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""repro — dual-resolution layer indexing for top-k queries.
+
+A from-scratch reproduction of *"Efficient Dual-Resolution Layer Indexing
+for Top-k Queries"* (Lee, Cho, Hwang — ICDE 2012): the DL/DL+ indexes, the
+DG/DG+/HL/HL+/Onion/AppRI baselines, the list- and view-based related work,
+the synthetic workloads, and the paper's full evaluation harness.
+
+Quickstart::
+
+    from repro import DLPlusIndex, generate, random_weight_vector
+
+    relation = generate("ANT", n=10_000, d=4, seed=7)
+    index = DLPlusIndex(relation).build()
+    weights = random_weight_vector(relation.d)
+    result = index.query(weights, k=10)
+    print(result.ids, result.scores, result.cost)
+"""
+
+from repro.core import DLIndex, DLPlusIndex, TopKIndex, TopKResult
+from repro.baselines import (
+    AppRIIndex,
+    PLIndex,
+    DGIndex,
+    DGPlusIndex,
+    HLIndex,
+    HLPlusIndex,
+    ListFAIndex,
+    ListNRAIndex,
+    ListTAIndex,
+    OnionIndex,
+    PreferViewIndex,
+    ScanIndex,
+)
+from repro.data import generate, synthetic_hotels, toy_hotels
+from repro.relation import (
+    LinearScore,
+    Relation,
+    Schema,
+    normalize_weights,
+    random_weight_vector,
+    top_k_bruteforce,
+)
+from repro.stats import AccessCounter, BuildStats, QueryStats
+
+__version__ = "1.0.0"
+
+#: Every index class keyed by its benchmark name.
+ALGORITHMS: dict[str, type[TopKIndex]] = {
+    cls.name: cls
+    for cls in (
+        DLIndex,
+        DLPlusIndex,
+        DGIndex,
+        DGPlusIndex,
+        HLIndex,
+        HLPlusIndex,
+        OnionIndex,
+        AppRIIndex,
+        PLIndex,
+        ScanIndex,
+        ListTAIndex,
+        ListFAIndex,
+        ListNRAIndex,
+        PreferViewIndex,
+    )
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "AccessCounter",
+    "AppRIIndex",
+    "BuildStats",
+    "DGIndex",
+    "DGPlusIndex",
+    "DLIndex",
+    "DLPlusIndex",
+    "HLIndex",
+    "HLPlusIndex",
+    "LinearScore",
+    "ListFAIndex",
+    "ListNRAIndex",
+    "ListTAIndex",
+    "OnionIndex",
+    "PLIndex",
+    "PreferViewIndex",
+    "QueryStats",
+    "Relation",
+    "ScanIndex",
+    "Schema",
+    "TopKIndex",
+    "TopKResult",
+    "generate",
+    "normalize_weights",
+    "random_weight_vector",
+    "synthetic_hotels",
+    "top_k_bruteforce",
+    "toy_hotels",
+]

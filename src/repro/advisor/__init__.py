@@ -1,0 +1,25 @@
+"""Index advisor: estimate workload characteristics, recommend an index.
+
+Choosing between the layer family (DL+/DG+), the list family (TA), and a
+plain scan depends on data characteristics a DBA cannot eyeball: skyline
+sizes (layer widths), dominance depth (layer counts), correlation shape.
+This package estimates them from samples and turns the estimates plus a
+workload description (expected k, query rate, update rate) into a concrete
+recommendation with a rationale — the kind of advisor a production system
+would ship next to the index itself.
+"""
+
+from repro.advisor.estimators import (
+    estimate_layer_count,
+    estimate_skyline_size,
+    sample_correlation,
+)
+from repro.advisor.advisor import Advice, recommend_index
+
+__all__ = [
+    "Advice",
+    "estimate_layer_count",
+    "estimate_skyline_size",
+    "recommend_index",
+    "sample_correlation",
+]

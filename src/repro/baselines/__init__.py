@@ -1,0 +1,40 @@
+"""Baseline top-k indexes the paper compares against (or surveys).
+
+* :mod:`repro.baselines.dg` — DG and DG+ (Zou & Chen [5]): coarse skyline
+  layers with ∀-dominance gating, optionally a flat clustered zero layer.
+* :mod:`repro.baselines.hl` — HL and HL+ (Heo et al. [6]): convex layers
+  with per-layer sorted lists and threshold processing.
+* :mod:`repro.baselines.onion` — Onion (Chang et al. [3]): convex layers,
+  complete access.
+* :mod:`repro.baselines.appri` — an AppRI-style robust index (Xin et al.
+  [4]), reproduced as a dominance-count bucket index (see DESIGN.md).
+* :mod:`repro.baselines.pl` — a partitioned-layer index (Heo et al. [29]).
+* :mod:`repro.baselines.ta_index` — whole-relation list-based TA/NRA/FA
+  (§VII-B related work).
+* :mod:`repro.baselines.views` — a PREFER-style view index (§VII-C).
+* :mod:`repro.baselines.scan` — the sequential-scan floor.
+"""
+
+from repro.baselines.scan import ScanIndex
+from repro.baselines.dg import DGIndex, DGPlusIndex
+from repro.baselines.onion import OnionIndex
+from repro.baselines.hl import HLIndex, HLPlusIndex
+from repro.baselines.appri import AppRIIndex
+from repro.baselines.pl import PLIndex
+from repro.baselines.ta_index import ListTAIndex, ListNRAIndex, ListFAIndex
+from repro.baselines.views import PreferViewIndex
+
+__all__ = [
+    "ScanIndex",
+    "DGIndex",
+    "DGPlusIndex",
+    "OnionIndex",
+    "HLIndex",
+    "HLPlusIndex",
+    "AppRIIndex",
+    "PLIndex",
+    "ListTAIndex",
+    "ListNRAIndex",
+    "ListFAIndex",
+    "PreferViewIndex",
+]

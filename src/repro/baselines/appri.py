@@ -1,0 +1,115 @@
+"""AppRI-style robust index (after Xin, Chen, Han [4]).
+
+AppRI assigns each tuple the deepest layer from which it could still reach a
+top-ranked position, shrinking layers relative to Onion.  We reproduce its
+defining pruning property with a *dominance-count bucket index* (documented
+as a substitution in DESIGN.md): a tuple dominated by ``c`` others has rank
+at least ``c + 1`` under every monotone scoring function, so bucket ``c``
+can be skipped entirely for ``k <= c``.  A query scans buckets ``0..k-1``
+completely (AppRI also gives complete access within layers).
+
+Dominance counting is all-pairs; the sum-sorted chunked sweep keeps it
+vectorized and memory-bounded.  ``max_rank`` caps the distinguished buckets
+(tuples with more dominators share an overflow bucket), bounding both build
+time and the supported ``k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import TopKIndex
+from repro.exceptions import IndexCapacityError
+from repro.relation import Relation
+from repro.stats import AccessCounter
+
+_CHUNK = 1024
+
+
+def dominance_counts(points: np.ndarray, cap: int | None = None) -> np.ndarray:
+    """Number of dominators per point (clipped at ``cap`` when given).
+
+    Points are swept in ascending attribute-sum order: dominators of a point
+    always precede it, so each chunk only compares against earlier points.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n = points.shape[0]
+    counts = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return counts
+    # Sum-sorted with lexicographic tie-breaks: float rounding can tie the
+    # sums of a dominator/dominated pair, and the lexicographic order keeps
+    # dominators strictly earlier in that case (same fix as skyline SFS).
+    d = points.shape[1]
+    keys = (np.arange(n), *(points[:, c] for c in range(d - 1, -1, -1)),
+            points.sum(axis=1))
+    order = np.lexsort(keys)
+    sorted_pts = points[order]
+    for start in range(0, n, _CHUNK):
+        stop = min(start + _CHUNK, n)
+        block = sorted_pts[start:stop]
+        block_counts = np.zeros(stop - start, dtype=np.int64)
+        # Earlier points, including the in-block prefix.
+        for prev_start in range(0, stop, _CHUNK):
+            prev_stop = min(prev_start + _CHUNK, stop)
+            prev = sorted_pts[prev_start:prev_stop]
+            leq = np.all(prev[:, None, :] <= block[None, :, :], axis=2)
+            lt = np.any(prev[:, None, :] < block[None, :, :], axis=2)
+            dom = leq & lt
+            if prev_start == start:
+                # Same chunk: only strictly earlier rows count; upper
+                # triangle relative to block offsets.
+                rows = np.arange(prev.shape[0])[:, None]
+                cols = np.arange(block.shape[0])[None, :]
+                dom &= rows < cols
+            elif prev_start > start:
+                break
+            block_counts += dom.sum(axis=0)
+        counts[order[start:stop]] = block_counts
+        if cap is not None:
+            np.minimum(counts, cap, out=counts)
+    return counts
+
+
+class AppRIIndex(TopKIndex):
+    """Dominance-count bucket index with AppRI's pruning guarantee."""
+
+    name = "AppRI"
+
+    def __init__(self, relation: Relation, *, max_rank: int | None = None) -> None:
+        super().__init__(relation)
+        self.max_rank = max_rank
+        self.buckets: list[np.ndarray] = []
+
+    def _build(self) -> None:
+        counts = dominance_counts(self.relation.matrix, cap=self.max_rank)
+        limit = int(counts.max()) + 1 if counts.shape[0] else 1
+        self.buckets = [
+            np.nonzero(counts == c)[0].astype(np.intp) for c in range(limit)
+        ]
+        self.build_stats.num_layers = len(self.buckets)
+        self.build_stats.layer_sizes = [int(b.shape[0]) for b in self.buckets]
+
+    def _query(
+        self, weights: np.ndarray, k: int, counter: AccessCounter
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if self.max_rank is not None and k > self.max_rank:
+            raise IndexCapacityError(
+                f"robust index distinguishes ranks up to {self.max_rank}; "
+                f"top-{k} is beyond capacity"
+            )
+        matrix = self.relation.matrix
+        ids_parts: list[np.ndarray] = []
+        score_parts: list[np.ndarray] = []
+        for bucket in self.buckets[:k]:
+            if bucket.shape[0] == 0:
+                continue
+            ids_parts.append(bucket)
+            score_parts.append(matrix[bucket] @ weights)
+            counter.count_real(bucket.shape[0])
+        if not ids_parts:
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64)
+        ids = np.concatenate(ids_parts)
+        scores = np.concatenate(score_parts)
+        order = np.lexsort((ids, scores))[:k]
+        return ids[order].astype(np.intp), scores[order]

@@ -1,0 +1,135 @@
+"""HL and HL+ (Heo et al., "The Hybrid-Layer Index" [6]).
+
+Convex layers (as Onion) but each layer keeps ``d`` per-attribute sorted
+lists, so tuples inside a layer can be accessed *selectively* with
+threshold-style processing:
+
+* **HL** runs TA independently inside each of the first ``k`` layers for a
+  local top-k, then merges — selective within a layer, but each layer's TA
+  stops on its own (loose) local condition.
+* **HL+** advances the lists of all open layers in a round-robin and keeps a
+  single *global* stopping test: the k-th best seen score against the
+  minimum of the per-layer thresholds ``F(front values)``.  This tighter
+  threshold is the optimization the paper credits to [6] and benchmarks.
+
+Cost accounting: a tuple is "evaluated" the first time it is fully scored
+(random access); sorted-list advances are tallied separately.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.base import TopKIndex
+from repro.exceptions import IndexCapacityError
+from repro.lists.sorted_lists import SortedLists
+from repro.lists.ta import threshold_algorithm
+from repro.relation import Relation
+from repro.skyline.layers import convex_layers
+from repro.stats import AccessCounter
+
+
+class HLIndex(TopKIndex):
+    """Hybrid-layer index with per-layer local TA (the unoptimized HL)."""
+
+    name = "HL"
+
+    def __init__(self, relation: Relation, *, max_layers: int | None = None) -> None:
+        super().__init__(relation)
+        self.max_layers = max_layers
+        self.layers: list[np.ndarray] = []
+        self.layer_lists: list[SortedLists] = []
+        self._complete = True
+
+    def _build(self) -> None:
+        matrix = self.relation.matrix
+        self.layers, leftover = convex_layers(matrix, self.max_layers)
+        self._complete = leftover.shape[0] == 0
+        self.layer_lists = [
+            SortedLists(matrix[layer], ids=layer) for layer in self.layers
+        ]
+        self.build_stats.num_layers = len(self.layers)
+        self.build_stats.layer_sizes = [int(l.shape[0]) for l in self.layers]
+
+    def _check_capacity(self, k: int) -> None:
+        if not self._complete and k > len(self.layers):
+            raise IndexCapacityError(
+                f"hybrid-layer index holds {len(self.layers)} layers; "
+                f"top-{k} needs k layers"
+            )
+
+    def _query(
+        self, weights: np.ndarray, k: int, counter: AccessCounter
+    ) -> tuple[np.ndarray, np.ndarray]:
+        self._check_capacity(k)
+        merged: list[tuple[float, int]] = []
+        for lists in self.layer_lists[:k]:
+            local = threshold_algorithm(lists, weights, k, counter)
+            merged.extend(
+                (score, lists.external_id(row)) for score, row in local
+            )
+        merged.sort()
+        top = merged[:k]
+        return (
+            np.asarray([tid for _, tid in top], dtype=np.intp),
+            np.asarray([score for score, _ in top], dtype=np.float64),
+        )
+
+
+class HLPlusIndex(HLIndex):
+    """HL with the round-robin global threshold (the paper's HL+)."""
+
+    name = "HL+"
+
+    def _query(
+        self, weights: np.ndarray, k: int, counter: AccessCounter
+    ) -> tuple[np.ndarray, np.ndarray]:
+        self._check_capacity(k)
+        open_lists = self.layer_lists[:k]
+        if not open_lists:
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64)
+        d = self.relation.d
+        depths = [0] * len(open_lists)
+        thresholds = [0.0] * len(open_lists)
+        seen: list[set[int]] = [set() for _ in open_lists]
+        # Max-heap of best k seen: (-score, -tuple_id).
+        best: list[tuple[float, int]] = []
+
+        def evaluate(layer_pos: int, row: int) -> None:
+            lists = open_lists[layer_pos]
+            score = float(lists.row_values(row) @ weights)
+            counter.count_real()
+            heapq.heappush(best, (-score, -lists.external_id(row)))
+            if len(best) > k:
+                heapq.heappop(best)
+
+        total = sum(lists.n for lists in open_lists)
+        while True:
+            progressed = False
+            for layer_pos, lists in enumerate(open_lists):
+                if depths[layer_pos] >= lists.n:
+                    thresholds[layer_pos] = float("inf")
+                    continue
+                progressed = True
+                front = np.empty(d, dtype=np.float64)
+                for attribute in range(d):
+                    row, value = lists.sorted_entry(attribute, depths[layer_pos])
+                    counter.count_sorted_access()
+                    front[attribute] = value
+                    if row not in seen[layer_pos]:
+                        seen[layer_pos].add(row)
+                        evaluate(layer_pos, row)
+                depths[layer_pos] += 1
+                thresholds[layer_pos] = float(front @ weights)
+            floor = min(thresholds)
+            if len(best) >= min(k, total) and -best[0][0] <= floor:
+                break
+            if not progressed:
+                break
+        top = sorted((-negscore, -negid) for negscore, negid in best)
+        return (
+            np.asarray([tid for _, tid in top], dtype=np.intp),
+            np.asarray([score for score, _ in top], dtype=np.float64),
+        )

@@ -1,0 +1,130 @@
+"""PL — partitioned-layer index (after Heo et al. [29]).
+
+The partitioned-layer index splits the relation into ``p`` partitions,
+builds convex layers *per partition* (hull computations on ``n/p`` points
+are far cheaper, and partitions can be built in parallel), and merges at
+query time.
+
+Merge rule (sound by the per-partition layer property — the rank-i tuple of
+a partition lies within its first i layers): before emitting the global
+rank-r answer, every partition must have evaluated ``min(r, its depth)``
+layers; the global top-r of everything read so far is then final.  The
+implementation reads layers lazily, one global rank at a time, so small-k
+queries touch only the first few layers of each partition.
+
+Positioned between Onion (one partition) and HL in the design space:
+construction is the cheapest of the convex-layer family, at the price of
+evaluating one layer per partition per rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import TopKIndex
+from repro.exceptions import IndexCapacityError, ReproError
+from repro.relation import Relation
+from repro.skyline.layers import convex_layers
+from repro.stats import AccessCounter
+
+
+class PLIndex(TopKIndex):
+    """Partitioned convex-layer index with rank-synchronized merging.
+
+    Parameters
+    ----------
+    relation:
+        Target relation.
+    partitions:
+        Number of partitions (default ``max(2, round(n / 4096))``).
+    max_layers:
+        Per-partition layer bound; queries then support ``k <= max_layers``.
+    seed:
+        Seed for the random partitioning.
+    """
+
+    name = "PL"
+
+    def __init__(
+        self,
+        relation: Relation,
+        *,
+        partitions: int | None = None,
+        max_layers: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(relation)
+        if partitions is not None and partitions < 1:
+            raise ReproError(f"partitions must be >= 1, got {partitions}")
+        self.partitions = partitions
+        self.max_layers = max_layers
+        self.seed = seed
+        self._partition_ids: list[np.ndarray] = []
+        self._partition_layers: list[list[np.ndarray]] = []
+        self._complete = True
+
+    def _build(self) -> None:
+        n = self.relation.n
+        count = self.partitions
+        if count is None:
+            count = max(2, round(n / 4096))
+        count = max(1, min(count, n)) if n else 1
+        rng = np.random.default_rng(self.seed)
+        assignment = rng.integers(0, count, size=n)
+
+        self._partition_ids = []
+        self._partition_layers = []
+        matrix = self.relation.matrix
+        max_depth = 0
+        for p in range(count):
+            members = np.nonzero(assignment == p)[0].astype(np.intp)
+            if members.shape[0] == 0:
+                continue
+            local_layers, leftover = convex_layers(matrix[members], self.max_layers)
+            if leftover.shape[0]:
+                self._complete = False
+            self._partition_ids.append(members)
+            self._partition_layers.append(
+                [members[layer] for layer in local_layers]
+            )
+            max_depth = max(max_depth, len(local_layers))
+        self.build_stats.num_layers = max_depth
+        self.build_stats.layer_sizes = [
+            sum(
+                layers[depth].shape[0]
+                for layers in self._partition_layers
+                if depth < len(layers)
+            )
+            for depth in range(max_depth)
+        ]
+        self.build_stats.extra["partitions"] = float(len(self._partition_ids))
+
+    def _query(
+        self, weights: np.ndarray, k: int, counter: AccessCounter
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not self._complete and self.max_layers is not None and k > self.max_layers:
+            raise IndexCapacityError(
+                f"partitioned index holds {self.max_layers} layers per "
+                f"partition; top-{k} needs k layers"
+            )
+        matrix = self.relation.matrix
+        depth_read = [0] * len(self._partition_layers)
+        seen_ids: list[np.ndarray] = []
+        seen_scores: list[np.ndarray] = []
+
+        def read_to_depth(rank: int) -> None:
+            for p, layers in enumerate(self._partition_layers):
+                while depth_read[p] < min(rank, len(layers)):
+                    layer = layers[depth_read[p]]
+                    seen_ids.append(layer)
+                    seen_scores.append(matrix[layer] @ weights)
+                    counter.count_real(layer.shape[0])
+                    depth_read[p] += 1
+
+        read_to_depth(k)
+        ids = np.concatenate(seen_ids) if seen_ids else np.empty(0, dtype=np.intp)
+        scores = (
+            np.concatenate(seen_scores) if seen_scores else np.empty(0)
+        )
+        order = np.lexsort((ids, scores))[:k]
+        return ids[order].astype(np.intp), scores[order]

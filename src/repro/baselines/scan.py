@@ -1,0 +1,30 @@
+"""Sequential scan: the no-index floor every index must beat.
+
+Evaluates the scoring function on every tuple (cost = n) and sorts out the
+best k.  Used as the correctness oracle in tests and the cost ceiling in
+benchmark tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import TopKIndex
+from repro.relation import top_k_bruteforce
+from repro.stats import AccessCounter
+
+
+class ScanIndex(TopKIndex):
+    """Full-scan "index": nothing to build, everything to evaluate."""
+
+    name = "SCAN"
+
+    def _build(self) -> None:
+        self.build_stats.num_layers = 1
+        self.build_stats.layer_sizes = [self.relation.n]
+
+    def _query(
+        self, weights: np.ndarray, k: int, counter: AccessCounter
+    ) -> tuple[np.ndarray, np.ndarray]:
+        counter.count_real(self.relation.n)
+        return top_k_bruteforce(self.relation.matrix, weights, k)

@@ -1,0 +1,66 @@
+"""Whole-relation list-based indexes (§VII-B related work): FA, TA, NRA.
+
+These wrap the :mod:`repro.lists` algorithms behind the common
+:class:`~repro.core.base.TopKIndex` interface so the examples and ablation
+benchmarks can line the list-based approach up against the layer-based ones
+under identical cost accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import TopKIndex
+from repro.lists.fa import fagins_algorithm
+from repro.lists.nra import no_random_access
+from repro.lists.sorted_lists import SortedLists
+from repro.lists.ta import threshold_algorithm
+from repro.stats import AccessCounter
+
+
+class _ListIndexBase(TopKIndex):
+    """Shared build: d sorted lists over the full relation."""
+
+    def _build(self) -> None:
+        self.lists = SortedLists(self.relation.matrix)
+        self.build_stats.num_layers = 1
+        self.build_stats.layer_sizes = [self.relation.n]
+
+    def _run(self, weights, k, counter):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _query(
+        self, weights: np.ndarray, k: int, counter: AccessCounter
+    ) -> tuple[np.ndarray, np.ndarray]:
+        pairs = self._run(weights, k, counter)
+        return (
+            np.asarray([row for _, row in pairs], dtype=np.intp),
+            np.asarray([score for score, _ in pairs], dtype=np.float64),
+        )
+
+
+class ListTAIndex(_ListIndexBase):
+    """Threshold Algorithm over the full relation."""
+
+    name = "TA"
+
+    def _run(self, weights, k, counter):
+        return threshold_algorithm(self.lists, weights, k, counter)
+
+
+class ListFAIndex(_ListIndexBase):
+    """Fagin's Algorithm over the full relation."""
+
+    name = "FA"
+
+    def _run(self, weights, k, counter):
+        return fagins_algorithm(self.lists, weights, k, counter)
+
+
+class ListNRAIndex(_ListIndexBase):
+    """No-Random-Access algorithm over the full relation."""
+
+    name = "NRA"
+
+    def _run(self, weights, k, counter):
+        return no_random_access(self.lists, weights, k, counter)

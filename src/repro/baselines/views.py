@@ -1,0 +1,122 @@
+"""PREFER-style view-based index (Hristidis et al. [17, 18]) — §VII-C.
+
+Materializes full rankings under a set of representative weight vectors
+("views").  A query walks the most similar view's ranking in order, scoring
+each tuple under the query weights, and stops at the *watermark*: once the
+view-score prefix reaches ``τ``, every unread tuple satisfies
+``w_v · t ≥ τ``, and the least query-score such a tuple could have is the
+fractional-knapsack bound::
+
+    min  w_q · x   s.t.  w_v · x ≥ τ,  0 ≤ x ≤ 1
+
+(fill coordinates in ascending ``w_q_i / w_v_i`` order).  When the k-th best
+seen query score is no worse than that bound, the walk stops.
+
+Included as the view-based representative of the paper's related-work
+taxonomy; its storage-versus-speed trade-off (one full ranking per view) is
+the drawback the paper cites.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.base import TopKIndex
+from repro.exceptions import ReproError
+from repro.relation import Relation, normalize_weights
+from repro.stats import AccessCounter
+
+
+def watermark_bound(
+    view_weights: np.ndarray, query_weights: np.ndarray, tau: float
+) -> float:
+    """Least possible query score of a tuple with view score >= tau."""
+    ratios = query_weights / view_weights
+    order = np.argsort(ratios)
+    remaining = tau
+    bound = 0.0
+    for i in order:
+        if remaining <= 0:
+            break
+        take = min(1.0, remaining / view_weights[i])
+        bound += query_weights[i] * take
+        remaining -= view_weights[i] * take
+    return bound
+
+
+class PreferViewIndex(TopKIndex):
+    """A bank of materialized rankings with watermark-bounded reuse."""
+
+    name = "PREFER"
+
+    def __init__(
+        self,
+        relation: Relation,
+        *,
+        views: int = 8,
+        view_weights: np.ndarray | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(relation)
+        if view_weights is not None:
+            vw = np.atleast_2d(np.asarray(view_weights, dtype=np.float64))
+            self.view_weights = np.vstack([normalize_weights(w, relation.d) for w in vw])
+        else:
+            if views < 1:
+                raise ReproError(f"need at least one view, got {views}")
+            rng = np.random.default_rng(seed)
+            d = relation.d
+            # One balanced view plus random simplex draws.
+            draws = [np.full(d, 1.0 / d)]
+            draws.extend(
+                np.clip(rng.dirichlet(np.ones(d)), 1e-6, None) for _ in range(views - 1)
+            )
+            self.view_weights = np.vstack([w / w.sum() for w in draws])
+        self.view_orders: list[np.ndarray] = []
+        self.view_scores: list[np.ndarray] = []
+
+    def _build(self) -> None:
+        matrix = self.relation.matrix
+        self.view_orders = []
+        self.view_scores = []
+        for w in self.view_weights:
+            scores = matrix @ w
+            order = np.lexsort((np.arange(matrix.shape[0]), scores))
+            self.view_orders.append(order.astype(np.intp))
+            self.view_scores.append(scores[order])
+        self.build_stats.num_layers = self.view_weights.shape[0]
+        self.build_stats.layer_sizes = [self.relation.n] * self.view_weights.shape[0]
+
+    def _closest_view(self, weights: np.ndarray) -> int:
+        sims = self.view_weights @ weights
+        norms = np.linalg.norm(self.view_weights, axis=1) * np.linalg.norm(weights)
+        return int(np.argmax(sims / norms))
+
+    def _query(
+        self, weights: np.ndarray, k: int, counter: AccessCounter
+    ) -> tuple[np.ndarray, np.ndarray]:
+        matrix = self.relation.matrix
+        view = self._closest_view(weights)
+        order = self.view_orders[view]
+        view_scores = self.view_scores[view]
+        view_w = self.view_weights[view]
+
+        best: list[tuple[float, int]] = []  # max-heap via (-score, -id)
+        for pos in range(order.shape[0]):
+            tid = int(order[pos])
+            score = float(matrix[tid] @ weights)
+            counter.count_real()
+            heapq.heappush(best, (-score, -tid))
+            if len(best) > k:
+                heapq.heappop(best)
+            if len(best) == k:
+                bound = watermark_bound(view_w, weights, float(view_scores[pos]))
+                if -best[0][0] <= bound:
+                    break
+        top = sorted((-negscore, -negid) for negscore, negid in best)
+        return (
+            np.asarray([tid for _, tid in top], dtype=np.intp),
+            np.asarray([score for score, _ in top], dtype=np.float64),
+        )

@@ -1,0 +1,33 @@
+"""Benchmark harness: workloads, sweeps, and the paper's experiment grid.
+
+Every table and figure of the paper's §VI maps to one experiment config in
+:mod:`repro.bench.experiments`; :mod:`repro.bench.harness` executes cells
+(build an index once, average query cost over a random-weight workload) and
+:mod:`repro.bench.reporting` renders the same rows/series the paper plots.
+"""
+
+from repro.bench.workload import BenchConfig, Workload, query_weights
+from repro.bench.harness import (
+    CellResult,
+    SweepResult,
+    build_index,
+    measure_cost,
+    run_sweep,
+)
+from repro.bench.reporting import format_series_table, format_build_table
+from repro.bench.experiments import EXPERIMENTS, ExperimentSpec
+
+__all__ = [
+    "BenchConfig",
+    "Workload",
+    "query_weights",
+    "CellResult",
+    "SweepResult",
+    "build_index",
+    "measure_cost",
+    "run_sweep",
+    "format_series_table",
+    "format_build_table",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+]

@@ -1,0 +1,165 @@
+"""The paper's experiment grid (§VI): one spec per table/figure.
+
+Each :class:`ExperimentSpec` declares what varies, over which algorithms,
+and what qualitative shape the paper reports; ``benchmarks/`` contains one
+pytest-benchmark module per spec that executes it and prints the series.
+
+Paper defaults: d=4, n=200K, k=10, distributions IND and ANT.  We keep the
+same defaults at reproduced scale (see :class:`~repro.bench.workload.
+BenchConfig`): the cost metric — tuples evaluated — is scale-proportional,
+so every comparative claim survives the shrink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import DGIndex, DGPlusIndex, HLPlusIndex
+from repro.core import DLIndex, DLPlusIndex
+
+#: Paper defaults (§VI-A).
+DEFAULT_D = 4
+DEFAULT_K = 10
+K_SWEEP = [10, 20, 30, 40, 50]
+D_SWEEP = [2, 3, 4, 5]
+DISTRIBUTIONS = ["IND", "ANT"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one paper table/figure."""
+
+    experiment_id: str
+    title: str
+    parameter: str  # "k" | "d" | "n" | "build"
+    algorithms: tuple[str, ...]
+    expected_shape: str
+    values: tuple = ()
+    ratio: tuple[str, str] | None = None
+    distributions: tuple[str, ...] = ("IND", "ANT")
+
+
+ALGORITHM_CLASSES = {
+    "DG": DGIndex,
+    "DG+": DGPlusIndex,
+    "HL+": HLPlusIndex,
+    "DL": DLIndex,
+    "DL+": DLPlusIndex,
+}
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        ExperimentSpec(
+            experiment_id="table4",
+            title="Table IV: index construction time (s)",
+            parameter="build",
+            algorithms=("HL", "HL+", "DG", "DG+", "DL", "DL+"),
+            expected_shape=(
+                "HL/HL+ fastest, then DG/DG+, DL/DL+ slowest (richer "
+                "relationships); ANT far slower than IND; the +-variants "
+                "add <~1% over their bases"
+            ),
+        ),
+        ExperimentSpec(
+            experiment_id="fig8",
+            title="Fig 8: DL vs DL+ — varying retrieval size k",
+            parameter="k",
+            values=tuple(K_SWEEP),
+            algorithms=("DL", "DL+"),
+            ratio=("DL", "DL+"),
+            expected_shape=(
+                "DL+ ~2x fewer accesses than DL, roughly constant across k; "
+                "both grow linearly with k"
+            ),
+        ),
+        ExperimentSpec(
+            experiment_id="fig9",
+            title="Fig 9: DL vs DL+ — varying dimensionality d",
+            parameter="d",
+            values=tuple(D_SWEEP),
+            algorithms=("DL", "DL+"),
+            ratio=("DL", "DL+"),
+            expected_shape="gap grows with d, reaching ~3x at d=5",
+        ),
+        ExperimentSpec(
+            experiment_id="fig10",
+            title="Fig 10: DG vs DL — varying retrieval size k",
+            parameter="k",
+            values=tuple(K_SWEEP),
+            algorithms=("DG", "DL"),
+            ratio=("DG", "DL"),
+            expected_shape=(
+                "DL consistently below DG (about 3x fewer on ANT), gap "
+                "stable in k"
+            ),
+        ),
+        ExperimentSpec(
+            experiment_id="fig11",
+            title="Fig 11: DG+ vs DL+ — varying retrieval size k",
+            parameter="k",
+            values=tuple(K_SWEEP),
+            algorithms=("DG+", "DL+"),
+            ratio=("DG+", "DL+"),
+            expected_shape="DL+ consistently below DG+, gap stable in k",
+        ),
+        ExperimentSpec(
+            experiment_id="fig12",
+            title="Fig 12: HL+ vs DL+ — varying retrieval size k",
+            parameter="k",
+            values=tuple(K_SWEEP),
+            algorithms=("HL+", "DL+"),
+            ratio=("HL+", "DL+"),
+            expected_shape=(
+                "DL+ far below HL+; gap widens with k, reaching an order of "
+                "magnitude at k=50 on ANT"
+            ),
+        ),
+        ExperimentSpec(
+            experiment_id="fig13",
+            title="Fig 13: DG vs DL — varying dimensionality d",
+            parameter="d",
+            values=tuple(D_SWEEP),
+            algorithms=("DG", "DL"),
+            ratio=("DG", "DL"),
+            expected_shape="gap grows with d (~2.5x at d=5 on ANT)",
+        ),
+        ExperimentSpec(
+            experiment_id="fig14",
+            title="Fig 14: DG+ vs DL+ — varying dimensionality d",
+            parameter="d",
+            values=tuple(D_SWEEP),
+            algorithms=("DG+", "DL+"),
+            ratio=("DG+", "DL+"),
+            expected_shape=(
+                "DL+ below DG+ throughout; the gap widens with d as the "
+                "zero layer's fine sublayers pay off on bigger first layers"
+            ),
+        ),
+        ExperimentSpec(
+            experiment_id="fig15",
+            title="Fig 15: HL+ vs DL+ — varying dimensionality d",
+            parameter="d",
+            values=tuple(D_SWEEP),
+            algorithms=("HL+", "DL+"),
+            ratio=("HL+", "DL+"),
+            expected_shape=(
+                "DL+ far below HL+, up to two orders of magnitude at d=5 "
+                "on ANT"
+            ),
+        ),
+        ExperimentSpec(
+            experiment_id="fig16",
+            title="Fig 16: DG+ vs DL+ — varying cardinality n",
+            parameter="n",
+            values=(0.5, 1.0, 1.5, 2.0, 2.5),  # multiples of the base n
+            algorithms=("DG+", "DL+"),
+            ratio=("DG+", "DL+"),
+            expected_shape=(
+                "both nearly flat in n (layers give proportional access); "
+                "DL+ below DG+ throughout"
+            ),
+        ),
+    )
+}

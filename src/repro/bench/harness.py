@@ -1,0 +1,129 @@
+"""Benchmark execution: build indexes, average query costs, run sweeps.
+
+A *cell* is (algorithm, workload, k) → mean tuples evaluated over the
+workload's query batch.  A *sweep* varies one parameter (k, d, or n) and
+produces one series per algorithm — exactly the shape of the paper's
+figures.  Indexes are built once per (algorithm, workload) with
+``max_layers`` covering the largest k in the sweep, then shared across
+cells, mirroring how a deployed index serves many queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import TopKIndex
+from repro.bench.workload import Workload
+
+
+@dataclass
+class CellResult:
+    """Mean/min/max query cost of one (algorithm, workload, k) cell."""
+
+    algorithm: str
+    distribution: str
+    n: int
+    d: int
+    k: int
+    mean_cost: float
+    min_cost: int
+    max_cost: int
+    mean_real: float
+    mean_pseudo: float
+
+
+@dataclass
+class SweepResult:
+    """One swept parameter; ``series[algorithm][i]`` aligns with ``values[i]``."""
+
+    parameter: str
+    values: list
+    series: dict[str, list[CellResult]] = field(default_factory=dict)
+
+    def mean_series(self, algorithm: str) -> list[float]:
+        """Mean costs for one algorithm across the sweep values."""
+        return [cell.mean_cost for cell in self.series[algorithm]]
+
+
+def build_index(
+    index_class: type[TopKIndex],
+    workload: Workload,
+    *,
+    max_k: int | None = None,
+    **kwargs,
+) -> TopKIndex:
+    """Build one index over a workload, bounded to ``max_k`` layers if given."""
+    if max_k is not None and "max_layers" not in kwargs:
+        try:
+            return index_class(
+                workload.relation, max_layers=max_k, **kwargs
+            ).build()
+        except TypeError:
+            pass  # index type does not take max_layers (scan, lists, views)
+    return index_class(workload.relation, **kwargs).build()
+
+
+def measure_cost(index: TopKIndex, workload: Workload, k: int) -> CellResult:
+    """Average the Definition 9 cost of ``index`` over the workload queries."""
+    costs: list[int] = []
+    reals: list[int] = []
+    pseudos: list[int] = []
+    for weights in workload.weights:
+        result = index.query(weights, k)
+        costs.append(result.cost)
+        reals.append(result.counter.real)
+        pseudos.append(result.counter.pseudo)
+    return CellResult(
+        algorithm=index.name,
+        distribution=workload.distribution,
+        n=workload.n,
+        d=workload.d,
+        k=k,
+        mean_cost=float(np.mean(costs)),
+        min_cost=int(np.min(costs)),
+        max_cost=int(np.max(costs)),
+        mean_real=float(np.mean(reals)),
+        mean_pseudo=float(np.mean(pseudos)),
+    )
+
+
+def run_sweep(
+    parameter: str,
+    values: list,
+    algorithms: dict[str, type[TopKIndex]],
+    workload_for,
+    k_for,
+    index_kwargs: dict | None = None,
+    index_for=None,
+) -> SweepResult:
+    """Run one sweep.
+
+    ``workload_for(value)`` yields the workload of a sweep point;
+    ``k_for(value)`` its retrieval size.  Workloads are cached by identity
+    so k-sweeps build each index exactly once.  ``index_for(name, workload,
+    max_k)`` overrides index construction (e.g. a session-wide cache).
+    """
+    index_kwargs = index_kwargs or {}
+    sweep = SweepResult(parameter=parameter, values=list(values))
+    built: dict[tuple[str, int], TopKIndex] = {}
+    max_k = max(k_for(v) for v in values)
+    for name, index_class in algorithms.items():
+        cells: list[CellResult] = []
+        for value in values:
+            workload = workload_for(value)
+            cache_key = (name, id(workload))
+            if cache_key not in built:
+                if index_for is not None:
+                    built[cache_key] = index_for(name, workload, max_k)
+                else:
+                    built[cache_key] = build_index(
+                        index_class,
+                        workload,
+                        max_k=max_k,
+                        **index_kwargs.get(name, {}),
+                    )
+            cells.append(measure_cost(built[cache_key], workload, k_for(value)))
+        sweep.series[name] = cells
+    return sweep

@@ -1,0 +1,60 @@
+"""ASCII charts: terminal renditions of the paper's figures.
+
+The paper plots mean tuples-evaluated as grouped bars per sweep value;
+:func:`ascii_series_chart` renders the same shape with unicode bars
+(log or linear scale) so benchmark output is readable without a plotting
+stack — the environment is offline and matplotlib-free by design.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import SweepResult
+
+#: Bar glyph and maximum bar width in characters.
+_BAR = "█"
+_WIDTH = 42
+
+
+def ascii_series_chart(
+    title: str,
+    sweep: SweepResult,
+    *,
+    log: bool = True,
+) -> str:
+    """Render one sweep as horizontal grouped bars.
+
+    One group per sweep value, one bar per algorithm, lengths proportional
+    to (log-)cost.  ``log=True`` matches the paper's log-scale axes.
+    """
+    algorithms = list(sweep.series)
+    costs = {
+        name: [cell.mean_cost for cell in cells]
+        for name, cells in sweep.series.items()
+    }
+    peak = max(max(series) for series in costs.values())
+    floor = min(min(series) for series in costs.values())
+    if peak <= 0:
+        peak = 1.0
+
+    def bar_length(value: float) -> int:
+        if value <= 0:
+            return 0
+        if log:
+            low = max(floor / 2.0, 1e-9)
+            span = math.log(peak / low) or 1.0
+            return max(1, round(_WIDTH * math.log(max(value, low) / low) / span))
+        return max(1, round(_WIDTH * value / peak))
+
+    label_width = max(len(name) for name in algorithms)
+    lines = [title, "=" * len(title)]
+    scale = "log scale" if log else "linear scale"
+    lines.append(f"(mean tuples evaluated, {scale})")
+    for i, value in enumerate(sweep.values):
+        lines.append(f"{sweep.parameter} = {value}")
+        for name in algorithms:
+            cost = costs[name][i]
+            bar = _BAR * bar_length(cost)
+            lines.append(f"  {name:>{label_width}} |{bar} {cost:.1f}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,66 @@
+"""ASCII rendering of benchmark results in the paper's table/figure shapes."""
+
+from __future__ import annotations
+
+from repro.bench.harness import SweepResult
+from repro.stats import BuildStats
+
+
+def format_series_table(
+    title: str,
+    sweep: SweepResult,
+    *,
+    ratio: tuple[str, str] | None = None,
+) -> str:
+    """Render a sweep as rows of (value, cost per algorithm[, ratio]).
+
+    ``ratio=(a, b)`` appends an ``a/b`` column — the "how many times fewer
+    tuples" number the paper quotes in prose.
+    """
+    algorithms = list(sweep.series)
+    header = [sweep.parameter, *algorithms]
+    if ratio is not None:
+        header.append(f"{ratio[0]}/{ratio[1]}")
+    rows: list[list[str]] = []
+    for i, value in enumerate(sweep.values):
+        row = [str(value)]
+        for name in algorithms:
+            row.append(f"{sweep.series[name][i].mean_cost:.1f}")
+        if ratio is not None:
+            numerator = sweep.series[ratio[0]][i].mean_cost
+            denominator = sweep.series[ratio[1]][i].mean_cost
+            row.append(
+                f"{numerator / denominator:.2f}" if denominator else "inf"
+            )
+        rows.append(row)
+    return _render(title, header, rows)
+
+
+def format_build_table(title: str, stats: list[BuildStats]) -> str:
+    """Render index-construction statistics (the Table IV shape)."""
+    header = ["algorithm", "n", "d", "layers", "seconds"]
+    rows = [
+        [
+            s.algorithm,
+            str(s.n),
+            str(s.d),
+            str(s.num_layers),
+            f"{s.seconds:.3f}",
+        ]
+        for s in stats
+    ]
+    return _render(title, header, rows)
+
+
+def _render(title: str, header: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(header[c]), *(len(row[c]) for row in rows)) if rows else len(header[c])
+        for c in range(len(header))
+    ]
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.rjust(widths[c]) for c, cell in enumerate(cells))
+
+    separator = "-" * len(line(header))
+    body = "\n".join(line(row) for row in rows)
+    return f"\n{title}\n{separator}\n{line(header)}\n{separator}\n{body}\n"

@@ -1,0 +1,269 @@
+"""Command-line interface: generate data, build indexes, query, benchmark.
+
+Examples::
+
+    repro-topk generate --distribution ANT --n 10000 --d 4 --out data.npz
+    repro-topk build --data data.npz --algorithm DL+ --out index.pkl
+    repro-topk query --index index.pkl --weights 0.4,0.3,0.2,0.1 --k 10
+    repro-topk analyze --index index.pkl --k 10
+    repro-topk advise --data data.npz --k 10 --queries-per-update 100
+    repro-topk sql --data data.npz "SELECT * FROM r ORDER BY a0 + a1 STOP AFTER 5"
+    repro-topk bench --experiment fig10
+    repro-topk compare --distribution ANT --n 5000 --d 4 --k 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import ALGORITHMS, generate, random_weight_vector
+from repro.bench.experiments import ALGORITHM_CLASSES, EXPERIMENTS
+from repro.bench.harness import build_index, measure_cost, run_sweep
+from repro.bench.reporting import format_series_table
+from repro.bench.workload import BenchConfig, Workload
+from repro.io import load_index, load_relation, save_index, save_relation
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "build": _cmd_build,
+        "query": _cmd_query,
+        "bench": _cmd_bench,
+        "compare": _cmd_compare,
+        "analyze": _cmd_analyze,
+        "advise": _cmd_advise,
+        "sql": _cmd_sql,
+    }[args.command]
+    return handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-topk",
+        description="Dual-resolution layer indexing for top-k queries (ICDE 2012 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser("generate", help="generate a synthetic relation")
+    gen.add_argument("--distribution", default="IND", help="IND|ANT|COR|CLU")
+    gen.add_argument("--n", type=int, default=10000)
+    gen.add_argument("--d", type=int, default=4)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    build = commands.add_parser("build", help="build an index over a relation")
+    build.add_argument("--data", required=True, help="relation .npz path")
+    build.add_argument("--algorithm", default="DL+", choices=sorted(ALGORITHMS))
+    build.add_argument("--max-layers", type=int, default=None)
+    build.add_argument("--out", required=True, help="output index .pkl path")
+
+    query = commands.add_parser("query", help="run one top-k query")
+    query.add_argument("--index", required=True, help="index .pkl path")
+    query.add_argument("--weights", default=None, help="comma-separated weights")
+    query.add_argument("--k", type=int, default=10)
+
+    bench = commands.add_parser("bench", help="run one paper experiment")
+    bench.add_argument(
+        "--experiment", required=True, choices=sorted(EXPERIMENTS)
+    )
+
+    analyze = commands.add_parser(
+        "analyze", help="profile a built layer index (structure, bounds)"
+    )
+    analyze.add_argument("--index", required=True, help="index .pkl path")
+    analyze.add_argument("--k", type=int, default=10)
+
+    advise = commands.add_parser(
+        "advise", help="recommend an index for a relation + workload"
+    )
+    advise.add_argument("--data", required=True, help="relation .npz path")
+    advise.add_argument("--k", type=int, default=10)
+    advise.add_argument("--queries-per-update", type=float, default=float("inf"))
+
+    sql = commands.add_parser("sql", help="run a top-k SQL statement on a relation")
+    sql.add_argument("--data", required=True, help="relation .npz path")
+    sql.add_argument("--table", default="r", help="table name used in the statement")
+    sql.add_argument("statement", help="SELECT ... ORDER BY ... STOP AFTER k")
+
+    compare = commands.add_parser(
+        "compare", help="compare all algorithms on one workload"
+    )
+    compare.add_argument("--distribution", default="ANT")
+    compare.add_argument("--n", type=int, default=4000)
+    compare.add_argument("--d", type=int, default=4)
+    compare.add_argument("--k", type=int, default=10)
+    compare.add_argument("--queries", type=int, default=10)
+    compare.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    relation = generate(args.distribution, args.n, args.d, seed=args.seed)
+    save_relation(relation, args.out)
+    print(f"wrote {relation.n} x {relation.d} {args.distribution} relation to {args.out}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    relation = load_relation(args.data)
+    index_class = ALGORITHMS[args.algorithm]
+    kwargs = {}
+    if args.max_layers is not None:
+        kwargs["max_layers"] = args.max_layers
+    index = index_class(relation, **kwargs).build()
+    save_index(index, args.out)
+    stats = index.build_stats
+    print(f"{stats.describe()}; saved to {args.out}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    if args.weights:
+        weights = np.asarray([float(x) for x in args.weights.split(",")])
+    else:
+        weights = random_weight_vector(index.relation.d)
+        print(f"random weights: {np.round(weights, 4).tolist()}")
+    result = index.query(weights, args.k)
+    for rank, (tid, score) in enumerate(zip(result.ids, result.scores), start=1):
+        print(f"{rank:3d}. tuple {int(tid):8d}  score {score:.6f}")
+    print(f"cost: {result.cost} tuples evaluated ({result.counter.pseudo} pseudo)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    spec = EXPERIMENTS[args.experiment]
+    config = BenchConfig()
+    print(spec.title)
+    print(f"expected shape: {spec.expected_shape}")
+    if spec.parameter == "build":
+        _run_build_experiment(config)
+        return 0
+    algorithms = {
+        name: ALGORITHM_CLASSES[name]
+        for name in spec.algorithms
+        if name in ALGORITHM_CLASSES
+    }
+    for distribution in spec.distributions:
+        sweep = _run_spec_sweep(spec, distribution, config, algorithms)
+        print(format_series_table(f"{spec.title} [{distribution}]", sweep, ratio=spec.ratio))
+    return 0
+
+
+def _run_spec_sweep(spec, distribution: str, config: BenchConfig, algorithms):
+    workload_cache: dict[tuple, Workload] = {}
+
+    def workload_for(value):
+        if spec.parameter == "k":
+            key = (distribution, config.n, 4)
+        elif spec.parameter == "d":
+            key = (distribution, config.scaled_n(int(value)), int(value))
+        else:  # n multiples
+            key = (distribution, int(config.n * value), 4)
+        if key not in workload_cache:
+            workload_cache[key] = Workload.make(
+                key[0], key[1], key[2], config.queries, config.seed
+            )
+        return workload_cache[key]
+
+    def k_for(value):
+        return int(value) if spec.parameter == "k" else 10
+
+    return run_sweep(spec.parameter, list(spec.values), algorithms, workload_for, k_for)
+
+
+def _run_build_experiment(config: BenchConfig) -> None:
+    from repro.baselines import DGIndex, DGPlusIndex, HLIndex, HLPlusIndex
+    from repro.core import DLIndex, DLPlusIndex
+    from repro.bench.reporting import format_build_table
+
+    classes = [HLIndex, HLPlusIndex, DGIndex, DGPlusIndex, DLIndex, DLPlusIndex]
+    for distribution in ("IND", "ANT"):
+        workload = Workload.make(distribution, config.n, 4, 1, config.seed)
+        stats = []
+        for cls in classes:
+            index = build_index(cls, workload, max_k=10)
+            stats.append(index.build_stats)
+        print(format_build_table(f"Index construction [{distribution}]", stats))
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.analysis import cost_bounds, profile_structure
+
+    index = load_index(args.index)
+    structure = getattr(index, "structure", None)
+    if structure is None:
+        print(f"{index.name} is not a gated layer index; nothing to profile")
+        return 1
+    report = profile_structure(structure)
+    print(f"{index.name} over n={index.relation.n}, d={index.relation.d}")
+    print(report.describe())
+    lower, upper = cost_bounds(structure, args.k)
+    print(f"top-{args.k} cost bounds: {lower} <= cost <= {upper} tuples")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.advisor import recommend_index
+
+    relation = load_relation(args.data)
+    advice = recommend_index(
+        relation,
+        expected_k=args.k,
+        queries_per_update=args.queries_per_update,
+    )
+    print(advice.describe())
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from repro.sql import Database
+
+    relation = load_relation(args.data)
+    db = Database()
+    db.register(args.table, relation)
+    answer = db.execute(args.statement)
+    if answer.plan:
+        print(answer.plan)
+        print()
+    header = ["rank", "id", "score", *answer.columns]
+    print("  ".join(header))
+    for rank, (tid, score, row) in enumerate(
+        zip(answer.ids, answer.scores, answer.rows), start=1
+    ):
+        cells = [f"{rank}", f"{int(tid)}", f"{score:.6f}"]
+        cells.extend(f"{value:.4f}" for value in row)
+        print("  ".join(cells))
+    print(f"-- {answer.algorithm}, {answer.cost} tuples evaluated")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    workload = Workload.make(
+        args.distribution, args.n, args.d, args.queries, args.seed
+    )
+    print(
+        f"workload: {args.distribution} n={args.n} d={args.d} k={args.k} "
+        f"({args.queries} queries)"
+    )
+    rows = []
+    for name, cls in sorted(ALGORITHMS.items()):
+        index = build_index(cls, workload, max_k=args.k)
+        cell = measure_cost(index, workload, args.k)
+        rows.append((cell.mean_cost, name, index.build_stats.seconds, cell))
+    rows.sort()
+    print(f"{'algorithm':>10} {'mean cost':>12} {'build (s)':>10}")
+    for mean_cost, name, seconds, _ in rows:
+        print(f"{name:>10} {mean_cost:>12.1f} {seconds:>10.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

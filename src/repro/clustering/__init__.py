@@ -1,0 +1,5 @@
+"""Clustering substrate: k-means, used by the DG+/DL+ zero layers (§V-B)."""
+
+from repro.clustering.kmeans import KMeansResult, kmeans
+
+__all__ = ["KMeansResult", "kmeans"]

@@ -1,0 +1,32 @@
+"""The paper's contribution: dual-resolution layer indexing (DL / DL+).
+
+* :mod:`repro.core.structure` — the gated layer graph: nodes (real tuples +
+  optional zero-layer pseudo-tuples), ∀-dominance gates (all parents must be
+  answered first) and ∃-dominance gates (any parent suffices);
+* :mod:`repro.core.build` — Algorithm 1 (``BuildDualLayer``), shared by DL
+  and (with fine sublayers disabled) DG;
+* :mod:`repro.core.eds` — ∃-dominance-set assignment via lower-hull facets;
+* :mod:`repro.core.query` — Algorithm 2 (``ComputeTopKProcessing``), the
+  priority-queue traversal with the Theorem 3 filtering condition;
+* :mod:`repro.core.zero_layer` — §V's virtual zero layer (2-D weight-range
+  partition, high-d clustered pseudo-tuples);
+* :mod:`repro.core.index` — the public :class:`DLIndex` / :class:`DLPlusIndex`.
+"""
+
+from repro.core.base import TopKIndex, TopKResult
+from repro.core.index import DLIndex, DLPlusIndex
+from repro.core.cursor import TopKCursor
+from repro.core.maintenance import DynamicDualLayerIndex
+from repro.core.analysis import cost_bounds, profile_structure, to_networkx
+
+__all__ = [
+    "TopKIndex",
+    "TopKResult",
+    "DLIndex",
+    "DLPlusIndex",
+    "TopKCursor",
+    "DynamicDualLayerIndex",
+    "cost_bounds",
+    "profile_structure",
+    "to_networkx",
+]

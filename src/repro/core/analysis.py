@@ -1,0 +1,143 @@
+"""Index introspection: structure statistics, cost bounds, graph export.
+
+Tools for understanding *why* a dual-resolution index performs the way it
+does: per-layer size/edge profiles, the static lower/upper bounds on query
+cost implied by the gate structure, and an export of the gated graph to
+:mod:`networkx` for visualization or graph-theoretic analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.structure import LayerStructure
+
+
+@dataclass
+class LayerProfile:
+    """Size and gate statistics of one coarse layer."""
+
+    coarse: int
+    size: int
+    fine_sublayers: int
+    sublayer_sizes: list[int] = field(default_factory=list)
+    forall_in_edges: int = 0
+    exists_in_edges: int = 0
+
+    @property
+    def mean_forall_fan_in(self) -> float:
+        """Average number of ∀-parents per tuple of this layer."""
+        return self.forall_in_edges / self.size if self.size else 0.0
+
+
+@dataclass
+class StructureReport:
+    """Whole-index profile produced by :func:`profile_structure`."""
+
+    n_real: int
+    n_pseudo: int
+    num_coarse_layers: int
+    layers: list[LayerProfile]
+    forall_edges: int
+    exists_edges: int
+    seeds_static: int
+
+    @property
+    def total_sublayers(self) -> int:
+        """Fine sublayers across all coarse layers."""
+        return sum(layer.fine_sublayers for layer in self.layers)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"nodes: {self.n_real} real + {self.n_pseudo} pseudo; "
+            f"{self.num_coarse_layers} coarse layers, "
+            f"{self.total_sublayers} fine sublayers",
+            f"edges: {self.forall_edges} forall, {self.exists_edges} exists; "
+            f"{self.seeds_static} static seeds",
+        ]
+        for layer in self.layers:
+            lines.append(
+                f"  L{layer.coarse + 1}: {layer.size} tuples in "
+                f"{layer.fine_sublayers} sublayers {layer.sublayer_sizes}; "
+                f"mean forall fan-in {layer.mean_forall_fan_in:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def profile_structure(structure: LayerStructure) -> StructureReport:
+    """Compute the :class:`StructureReport` of a built layer structure."""
+    by_coarse: dict[int, LayerProfile] = {}
+    sublayer_sizes: dict[tuple[int, int], int] = {}
+    for node in range(structure.n_real):
+        coarse = structure.coarse_of.get(node)
+        if coarse is None:
+            continue
+        fine = structure.fine_of.get(node, 0)
+        profile = by_coarse.setdefault(
+            coarse, LayerProfile(coarse=coarse, size=0, fine_sublayers=0)
+        )
+        profile.size += 1
+        sublayer_sizes[(coarse, fine)] = sublayer_sizes.get((coarse, fine), 0) + 1
+        profile.forall_in_edges += int(structure.forall_parent_count[node])
+        profile.exists_in_edges += int(structure.exists_gated[node])
+    for (coarse, fine), size in sorted(sublayer_sizes.items()):
+        profile = by_coarse[coarse]
+        profile.fine_sublayers = max(profile.fine_sublayers, fine + 1)
+        profile.sublayer_sizes.append(size)
+    counts = structure.edge_counts()
+    return StructureReport(
+        n_real=structure.n_real,
+        n_pseudo=structure.n_pseudo,
+        num_coarse_layers=structure.num_coarse_layers,
+        layers=[by_coarse[c] for c in sorted(by_coarse)],
+        forall_edges=counts["forall_edges"],
+        exists_edges=counts["exists_edges"],
+        seeds_static=int(structure.static_seeds.shape[0]),
+    )
+
+
+def cost_bounds(structure: LayerStructure, k: int) -> tuple[int, int]:
+    """Static (lower, upper) bounds on the evaluation cost of any top-k query.
+
+    Lower bound: every static seed is scored up front, and at least ``k``
+    tuples must be scored to emit ``k`` answers; with a dynamic seed
+    selector (2-D zero layer) the floor is just ``k``.  Upper bound: every
+    node in the first ``k`` coarse layers plus the whole zero layer — no
+    gate can force access beyond them.
+    """
+    k_floor = min(k, structure.n_real)
+    if structure.seed_selector is not None or structure.n_real == 0:
+        lower = k_floor
+    else:
+        lower = max(int(structure.static_seeds.shape[0]), k_floor)
+        lower = min(lower, structure.n_nodes)
+    reachable = structure.n_pseudo
+    for node in range(structure.n_real):
+        if structure.coarse_of.get(node, structure.num_coarse_layers) < k:
+            reachable += 1
+    return lower, min(reachable, structure.n_nodes)
+
+
+def to_networkx(structure: LayerStructure):
+    """Export the gated graph as a ``networkx.DiGraph``.
+
+    Nodes carry ``kind`` ("real"/"pseudo"), ``coarse`` and ``fine``
+    attributes; edges carry ``gate`` ("forall"/"exists").
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    for node in range(structure.n_nodes):
+        graph.add_node(
+            node,
+            kind="pseudo" if structure.is_pseudo(node) else "real",
+            coarse=structure.coarse_of.get(node, -1),
+            fine=structure.fine_of.get(node, -1),
+        )
+    for node in range(structure.n_nodes):
+        for child in structure.forall_children[node]:
+            graph.add_edge(node, int(child), gate="forall")
+        for child in structure.exists_children[node]:
+            graph.add_edge(node, int(child), gate="exists")
+    return graph

@@ -1,0 +1,86 @@
+"""The common top-k index interface all algorithms implement.
+
+Every index (DL, DL+, DG, DG+, HL, HL+, Onion, scan, ...) is constructed
+over a :class:`~repro.relation.Relation` and answers ``query(weights, k)``
+with a :class:`TopKResult`; the per-query :class:`~repro.stats.AccessCounter`
+makes the paper's Definition 9 cost directly comparable across algorithms.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import InvalidQueryError
+from repro.relation import Relation, normalize_weights
+from repro.stats import AccessCounter, BuildStats
+from repro.stats.counters import Stopwatch
+
+
+@dataclass
+class TopKResult:
+    """Answer of one top-k query.
+
+    ``ids``/``scores`` are ascending by score; ``counter`` holds the
+    evaluation cost (Definition 9).
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray
+    counter: AccessCounter = field(default_factory=AccessCounter)
+
+    @property
+    def cost(self) -> int:
+        """Tuples evaluated (real + pseudo) to answer this query."""
+        return self.counter.total
+
+    def __len__(self) -> int:
+        return self.ids.shape[0]
+
+
+class TopKIndex(ABC):
+    """Base class: build once over a relation, answer many ``(w, k)`` queries."""
+
+    #: Short algorithm name used in benchmark tables ("DL", "DG+", ...).
+    name: str = "?"
+
+    def __init__(self, relation: Relation) -> None:
+        self.relation = relation
+        self.build_stats = BuildStats(algorithm=self.name, n=relation.n, d=relation.d)
+        self._built = False
+
+    def build(self) -> "TopKIndex":
+        """Construct the index; returns self for chaining."""
+        with Stopwatch() as timer:
+            self._build()
+        self.build_stats.seconds = timer.seconds
+        self._built = True
+        return self
+
+    def query(
+        self,
+        weights: np.ndarray,
+        k: int,
+        counter: AccessCounter | None = None,
+    ) -> TopKResult:
+        """Answer a top-k query; validates inputs and normalizes weights."""
+        if not self._built:
+            self.build()
+        if k < 1:
+            raise InvalidQueryError(f"retrieval size k must be >= 1, got {k}")
+        w = normalize_weights(weights, self.relation.d)
+        counter = counter if counter is not None else AccessCounter()
+        ids, scores = self._query(w, min(k, self.relation.n), counter)
+        return TopKResult(ids=ids, scores=scores, counter=counter)
+
+    @abstractmethod
+    def _build(self) -> None:
+        """Algorithm-specific construction (fills build_stats fields)."""
+
+    @abstractmethod
+    def _query(
+        self, weights: np.ndarray, k: int, counter: AccessCounter
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Algorithm-specific query; ``weights`` normalized, ``1 <= k <= n``."""

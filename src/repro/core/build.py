@@ -1,0 +1,184 @@
+"""Algorithm 1: BuildDualLayer — constructing the dual-resolution layer.
+
+Coarse layers are iterated skylines; each coarse layer is peeled into fine
+sublayers by iterated convex skylines; ∃-dominance gates connect adjacent
+sublayers through lower-hull facets; ∀-dominance gates connect adjacent
+coarse layers through plain dominance.
+
+The same builder also produces the DG structure (``fine_sublayers=False``:
+one sublayer per coarse layer, no ∃-gates), which is exactly the paper's
+framing of DG as "a dual-resolution index that employs only coarse-level
+layers" — and what makes the Theorem 5 cost comparison apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.eds import assign_covering_facets
+from repro.core.structure import LayerStructure, StructureBuilder
+from repro.geometry.convex_skyline import convex_skyline_with_facets
+from repro.geometry.facets import Facet
+from repro.skyline.dominance import dominance_matrix
+from repro.skyline.layers import skyline_layers
+
+
+@dataclass
+class DualLayerBlueprint:
+    """Construction by-products useful for zero layers, stats and tests."""
+
+    structure: LayerStructure
+    coarse_layers: list[np.ndarray]
+    fine_layers: list[list[np.ndarray]]
+    first_fine_facets: list[Facet] = field(default_factory=list)
+    leftover: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.intp))
+
+
+def build_dual_layer(
+    points: np.ndarray,
+    *,
+    fine_sublayers: bool = True,
+    max_layers: int | None = None,
+    skyline_algorithm: str = "sfs",
+    builder: StructureBuilder | None = None,
+    freeze: bool = True,
+) -> DualLayerBlueprint:
+    """Build the dual-resolution layer structure over ``points``.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` relation values.
+    fine_sublayers:
+        True → DL (convex-skyline sublayers + ∃-gates); False → DG
+        (coarse layers and ∀-gates only).
+    max_layers:
+        Bound on the number of coarse layers; the remainder of the relation
+        is left unindexed (queries are then valid for ``k <= max_layers``).
+    skyline_algorithm:
+        Which skyline routine peels the coarse layers.
+    builder / freeze:
+        Advanced hooks for the zero-layer decorators: pass a pre-made
+        builder and/or delay freezing to splice in extra nodes and gates.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    builder = builder if builder is not None else StructureBuilder(points)
+
+    coarse, leftover = skyline_layers(points, skyline_algorithm, max_layers)
+    builder.num_coarse_layers = len(coarse)
+    builder.complete = leftover.shape[0] == 0
+
+    fine_per_coarse: list[list[np.ndarray]] = []
+    first_fine_facets: list[np.ndarray] = []
+    for i, layer in enumerate(coarse):
+        sublayers, facets_of_first = _build_fine_sublayers(
+            builder, points, layer, coarse_index=i, enabled=fine_sublayers
+        )
+        fine_per_coarse.append(sublayers)
+        first_fine_facets = facets_of_first if i == 0 else first_fine_facets
+        if i > 0:
+            _wire_forall_gates(builder, points, coarse[i - 1], layer)
+
+    # Seeds: the first fine sublayer of the first coarse layer (L^{11}).
+    if coarse:
+        builder.static_seeds.extend(int(node) for node in fine_per_coarse[0][0])
+
+    structure = builder.freeze() if freeze else None
+    return DualLayerBlueprint(
+        structure=structure,
+        coarse_layers=coarse,
+        fine_layers=fine_per_coarse,
+        first_fine_facets=first_fine_facets,
+        leftover=leftover,
+    )
+
+
+def _build_fine_sublayers(
+    builder: StructureBuilder,
+    points: np.ndarray,
+    layer: np.ndarray,
+    *,
+    coarse_index: int,
+    enabled: bool,
+) -> tuple[list[np.ndarray], list[Facet]]:
+    """Peel one coarse layer into fine sublayers and wire ∃-gates.
+
+    Returns ``(sublayers, facets_of_first_sublayer)`` with sublayers/facets
+    as *global* node-id arrays.
+    """
+    if not enabled:
+        for node in layer:
+            builder.place(int(node), coarse_index, 0)
+        return [layer], [Facet(members=layer)]
+
+    sublayers: list[np.ndarray] = []
+    first_facets: list[Facet] = []
+    remaining = layer
+    prev_sublayer: np.ndarray | None = None
+    prev_facets_global: list[Facet] = []
+    j = 0
+    while remaining.shape[0] > 0:
+        local_vertices, local_facets = convex_skyline_with_facets(points[remaining])
+        sublayer = remaining[local_vertices]
+        facets_global = [
+            replace(f, members=remaining[f.members]) for f in local_facets
+        ]
+        if j == 0:
+            first_facets = facets_global
+        else:
+            _wire_exists_gates(
+                builder, points, prev_sublayer, prev_facets_global, sublayer
+            )
+        for node in sublayer:
+            builder.place(int(node), coarse_index, j)
+        sublayers.append(np.sort(sublayer).astype(np.intp))
+        mask = np.ones(remaining.shape[0], dtype=bool)
+        mask[local_vertices] = False
+        remaining = remaining[mask]
+        prev_sublayer = sublayer
+        prev_facets_global = facets_global
+        j += 1
+    return sublayers, first_facets
+
+
+def _wire_exists_gates(
+    builder: StructureBuilder,
+    points: np.ndarray,
+    prev_sublayer: np.ndarray,
+    prev_facets_global: list[Facet],
+    sublayer: np.ndarray,
+) -> None:
+    """Attach each new-sublayer node to one covering EDS of the previous one."""
+    # Facet members index globally; remap to positions in prev_sublayer's
+    # order (hyperplane data is position-independent and carried over).
+    position_of = {int(node): pos for pos, node in enumerate(prev_sublayer)}
+    local_facets = [
+        replace(
+            facet,
+            members=np.asarray(
+                [position_of[int(node)] for node in facet.members], dtype=np.intp
+            ),
+        )
+        for facet in prev_facets_global
+    ]
+    assignments = assign_covering_facets(
+        points[prev_sublayer], local_facets, points[sublayer]
+    )
+    for node, parents_local in zip(sublayer, assignments):
+        builder.add_exists_parents(int(node), prev_sublayer[parents_local])
+
+
+def _wire_forall_gates(
+    builder: StructureBuilder,
+    points: np.ndarray,
+    prev_layer: np.ndarray,
+    layer: np.ndarray,
+) -> None:
+    """Attach ∀-parents: dominators in the previous coarse layer."""
+    matrix = dominance_matrix(points[prev_layer], points[layer])
+    for col, node in enumerate(layer):
+        parents = prev_layer[np.nonzero(matrix[:, col])[0]]
+        if parents.shape[0]:
+            builder.add_forall_parents(int(node), parents)

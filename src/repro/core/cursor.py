@@ -1,0 +1,138 @@
+"""Incremental top-k: a resumable cursor over the gated traversal.
+
+Interactive applications rarely know ``k`` up front — users page through
+results ("show me 10 more").  Rebuilding the queue per page wastes exactly
+the work the index saved, so :class:`TopKCursor` keeps Algorithm 2's state
+(priority queue, gate counters) alive between calls: ``fetch(m)`` emits the
+next ``m`` tuples in score order at the marginal cost of only the newly
+opened gates.
+
+The cursor is single-use per weight vector; create a new one to change the
+preference.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.structure import LayerStructure
+from repro.exceptions import IndexCapacityError, InvalidQueryError
+from repro.relation import normalize_weights
+from repro.stats import AccessCounter
+
+
+class TopKCursor:
+    """Resumable best-first traversal of a layer structure.
+
+    Parameters
+    ----------
+    structure:
+        A frozen :class:`~repro.core.structure.LayerStructure` (obtain via
+        ``index.structure`` on DL/DL+/DG/DG+).
+    weights:
+        Query weight vector (validated and normalized).
+    """
+
+    def __init__(self, structure: LayerStructure, weights: np.ndarray) -> None:
+        self.structure = structure
+        self.weights = normalize_weights(weights, structure.values.shape[1])
+        self.counter = AccessCounter()
+        self._remaining_forall = structure.forall_parent_count.copy()
+        self._exists_open = ~structure.exists_gated
+        self._enqueued = np.zeros(structure.n_nodes, dtype=bool)
+        self._heap: list[tuple[float, int]] = []
+        self._emitted = 0
+        # A just-emitted node whose gate relaxation was deferred (mirrors
+        # Algorithm 2's early exit — the caller may never ask for more).
+        self._deferred: int | None = None
+        for node in structure.seeds(self.weights):
+            node = int(node)
+            if not self._enqueued[node]:
+                self._access(node)
+
+    @property
+    def emitted(self) -> int:
+        """How many answers have been fetched so far."""
+        return self._emitted
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no further tuple can be emitted."""
+        return not self._heap and self._deferred is None
+
+    def fetch(self, m: int) -> tuple[np.ndarray, np.ndarray]:
+        """The next ``m`` tuples ``(ids, scores)`` in ascending score order.
+
+        Returns fewer than ``m`` when the relation (or the materialized
+        part of a bounded index) is exhausted; raises
+        :class:`IndexCapacityError` when a partial index cannot guarantee
+        the requested depth.
+        """
+        if m < 1:
+            raise InvalidQueryError(f"fetch size must be >= 1, got {m}")
+        target = self._emitted + m
+        if not self.structure.complete and target > self.structure.num_coarse_layers:
+            raise IndexCapacityError(
+                f"index materializes {self.structure.num_coarse_layers} "
+                f"coarse layers; cannot guarantee rank {target}"
+            )
+        if self._deferred is not None:
+            node, self._deferred = self._deferred, None
+            self._relax(node)
+
+        ids: list[int] = []
+        scores: list[float] = []
+        n_real = self.structure.n_real
+        while self._heap and len(ids) < m:
+            score, node = heapq.heappop(self._heap)
+            if node < n_real:
+                ids.append(node)
+                scores.append(score)
+                self._emitted += 1
+                if len(ids) >= m:
+                    self._deferred = node
+                    break
+            self._relax(node)
+        return (
+            np.asarray(ids, dtype=np.intp),
+            np.asarray(scores, dtype=np.float64),
+        )
+
+    def __iter__(self):
+        """Iterate ``(id, score)`` pairs until exhaustion."""
+        while not self.exhausted:
+            ids, scores = self.fetch(1)
+            if ids.shape[0] == 0:
+                return
+            yield int(ids[0]), float(scores[0])
+
+    def _relax(self, node: int) -> None:
+        """Open the gates ``node``'s pop unlocks."""
+        structure = self.structure
+        for child in structure.forall_children[node]:
+            child = int(child)
+            self._remaining_forall[child] -= 1
+            if (
+                not self._enqueued[child]
+                and self._remaining_forall[child] == 0
+                and self._exists_open[child]
+            ):
+                self._access(child)
+        for child in structure.exists_children[node]:
+            child = int(child)
+            if self._exists_open[child]:
+                continue
+            self._exists_open[child] = True
+            if not self._enqueued[child] and self._remaining_forall[child] == 0:
+                self._access(child)
+
+    def _access(self, node: int) -> None:
+        score = float(self.structure.values[node] @ self.weights)
+        if node < self.structure.n_real:
+            self.counter.count_real()
+        else:
+            self.counter.count_pseudo()
+        self._enqueued[node] = True
+        heapq.heappush(self._heap, (score, node))

@@ -1,0 +1,207 @@
+"""∃-dominance-set assignment between adjacent fine sublayers (§III-B).
+
+Given the previous sublayer ``L^{ij}`` (its points and its lower-hull
+facets) and the members of ``L^{i(j+1)}``, pick for each member one covering
+∃-dominance set — a facet whose segment contains a virtual tuple weakly
+dominating the member (Definition 5 restricted to the facet segment, which
+is what makes Lemma 2 sound).
+
+The assignment is geometric, not search-by-LP:
+
+1. **Single-point cover** — a previous-sublayer point that weakly dominates
+   the member is a one-point EDS (``λ = 1``); found for every member with
+   one vectorized comparison.  (Rare between sublayers of one skyline layer,
+   common for pseudo-tuple sets.)
+2. **Ray shooting** — ``P = conv(L^{ij}) + R₊^d`` is exactly the
+   intersection of its lower facets' half-spaces, so the downward ray
+   ``t' - s·(1,...,1)`` exits ``P`` at ``s* = min_f s_f`` where
+   ``s_f = (n_f·t' + o_f) / (n_f·1)``, and the exit point lies on the argmin
+   facet.  A ``d×d`` barycentric solve confirms containment; the exit point
+   itself is the witness ``t^V`` (it dominates ``t'`` by construction).
+   Near-ties try the next few facets.
+3. **LP fallback** — one feasibility LP over *all* sublayer points
+   (``λ ≥ 0, Σλ = 1, Pᵀλ ≤ t'``); its vertex solution's support (≤ d+1
+   points by Carathéodory) becomes the EDS.  Sound, because Lemma 2 only
+   needs the virtual tuple to be a convex combination of the parents.
+
+Coverage is guaranteed geometrically — every non-CSKY member of a mutually
+non-dominated set lies in ``conv(CSKY) + R₊^d`` — and enforced at build
+time: an uncoverable member raises :class:`IndexConstructionError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import IndexConstructionError
+from repro.geometry.facets import Facet
+from repro.geometry.feasibility import DEFAULT_TOL
+
+#: How many near-minimal facets the ray fast path tries before the LP.
+_RAY_CANDIDATES = 6
+#: Barycentric slack: coordinates above -_BARY_TOL count as inside.
+_BARY_TOL = 1e-7
+
+
+def assign_covering_facets(
+    prev_points: np.ndarray,
+    prev_facets: list[Facet],
+    target_points: np.ndarray,
+    tol: float = DEFAULT_TOL,
+) -> list[np.ndarray]:
+    """For each target, indices (into ``prev_points``) of its EDS parents.
+
+    ``prev_facets[*].members`` index into ``prev_points``; the returned
+    parent arrays do too.  Raises :class:`IndexConstructionError` if any
+    target cannot be covered even by the relaxed whole-sublayer EDS.
+    """
+    prev_points = np.atleast_2d(np.asarray(prev_points, dtype=np.float64))
+    target_points = np.atleast_2d(np.asarray(target_points, dtype=np.float64))
+    n_targets, d = target_points.shape
+    if n_targets == 0:
+        return []
+    if prev_points.shape[0] == 0:
+        raise IndexConstructionError("cannot cover targets from an empty sublayer")
+
+    # Fast path 1: single-point weak dominator per target (vectorized).
+    bounds = target_points + tol
+    weak = np.all(prev_points[:, None, :] <= bounds[None, :, :], axis=2)
+    single_parent = np.where(np.any(weak, axis=0), np.argmax(weak, axis=0), -1)
+
+    # Exit-facet machinery: P = conv(sublayer) + R₊^d is exactly the
+    # intersection of its facet half-spaces (pure *and* sentinel-mixed), so
+    # the downward ray's exit parameter is min_f s_f.  A mixed-facet exit is
+    # just as good a witness: the exit point is a convex combination of the
+    # facet's real members plus non-negative axis directions, hence the real
+    # members alone admit a combination below it.
+    equipped = [f for f in prev_facets if f.normal is not None]
+    if equipped:
+        normals = np.vstack([f.normal for f in equipped])  # (f, d)
+        offsets = np.asarray([f.offset for f in equipped])
+        denom = normals.sum(axis=1)  # n·1, strictly negative for lower facets
+        usable = denom < -1e-9
+        normals, offsets, denom = normals[usable], offsets[usable], denom[usable]
+        equipped = [f for f, u in zip(equipped, usable) if u]
+    ray_ready = bool(equipped)
+    mins = (
+        np.vstack([prev_points[f.members].min(axis=0) for f in equipped])
+        if ray_ready
+        else None
+    )
+
+    assignments: list[np.ndarray] = []
+    for t in range(n_targets):
+        if single_parent[t] >= 0:
+            assignments.append(np.asarray([single_parent[t]], dtype=np.intp))
+            continue
+        target = target_points[t]
+        chosen = _exit_facet_members(
+            target, equipped, normals, offsets, denom, mins, tol
+        ) if ray_ready else None
+        if chosen is None:
+            # Slow path: pure-facet ray + exact containment, then one LP
+            # over the whole sublayer whose vertex support becomes the EDS.
+            chosen = _verified_cover(prev_points, equipped, target, tol)
+        if chosen is None:
+            chosen = _lp_support(prev_points, target + tol)
+        if chosen is None:
+            raise IndexConstructionError(
+                "∃-dominance coverage violated: no convex combination of "
+                f"the previous sublayer dominates target {target.tolist()}"
+            )
+        assignments.append(np.asarray(chosen, dtype=np.intp))
+    return assignments
+
+
+def _exit_facet_members(
+    target: np.ndarray,
+    facets: list[Facet],
+    normals: np.ndarray,
+    offsets: np.ndarray,
+    denom: np.ndarray,
+    facet_mins: np.ndarray,
+    tol: float,
+) -> np.ndarray | None:
+    """Members of the facet(s) the downward ray exits through, or None.
+
+    Returns the union of members over near-tied exit facets (the exit point
+    lies in one of their simplices, so the union is a sound, slightly
+    relaxed EDS).  A cheap necessary condition — the union's componentwise
+    minimum must sit below the target — guards against numerical surprises;
+    failures fall back to the verified slow path.
+    """
+    s_values = (normals @ target + offsets) / denom
+    valid = s_values >= -tol
+    if not np.any(valid):
+        return None
+    s_star = float(s_values[valid].min())
+    ties = valid & (s_values <= s_star + 1e-9)
+    members = np.unique(np.concatenate([f.members for f, m in zip(facets, ties) if m]))
+    union_min = facet_mins[ties].min(axis=0)
+    if np.any(union_min > target + max(tol, 1e-7)):
+        return None
+    return members.astype(np.intp)
+
+
+def _verified_cover(
+    prev_points: np.ndarray,
+    facets: list[Facet],
+    target: np.ndarray,
+    tol: float,
+) -> np.ndarray | None:
+    """Ray candidates with exact barycentric verification (slow path)."""
+    if not facets:
+        return None
+    normals = np.vstack([f.normal for f in facets])
+    offsets = np.asarray([f.offset for f in facets])
+    denom = normals.sum(axis=1)
+    s_values = (normals @ target + offsets) / denom
+    order = np.argsort(np.where(s_values >= -tol, s_values, np.inf))
+    for facet_pos in order[:_RAY_CANDIDATES]:
+        s = s_values[facet_pos]
+        if not np.isfinite(s) or s < -tol:
+            break
+        facet = facets[int(facet_pos)]
+        if not facet.pure:
+            continue
+        exit_point = target - max(float(s), 0.0)
+        if _barycentric_inside(prev_points[facet.members], exit_point):
+            return facet.members
+    return None
+
+
+def _barycentric_inside(facet_points: np.ndarray, point: np.ndarray) -> bool:
+    """True iff ``point`` lies (within tolerance) in the facet's simplex."""
+    m = facet_points.shape[0]
+    base = facet_points[-1]
+    if m == 1:
+        return bool(np.all(np.abs(point - base) <= 1e-9))
+    directions = (facet_points[:-1] - base).T  # (d, m-1)
+    rhs = point - base
+    solution, residual, *_ = np.linalg.lstsq(directions, rhs, rcond=None)
+    reconstructed = directions @ solution
+    if not np.allclose(reconstructed, rhs, atol=1e-8):
+        return False
+    last = 1.0 - float(solution.sum())
+    return bool(np.all(solution >= -_BARY_TOL) and last >= -_BARY_TOL)
+
+
+def _lp_support(prev_points: np.ndarray, bound: np.ndarray) -> np.ndarray | None:
+    """Support of a feasible convex combination under ``bound``, or None."""
+    m = prev_points.shape[0]
+    result = linprog(
+        c=np.zeros(m),
+        A_ub=prev_points.T,
+        b_ub=bound,
+        A_eq=np.ones((1, m)),
+        b_eq=np.ones(1),
+        bounds=[(0.0, 1.0)] * m,
+        method="highs",
+    )
+    if result.status != 0:
+        return None
+    support = np.nonzero(result.x > 1e-9)[0].astype(np.intp)
+    if support.shape[0] == 0:
+        support = np.asarray([int(np.argmax(result.x))], dtype=np.intp)
+    return support

@@ -1,0 +1,158 @@
+"""Public DL / DL+ indexes — the paper's proposed algorithms.
+
+:class:`DLIndex` is the dual-resolution layer of §III–IV: skyline coarse
+layers, convex-skyline fine sublayers, ∀/∃-dominance gating.
+
+:class:`DLPlusIndex` adds the §V zero layer for selective access to
+``L^{11}``: a weight-range partition in 2-D, a dual-resolution clustered
+pseudo-tuple layer in d ≥ 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import TopKIndex
+from repro.core.build import build_dual_layer
+from repro.core.query import process_top_k
+from repro.core.structure import StructureBuilder
+from repro.core.zero_layer import attach_chain_zero_layer, attach_clustered_zero_layer
+from repro.relation import Relation
+from repro.stats import AccessCounter
+
+
+class DLIndex(TopKIndex):
+    """Dual-resolution layer index (the paper's DL).
+
+    Parameters
+    ----------
+    relation:
+        Target relation.
+    max_layers:
+        Optional bound on materialized coarse layers; queries then support
+        ``k <= max_layers``.  Benchmarks use this to build exactly the
+        layers a workload can reach.
+    skyline_algorithm:
+        Coarse-layer skyline routine (``sfs`` default, ``bnl``,
+        ``bskytree``).
+    """
+
+    name = "DL"
+    _fine_sublayers = True
+
+    def __init__(
+        self,
+        relation: Relation,
+        *,
+        max_layers: int | None = None,
+        skyline_algorithm: str = "sfs",
+    ) -> None:
+        super().__init__(relation)
+        self.max_layers = max_layers
+        self.skyline_algorithm = skyline_algorithm
+        self.structure = None
+        self.blueprint = None
+
+    def _build(self) -> None:
+        blueprint = build_dual_layer(
+            self.relation.matrix,
+            fine_sublayers=self._fine_sublayers,
+            max_layers=self.max_layers,
+            skyline_algorithm=self.skyline_algorithm,
+        )
+        self.blueprint = blueprint
+        self.structure = blueprint.structure
+        self._record_stats()
+
+    def _record_stats(self) -> None:
+        blueprint = self.blueprint
+        self.build_stats.num_layers = len(blueprint.coarse_layers)
+        self.build_stats.layer_sizes = [
+            int(layer.shape[0]) for layer in blueprint.coarse_layers
+        ]
+        counts = self.structure.edge_counts()
+        self.build_stats.extra.update(counts)
+        self.build_stats.extra["fine_sublayers"] = float(
+            sum(len(sublayers) for sublayers in blueprint.fine_layers)
+        )
+        self.build_stats.extra["pseudo_tuples"] = float(self.structure.n_pseudo)
+
+    def _query(
+        self, weights: np.ndarray, k: int, counter: AccessCounter
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return process_top_k(self.structure, weights, k, counter)
+
+
+class DLPlusIndex(DLIndex):
+    """DL with the §V zero layer (the paper's DL+).
+
+    Parameters
+    ----------
+    clusters:
+        k-means cluster count for the d ≥ 3 zero layer; default
+        ``max(2, ⌈√|L¹|⌉)`` (see
+        :func:`repro.core.zero_layer.default_cluster_count`).
+    zero_layer:
+        ``"auto"`` (weight ranges in 2-D, clusters otherwise),
+        ``"chain"`` (force 2-D weight ranges; requires d == 2) or
+        ``"clusters"`` (force clustered pseudo-tuples).
+    seed:
+        Seed for k-means.
+    """
+
+    name = "DL+"
+
+    def __init__(
+        self,
+        relation: Relation,
+        *,
+        max_layers: int | None = None,
+        skyline_algorithm: str = "sfs",
+        clusters: int | None = None,
+        zero_layer: str = "auto",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            relation, max_layers=max_layers, skyline_algorithm=skyline_algorithm
+        )
+        if zero_layer not in ("auto", "chain", "clusters"):
+            raise ValueError(f"unknown zero_layer mode {zero_layer!r}")
+        if zero_layer == "chain" and relation.d != 2:
+            raise ValueError("the weight-range zero layer is a 2-D construction")
+        self.clusters = clusters
+        self.zero_layer = zero_layer
+        self.seed = seed
+        self.weight_partition = None
+
+    def _build(self) -> None:
+        points = self.relation.matrix
+        builder = StructureBuilder(points)
+        blueprint = build_dual_layer(
+            points,
+            fine_sublayers=self._fine_sublayers,
+            max_layers=self.max_layers,
+            skyline_algorithm=self.skyline_algorithm,
+            builder=builder,
+            freeze=False,
+        )
+        if blueprint.coarse_layers:
+            use_chain = self.zero_layer == "chain" or (
+                self.zero_layer == "auto" and self.relation.d == 2
+            )
+            if use_chain:
+                self.weight_partition = attach_chain_zero_layer(
+                    builder, points, blueprint.fine_layers[0][0]
+                )
+            else:
+                attach_clustered_zero_layer(
+                    builder,
+                    points,
+                    blueprint.coarse_layers[0],
+                    clusters=self.clusters,
+                    fine_sublayers=self._fine_sublayers,
+                    seed=self.seed,
+                )
+        blueprint.structure = builder.freeze()
+        self.blueprint = blueprint
+        self.structure = blueprint.structure
+        self._record_stats()

@@ -1,0 +1,108 @@
+"""Algorithm 2: top-k processing over a gated layer structure.
+
+A priority queue of accessed nodes ordered by ``(score, node id)``.  Seeds
+are scored and enqueued; popping a node emits it (real tuples only) and
+relaxes its children's gates; a child is scored and enqueued the moment both
+its gates are open (Theorem 3's filtering condition).  Each node is scored
+at most once — that count *is* the paper's cost metric.
+
+Correctness (Theorem 4) rests on the gate soundness invariants the builders
+maintain: every ∀-parent and at least one member of each ∃-parent facet
+scores strictly (weakly, for duplicate-tolerant gates) below the gated node
+under every positive weight vector, so a node's gates are always fully open
+by the time its score could be the queue minimum.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.exceptions import IndexCapacityError
+from repro.core.structure import LayerStructure
+from repro.stats import AccessCounter
+
+
+def process_top_k(
+    structure: LayerStructure,
+    weights: np.ndarray,
+    k: int,
+    counter: AccessCounter,
+    fetch_real=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(ids, scores)`` of the top-k real tuples, ascending by score.
+
+    ``fetch_real(node) -> values`` overrides where *real* tuple values come
+    from (disk-resident execution reads them through a buffered heap file);
+    pseudo-tuples always score from the in-memory structure.
+    """
+    if not structure.complete and k > structure.num_coarse_layers:
+        raise IndexCapacityError(
+            f"index was built with only {structure.num_coarse_layers} coarse "
+            f"layers; top-{k} requires at least k layers"
+        )
+
+    values = structure.values
+    n_real = structure.n_real
+    remaining_forall = structure.forall_parent_count.copy()
+    exists_open = ~structure.exists_gated
+    enqueued = np.zeros(structure.n_nodes, dtype=bool)
+
+    heap: list[tuple[float, int]] = []
+
+    # Optional fine-grained trace hook (the storage I/O replay uses it).
+    trace_hook = getattr(counter, "count_real_tuple", None)
+
+    def access(node: int) -> None:
+        """Score a node and enqueue it (counts toward Definition 9 cost)."""
+        if fetch_real is not None and node < n_real:
+            score = float(fetch_real(node) @ weights)
+        else:
+            score = float(values[node] @ weights)
+        if node < n_real:
+            if trace_hook is not None:
+                trace_hook(node)
+            else:
+                counter.count_real()
+        else:
+            counter.count_pseudo()
+        enqueued[node] = True
+        heapq.heappush(heap, (score, node))
+
+    for node in structure.seeds(weights):
+        node = int(node)
+        if not enqueued[node]:
+            access(node)
+
+    answer_ids: list[int] = []
+    answer_scores: list[float] = []
+    while heap and len(answer_ids) < k:
+        score, node = heapq.heappop(heap)
+        if node < n_real:
+            answer_ids.append(node)
+            answer_scores.append(score)
+            if len(answer_ids) >= k:
+                break  # done — don't pay for relaxing the last answer's children
+        # Relax children gates; access every node whose gates both opened.
+        for child in structure.forall_children[node]:
+            child = int(child)
+            remaining_forall[child] -= 1
+            if (
+                not enqueued[child]
+                and remaining_forall[child] == 0
+                and exists_open[child]
+            ):
+                access(child)
+        for child in structure.exists_children[node]:
+            child = int(child)
+            if exists_open[child]:
+                continue
+            exists_open[child] = True
+            if not enqueued[child] and remaining_forall[child] == 0:
+                access(child)
+
+    return (
+        np.asarray(answer_ids, dtype=np.intp),
+        np.asarray(answer_scores, dtype=np.float64),
+    )

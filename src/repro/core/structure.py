@@ -1,0 +1,191 @@
+"""The gated layer graph: nodes, ∀-gates, ∃-gates, and seed selection.
+
+Top-k processing over layer indexes is a graph-traversal problem (§IV).
+This module holds the traversal-ready representation shared by DL, DL+, DG
+and DG+:
+
+* *nodes* are real tuples (ids ``0..n_real-1``) plus optional zero-layer
+  pseudo-tuples (ids ``>= n_real``);
+* a node's **∀-gate** (Definition 7) opens when *all* of its ∀-parents have
+  been popped into the answer;
+* a node's **∃-gate** (Definition 8) opens when *any* of its ∃-parents has
+  been popped;
+* a node may be *accessed* — scored and enqueued — only when both gates are
+  open (Theorem 3);
+* the *seeds* are the nodes whose gates are open at query start (``L^{11}``
+  for plain DL; the zero layer's first sublayer for DL+; a single
+  weight-range entry tuple in 2-D).
+
+Construction code appends edges through :class:`StructureBuilder`; the
+frozen :class:`LayerStructure` is what the query engine consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from repro.exceptions import IndexConstructionError
+
+
+class StructureBuilder:
+    """Mutable accumulator for nodes and gates during index construction."""
+
+    def __init__(self, real_values: np.ndarray) -> None:
+        self.real_values = np.atleast_2d(np.asarray(real_values, dtype=np.float64))
+        self.n_real = self.real_values.shape[0]
+        self.pseudo_values: list[np.ndarray] = []
+        self._forall_parents: dict[int, list[int]] = {}
+        self._exists_parents: dict[int, list[int]] = {}
+        self.coarse_of: dict[int, int] = {}
+        self.fine_of: dict[int, int] = {}
+        self.static_seeds: list[int] = []
+        self.seed_selector: Callable[[np.ndarray], np.ndarray] | None = None
+        self.num_coarse_layers = 0
+        self.complete = True
+        self.materialized: list[int] = []
+
+    def add_pseudo_node(self, value: np.ndarray) -> int:
+        """Register a zero-layer pseudo-tuple; returns its node id."""
+        node = self.n_real + len(self.pseudo_values)
+        self.pseudo_values.append(np.asarray(value, dtype=np.float64))
+        return node
+
+    def place(self, node: int, coarse: int, fine: int) -> None:
+        """Record the (coarse, fine) layer of a node and mark it materialized."""
+        self.coarse_of[node] = coarse
+        self.fine_of[node] = fine
+        self.materialized.append(node)
+
+    def add_forall_parents(self, node: int, parents: Iterable[int]) -> None:
+        """Attach ∀-parents (all must pop before ``node`` opens)."""
+        self._forall_parents.setdefault(node, []).extend(int(p) for p in parents)
+
+    def add_exists_parents(self, node: int, parents: Iterable[int]) -> None:
+        """Attach ∃-parents (any popping opens ``node``'s ∃-gate)."""
+        self._exists_parents.setdefault(node, []).extend(int(p) for p in parents)
+
+    def freeze(self) -> "LayerStructure":
+        """Validate and produce the immutable traversal structure."""
+        n_nodes = self.n_real + len(self.pseudo_values)
+        values = (
+            np.vstack([self.real_values, np.asarray(self.pseudo_values)])
+            if self.pseudo_values
+            else self.real_values
+        )
+
+        forall_count = np.zeros(n_nodes, dtype=np.int64)
+        forall_children: list[list[int]] = [[] for _ in range(n_nodes)]
+        for node, parents in self._forall_parents.items():
+            unique = sorted(set(parents))
+            forall_count[node] = len(unique)
+            for parent in unique:
+                forall_children[parent].append(node)
+
+        exists_gated = np.zeros(n_nodes, dtype=bool)
+        exists_children: list[list[int]] = [[] for _ in range(n_nodes)]
+        for node, parents in self._exists_parents.items():
+            unique = sorted(set(parents))
+            if not unique:
+                continue
+            exists_gated[node] = True
+            for parent in unique:
+                exists_children[parent].append(node)
+
+        materialized = np.asarray(sorted(set(self.materialized)), dtype=np.intp)
+        if self.complete and materialized.shape[0] != n_nodes:
+            raise IndexConstructionError(
+                f"complete structure must place every node: "
+                f"{materialized.shape[0]} of {n_nodes} placed"
+            )
+        # Every materialized non-seed node must have at least one gate,
+        # otherwise it could never be reached by the traversal.
+        seeds = set(self.static_seeds)
+        for node in materialized:
+            node = int(node)
+            if node in seeds or self.seed_selector is not None:
+                continue
+            if forall_count[node] == 0 and not exists_gated[node]:
+                raise IndexConstructionError(
+                    f"node {node} is unreachable: no gates and not a seed"
+                )
+
+        return LayerStructure(
+            values=values,
+            n_real=self.n_real,
+            forall_parent_count=forall_count,
+            forall_children=[
+                np.asarray(children, dtype=np.intp) for children in forall_children
+            ],
+            exists_gated=exists_gated,
+            exists_children=[
+                np.asarray(children, dtype=np.intp) for children in exists_children
+            ],
+            static_seeds=np.asarray(sorted(seeds), dtype=np.intp),
+            seed_selector=self.seed_selector,
+            coarse_of=dict(self.coarse_of),
+            fine_of=dict(self.fine_of),
+            num_coarse_layers=self.num_coarse_layers,
+            complete=self.complete,
+        )
+
+
+class LayerStructure:
+    """Frozen gated layer graph consumed by the Algorithm 2 engine."""
+
+    def __init__(
+        self,
+        *,
+        values: np.ndarray,
+        n_real: int,
+        forall_parent_count: np.ndarray,
+        forall_children: list[np.ndarray],
+        exists_gated: np.ndarray,
+        exists_children: list[np.ndarray],
+        static_seeds: np.ndarray,
+        seed_selector: Callable[[np.ndarray], np.ndarray] | None,
+        coarse_of: dict[int, int],
+        fine_of: dict[int, int],
+        num_coarse_layers: int,
+        complete: bool,
+    ) -> None:
+        self.values = values
+        self.n_real = n_real
+        self.forall_parent_count = forall_parent_count
+        self.forall_children = forall_children
+        self.exists_gated = exists_gated
+        self.exists_children = exists_children
+        self.static_seeds = static_seeds
+        self.seed_selector = seed_selector
+        self.coarse_of = coarse_of
+        self.fine_of = fine_of
+        self.num_coarse_layers = num_coarse_layers
+        self.complete = complete
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count (real tuples + pseudo-tuples)."""
+        return self.values.shape[0]
+
+    @property
+    def n_pseudo(self) -> int:
+        """Number of zero-layer pseudo-tuples."""
+        return self.n_nodes - self.n_real
+
+    def is_pseudo(self, node: int) -> bool:
+        """True for zero-layer nodes (never emitted as answers)."""
+        return node >= self.n_real
+
+    def seeds(self, weights: np.ndarray) -> np.ndarray:
+        """Query-start nodes for a (normalized) weight vector."""
+        if self.seed_selector is not None:
+            return np.asarray(self.seed_selector(weights), dtype=np.intp)
+        return self.static_seeds
+
+    def edge_counts(self) -> dict[str, int]:
+        """Diagnostics: number of ∀- and ∃-edges in the graph."""
+        return {
+            "forall_edges": int(sum(c.shape[0] for c in self.forall_children)),
+            "exists_edges": int(sum(c.shape[0] for c in self.exists_children)),
+        }

@@ -1,0 +1,32 @@
+"""Synthetic dataset generators used by the paper's evaluation.
+
+The evaluation (§VI-A) uses Independent (IND) and Anti-correlated (ANT)
+datasets generated per the skyline-operator paper of Börzsönyi et al.; we add
+Correlated (COR) and clustered generators for completeness, plus the paper's
+Fig. 1 toy hotel dataset for examples/tests.
+"""
+
+from repro.data.generators import (
+    DISTRIBUTIONS,
+    generate,
+    generate_anticorrelated,
+    generate_clustered,
+    generate_correlated,
+    generate_independent,
+)
+from repro.data.hotels import toy_hotels, synthetic_hotels
+from repro.data.players import PlayerTable, maximization_relation, synthetic_players
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "generate",
+    "generate_anticorrelated",
+    "generate_clustered",
+    "generate_correlated",
+    "generate_independent",
+    "toy_hotels",
+    "synthetic_hotels",
+    "PlayerTable",
+    "maximization_relation",
+    "synthetic_players",
+]

@@ -1,0 +1,92 @@
+"""A synthetic sports-statistics table: maximization queries in practice.
+
+Top-k literature loves basketball examples ("best players by weighted
+points/rebounds/assists").  Those are *maximization* queries; the paper
+handles them by "changing the sign of tuples" (§II).  This module provides
+a realistic synthetic player table plus the sign-flip embedding:
+
+* raw stats are generated with a latent skill factor so attributes
+  correlate positively (star players are good at several things), with
+  specialist noise on top;
+* :func:`maximization_relation` maps raw stats to the library's
+  minimization world via ``1 - minmax(stat)``, so "top scorer" becomes
+  "minimal transformed score" and every index applies unchanged;
+* :func:`decode_scores` maps a minimization score back to the weighted
+  stat average users expect to see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.relation import Relation
+from repro.relation.schema import Schema
+
+#: Stat columns of the synthetic table.
+PLAYER_STATS: tuple[str, ...] = ("points", "rebounds", "assists", "steals", "blocks")
+
+#: Per-stat scale (league-ish per-game magnitudes).
+_SCALES = np.array([30.0, 12.0, 10.0, 3.0, 3.0])
+#: How strongly each stat follows the latent overall-skill factor.
+_SKILL_LOADING = np.array([0.8, 0.5, 0.5, 0.4, 0.35])
+
+
+@dataclass
+class PlayerTable:
+    """Raw stats plus the minimization embedding."""
+
+    raw: np.ndarray             # (n, 5) raw per-game stats
+    relation: Relation          # minimization-oriented, [0,1]
+    lo: np.ndarray              # per-stat minima of the raw data
+    hi: np.ndarray              # per-stat maxima
+
+    @property
+    def n(self) -> int:
+        """Number of players."""
+        return self.raw.shape[0]
+
+    def decode_scores(self, weights: np.ndarray, scores: np.ndarray) -> np.ndarray:
+        """Weighted raw-stat averages corresponding to minimization scores.
+
+        With ``t' = 1 - (t-lo)/(hi-lo)`` per attribute and normalized
+        weights ``w``, a minimization score ``s = w·t'`` maps back to the
+        weighted *normalized* stat average ``1 - s``; this helper scales it
+        to raw units via the weighted spans for display purposes.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        weights = weights / weights.sum()
+        span = self.hi - self.lo
+        base = float(weights @ self.lo)
+        return base + (1.0 - np.asarray(scores)) * float(weights @ span)
+
+
+def synthetic_players(n: int, seed: int | None = None) -> PlayerTable:
+    """Generate ``n`` players and their minimization embedding."""
+    if n < 1:
+        raise SchemaError(f"need at least one player, got {n}")
+    rng = np.random.default_rng(seed)
+    skill = rng.beta(2.0, 4.0, size=n)[:, None]  # few stars, many role players
+    specialist = rng.beta(2.0, 5.0, size=(n, len(PLAYER_STATS)))
+    mix = _SKILL_LOADING[None, :] * skill + (1 - _SKILL_LOADING[None, :]) * specialist
+    raw = mix * _SCALES[None, :]
+
+    return maximization_relation(raw)
+
+
+def maximization_relation(raw: np.ndarray) -> PlayerTable:
+    """Embed a maximize-all-attributes table into the minimization world."""
+    raw = np.atleast_2d(np.asarray(raw, dtype=np.float64))
+    if raw.shape[1] != len(PLAYER_STATS):
+        raise SchemaError(
+            f"expected {len(PLAYER_STATS)} stat columns, got {raw.shape[1]}"
+        )
+    lo = raw.min(axis=0)
+    hi = raw.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    normalized = (raw - lo) / span
+    flipped = 1.0 - normalized
+    relation = Relation(flipped, Schema(PLAYER_STATS), check_domain=False)
+    return PlayerTable(raw=raw, relation=relation, lo=lo, hi=hi)

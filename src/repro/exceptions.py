@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation/schema constraint was violated (bad shapes, names, domains)."""
+
+
+class EmptyRelationError(ReproError):
+    """An operation that requires at least one tuple received an empty relation."""
+
+
+class InvalidWeightError(ReproError):
+    """A scoring-function weight vector violates the paper's assumptions.
+
+    Weights must be strictly positive, finite, and of the relation's
+    dimensionality (they are normalized to sum to one internally).
+    """
+
+
+class InvalidQueryError(ReproError):
+    """A top-k query is malformed (e.g. non-positive k)."""
+
+
+class IndexConstructionError(ReproError):
+    """The layered index could not be built (internal invariant violated)."""
+
+
+class IndexCapacityError(ReproError):
+    """A query exceeds what a bounded index can answer.
+
+    Raised when an index was built with ``max_layers`` and a query requires
+    more layers than were materialized.
+    """
+
+
+class GeometryError(ReproError):
+    """A computational-geometry primitive failed on degenerate input."""
+
+
+class SQLParseError(ReproError):
+    """The mini SQL front-end could not parse a query string."""
+
+
+class SerializationError(ReproError):
+    """An index or relation could not be saved or loaded."""

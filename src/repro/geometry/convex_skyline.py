@@ -1,0 +1,54 @@
+"""Convex-skyline extraction (Definition 4).
+
+``t ∈ CSKY(S)`` iff ``t`` minimizes some linear function with non-negative,
+non-zero weights — equivalently ``t`` is a vertex of ``conv(S) + R₊^d``.
+The implementation shares its geometry with :mod:`repro.geometry.facets`:
+the convex skyline is the union of the lower-facet member sets, so layer
+construction gets the sublayer *and* its ∃-dominance facets from one hull
+computation via :func:`convex_skyline_with_facets`.
+
+Guarantees relied on elsewhere:
+
+* non-empty input → non-empty CSKY (the min-attribute-sum point is always a
+  member and is force-included), so onion peeling terminates;
+* CSKY contains every directional argmin for strictly positive weights —
+  verified against an LP oracle in the property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.facets import Facet, lower_facets
+
+
+def convex_skyline_with_facets(
+    points: np.ndarray,
+) -> tuple[np.ndarray, list[Facet]]:
+    """``(vertices, facets)`` of the convex skyline of ``points``.
+
+    ``vertices`` are ascending indices into ``points``; every vertex appears
+    in at least one facet's members.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n = points.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp), []
+    facets = lower_facets(points)
+    members = np.unique(np.concatenate([f.members for f in facets])).astype(np.intp)
+    # Safety net: the min-sum point is provably in CSKY; force-include it so
+    # peeling always makes progress even under geometric tolerance quirks.
+    min_sum = int(np.argmin(points.sum(axis=1)))
+    if min_sum not in set(int(i) for i in members):
+        facets.append(Facet(members=np.array([min_sum], dtype=np.intp)))
+        members = np.unique(np.append(members, min_sum)).astype(np.intp)
+    return members, facets
+
+
+def convex_skyline(points: np.ndarray) -> np.ndarray:
+    """Indices (ascending) of the convex skyline of ``points``."""
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if points.shape[0] == 0:
+        return np.empty(0, dtype=np.intp)
+    vertices, _ = convex_skyline_with_facets(points)
+    return vertices

@@ -1,0 +1,66 @@
+"""d-dimensional convex hulls with degeneracy fallbacks.
+
+Thin, hardened wrapper over ``scipy.spatial.ConvexHull`` (QHull — the same
+library the paper uses [22]).  QHull raises on inputs whose affine hull is
+lower-dimensional (coplanar points, tiny sets); :func:`convex_hull` retries
+with joggling and reports failure through :class:`HullResult.ok` instead of
+leaking qhull errors, so callers can switch to LP-based fallbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import ConvexHull, QhullError
+
+
+@dataclass
+class HullResult:
+    """Outcome of a convex-hull computation over a point set.
+
+    Attributes
+    ----------
+    ok:
+        False when QHull could not triangulate the input even with joggling
+        (callers must use degenerate-input fallbacks).
+    vertices:
+        Indices (into the input) of hull vertices.
+    equations:
+        ``(f, d+1)`` facet equations ``[normal | offset]`` with outward
+        normals: ``normal · x + offset <= 0`` inside the hull.
+    simplices:
+        ``(f, d)`` vertex indices (into the input) per facet.
+    """
+
+    ok: bool
+    vertices: np.ndarray
+    equations: np.ndarray
+    simplices: np.ndarray
+
+
+def convex_hull(points: np.ndarray) -> HullResult:
+    """Convex hull of ``points``; never raises on degenerate input."""
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n, d = points.shape
+    empty = HullResult(
+        ok=False,
+        vertices=np.empty(0, dtype=np.intp),
+        equations=np.empty((0, d + 1)),
+        simplices=np.empty((0, d), dtype=np.intp),
+    )
+    if n <= d:
+        # Fewer points than d+1 can never span a full-dimensional hull.
+        return empty
+    for options in ("", "QJ"):
+        try:
+            hull = ConvexHull(points, qhull_options=options or None)
+        except (QhullError, ValueError):
+            continue
+        return HullResult(
+            ok=True,
+            vertices=hull.vertices.astype(np.intp),
+            equations=hull.equations,
+            simplices=hull.simplices.astype(np.intp),
+        )
+    return empty

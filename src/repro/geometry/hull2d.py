@@ -1,0 +1,91 @@
+"""From-scratch 2-D primitives: skyline sweep and lower-left convex chain.
+
+In two dimensions the convex skyline (Definition 4) is exactly the lower-left
+chain of the point set: the vertices of ``conv(S) + R₊²`` walked from the
+min-``x`` point to the min-``y`` point with strictly increasing (negative)
+slopes.  A plane sweep gives the 2-D skyline in O(n log n); an Andrew-style
+monotone chain over the skyline staircase gives the convex chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.predicates import turns_left
+
+
+def skyline_2d(points: np.ndarray) -> np.ndarray:
+    """Indices of the 2-D skyline (strict dominance), ascending by index.
+
+    Sweep in ``(x, y, id)`` order keeping the running minimum ``y``: a point
+    is on the skyline iff no earlier-sorted point has ``y <=`` its own, except
+    that exact duplicates survive together (neither strictly dominates).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n = points.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    if points.shape[1] != 2:
+        raise ValueError(f"skyline_2d expects 2-D points, got d={points.shape[1]}")
+    order = np.lexsort((np.arange(n), points[:, 1], points[:, 0]))
+    keep: list[int] = []
+    best_y = np.inf
+    best_x = -np.inf  # x of the point that set best_y
+    for idx in order:
+        x, y = points[idx]
+        if y < best_y:
+            keep.append(int(idx))
+            best_y = y
+            best_x = x
+        elif y == best_y and x == best_x:
+            # Exact duplicate of the current staircase corner — not strictly
+            # dominated, stays on the skyline.
+            keep.append(int(idx))
+        # else: some kept point has x <= x, y <= y with one strict -> dominated
+    return np.asarray(sorted(keep), dtype=np.intp)
+
+
+def lower_left_chain(points: np.ndarray) -> np.ndarray:
+    """Indices of the 2-D convex skyline, in chain order (x ascending).
+
+    Returns the convex-chain vertices from the min-``x`` corner of the
+    skyline staircase to its min-``y`` corner.  Duplicate coordinates
+    contribute a single vertex (the smallest index).  Collinear interior
+    points are dropped — they minimize no weight vector uniquely and belong
+    to later onion sublayers only if strictly above the chain, so we keep
+    the CSKY *minimal*, matching hull-vertex semantics.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if points.shape[0] == 0:
+        return np.empty(0, dtype=np.intp)
+    if points.shape[1] != 2:
+        raise ValueError(f"lower_left_chain expects 2-D points, got d={points.shape[1]}")
+
+    sky = skyline_2d(points)
+    sky_pts = points[sky]
+    # Deduplicate coordinates, keeping the lowest index per location.
+    order = np.lexsort((sky, sky_pts[:, 1], sky_pts[:, 0]))
+    ordered = sky[order]
+    ordered_pts = points[ordered]
+    unique_mask = np.ones(ordered.shape[0], dtype=bool)
+    if ordered.shape[0] > 1:
+        same = np.all(ordered_pts[1:] == ordered_pts[:-1], axis=1)
+        unique_mask[1:] = ~same
+    ordered = ordered[unique_mask]
+    ordered_pts = points[ordered]
+
+    # Skyline staircase is x-ascending / y-descending; Andrew monotone chain
+    # with filtered-exact orientation tests (robust near collinearity).
+    chain: list[int] = []
+    for pos in range(ordered.shape[0]):
+        p = ordered_pts[pos]
+        while len(chain) >= 2:
+            a = points[chain[-2]]
+            b = points[chain[-1]]
+            # Keep only strict left turns (convex toward the origin); drop
+            # collinear middles.
+            if turns_left(a, b, p):
+                break
+            chain.pop()
+        chain.append(int(ordered[pos]))
+    return np.asarray(chain, dtype=np.intp)

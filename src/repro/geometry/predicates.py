@@ -1,0 +1,78 @@
+"""Robust geometric predicates: float fast path, exact-rational fallback.
+
+The 2-D chain construction turns on the sign of a cross product.  When the
+floating-point value is comfortably far from zero its sign is trustworthy;
+within a conservative error bound the decision is re-done in exact rational
+arithmetic (:class:`fractions.Fraction`), following the classic
+Shewchuk-style filtered-predicate pattern (the adaptive stages replaced by
+one exact stage — plenty fast at chain sizes).
+
+Float64 values convert to Fractions exactly, so the exact stage is truly
+exact for our inputs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+#: Relative error bound factor for the 3-point orientation filter.  The
+#: float cross product of inputs bounded by M has absolute error at most
+#: ~4·eps·M², with eps = 2^-53; we use a generous constant.
+_ORIENT_GUARD = 16.0 * 2.0**-53
+
+
+def orientation(a, b, c) -> int:
+    """Sign of the cross product ``(b - a) × (c - a)``: -1, 0, or +1.
+
+    +1 — ``c`` lies to the left of the directed line ``a → b`` (counter-
+    clockwise turn); -1 — right (clockwise); 0 — exactly collinear.
+    Filtered: exact rational arithmetic decides the near-zero cases.
+    """
+    ax, ay = float(a[0]), float(a[1])
+    bx, by = float(b[0]), float(b[1])
+    cx, cy = float(c[0]), float(c[1])
+    det = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    # Magnitude of the terms entering the subtraction bounds the error.
+    magnitude = abs((bx - ax) * (cy - ay)) + abs((by - ay) * (cx - ax))
+    if abs(det) > _ORIENT_GUARD * magnitude:
+        return 1 if det > 0 else -1
+    return _orientation_exact(ax, ay, bx, by, cx, cy)
+
+
+def _orientation_exact(ax, ay, bx, by, cx, cy) -> int:
+    """Exact orientation via rational arithmetic."""
+    det = (Fraction(bx) - Fraction(ax)) * (Fraction(cy) - Fraction(ay)) - (
+        Fraction(by) - Fraction(ay)
+    ) * (Fraction(cx) - Fraction(ax))
+    if det > 0:
+        return 1
+    if det < 0:
+        return -1
+    return 0
+
+
+def turns_left(a, b, c) -> bool:
+    """True when ``a → b → c`` is a strict counter-clockwise (left) turn.
+
+    This is the keep-condition of the lower-left chain (x ascending, y
+    descending): each kept vertex bends the boundary *toward* the origin,
+    which in standard orientation is a left turn; collinear middles are
+    dropped (not a strict turn).
+    """
+    return orientation(a, b, c) > 0
+
+
+def collinear(a, b, c) -> bool:
+    """True when the three points are exactly collinear."""
+    return orientation(a, b, c) == 0
+
+
+def point_below_segment(p: np.ndarray, q: np.ndarray, x: np.ndarray) -> bool:
+    """True when ``x`` lies strictly below the line through ``p``, ``q``.
+
+    With ``p → q`` oriented x-ascending (as chain segments are), "below"
+    is a strict clockwise turn.
+    """
+    return orientation(p, q, x) < 0

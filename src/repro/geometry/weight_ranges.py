@@ -1,0 +1,95 @@
+"""§V-A: partitioning the 2-D weight space into per-tuple ranges.
+
+In two dimensions every weight vector is ``(w₁, 1-w₁)``, so the set of all
+preferences is the interval ``w₁ ∈ [0, 1]``.  Walking the first fine layer's
+convex chain, adjacent tuples ``p, q`` (x ascending, y descending) swap
+optimality at the breakpoint where their scores tie::
+
+    w₁ p₁ + (1-w₁) p₂ = w₁ q₁ + (1-w₁) q₂
+    ⇒  w₁* = (p₂ - q₂) / ((p₂ - q₂) + (q₁ - p₁))
+
+Convexity of the chain makes the breakpoints monotone, so the ranges are
+disjoint and a binary search over them yields the top-1 tuple in
+``O(log |L¹¹|)`` with a *single* tuple access — the paper's ideal selective
+access to the first layer.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.exceptions import GeometryError, InvalidWeightError
+
+
+class WeightRangePartition:
+    """Disjoint ``w₁`` ranges mapping every 2-D weight vector to its top-1 tuple.
+
+    Parameters
+    ----------
+    chain_points:
+        ``(m, 2)`` convex-chain points, x ascending / y descending (the first
+        fine sublayer ``L^{11}``, in chain order).
+    chain_ids:
+        Tuple ids aligned with ``chain_points``.
+    """
+
+    def __init__(self, chain_points: np.ndarray, chain_ids: np.ndarray) -> None:
+        chain_points = np.atleast_2d(np.asarray(chain_points, dtype=np.float64))
+        chain_ids = np.asarray(chain_ids, dtype=np.intp)
+        if chain_points.shape[0] != chain_ids.shape[0]:
+            raise GeometryError("chain points and ids must align")
+        if chain_points.shape[0] == 0:
+            raise GeometryError("cannot partition weights over an empty chain")
+        if chain_points.shape[1] != 2:
+            raise GeometryError("weight-range partition is a 2-D construction")
+        self.chain_ids = chain_ids
+        self.chain_points = chain_points
+        # breakpoints[i] is the w1 at which chain[i] and chain[i+1] tie.
+        # Walking the chain left to right, optimality holds for *high* w1
+        # first (min-x point wins when price weight ≈ 1), so breakpoints
+        # descend; we store them ascending for bisect.
+        breaks: list[float] = []
+        for i in range(chain_points.shape[0] - 1):
+            p, q = chain_points[i], chain_points[i + 1]
+            dy = p[1] - q[1]
+            dx = q[0] - p[0]
+            if dy <= 0 or dx <= 0:
+                raise GeometryError(
+                    "chain must be x-ascending and y-descending: "
+                    f"{p.tolist()} -> {q.tolist()}"
+                )
+            breaks.append(dy / (dy + dx))
+        # Convexity makes breakpoints strictly descending in exact
+        # arithmetic; floating-point near-collinear vertices can tie them.
+        # Ties collapse to zero-width ranges (either tuple is a valid
+        # argmin there); genuine inversions are a non-convex input.
+        for i in range(1, len(breaks)):
+            if breaks[i] > breaks[i - 1] + 1e-9:
+                raise GeometryError(
+                    "chain is not convex: breakpoints not monotone"
+                )
+            breaks[i] = min(breaks[i], breaks[i - 1])
+        self._ascending_breaks = list(reversed(breaks))
+
+    def top1_id(self, w1: float) -> int:
+        """The tuple id optimal for weight vector ``(w1, 1-w1)``."""
+        if not 0.0 < w1 < 1.0:
+            raise InvalidWeightError(f"w1 must be in (0, 1), got {w1}")
+        # _ascending_breaks[j] separates chain positions (reversed); bisect
+        # finds how many breakpoints lie below w1.
+        pos = bisect.bisect_left(self._ascending_breaks, w1)
+        # pos == 0 -> w1 below every breakpoint -> rightmost chain tuple.
+        chain_pos = (self.chain_ids.shape[0] - 1) - pos
+        return int(self.chain_ids[chain_pos])
+
+    def ranges(self) -> list[tuple[float, float, int]]:
+        """All ``(w1_low, w1_high, tuple_id)`` ranges, ascending in ``w1``."""
+        bounds = [0.0, *self._ascending_breaks, 1.0]
+        out = []
+        m = self.chain_ids.shape[0]
+        for j in range(len(bounds) - 1):
+            chain_pos = (m - 1) - j
+            out.append((bounds[j], bounds[j + 1], int(self.chain_ids[chain_pos])))
+        return out

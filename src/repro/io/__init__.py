@@ -1,0 +1,10 @@
+"""Persistence: relations to npz/CSV, built indexes to pickle files."""
+
+from repro.io.serialize import (
+    load_index,
+    load_relation,
+    save_index,
+    save_relation,
+)
+
+__all__ = ["load_index", "load_relation", "save_index", "save_relation"]

@@ -1,0 +1,71 @@
+"""Saving and loading relations and built indexes.
+
+Relations round-trip through ``.npz`` (matrix + attribute names).  Built
+indexes — layer structures, facet gates, zero layers — round-trip through
+pickle: the structures are plain numpy/python containers, and rebuilding a
+large index costs far more than deserializing it.
+
+Security note: ``load_index`` uses :mod:`pickle` and must only be fed files
+you produced yourself (the standard pickle caveat).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.base import TopKIndex
+from repro.exceptions import SerializationError
+from repro.relation import Relation, Schema
+
+#: Format marker stored in every index file.
+_MAGIC = "repro-index-v1"
+
+
+def save_relation(relation: Relation, path: str | Path) -> None:
+    """Write a relation to ``.npz`` (values + attribute names)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        matrix=relation.matrix,
+        attributes=np.asarray(relation.schema.attributes, dtype=object),
+    )
+
+
+def load_relation(path: str | Path) -> Relation:
+    """Read a relation written by :func:`save_relation`."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=True) as data:
+            matrix = data["matrix"]
+            attributes = tuple(str(a) for a in data["attributes"])
+    except (OSError, KeyError, ValueError, pickle.UnpicklingError) as exc:
+        raise SerializationError(f"cannot load relation from {path}: {exc}") from exc
+    return Relation(matrix, Schema(attributes), check_domain=False)
+
+
+def save_index(index: TopKIndex, path: str | Path) -> None:
+    """Persist a *built* index (builds it first if needed)."""
+    if not index._built:
+        index.build()
+    path = Path(path)
+    with path.open("wb") as handle:
+        pickle.dump({"magic": _MAGIC, "index": index}, handle, protocol=4)
+
+
+def load_index(path: str | Path) -> TopKIndex:
+    """Load an index written by :func:`save_index` (trusted files only)."""
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise SerializationError(f"cannot load index from {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise SerializationError(f"{path} is not a repro index file")
+    index = payload["index"]
+    if not isinstance(index, TopKIndex):
+        raise SerializationError(f"{path} does not contain a TopKIndex")
+    return index

@@ -1,0 +1,19 @@
+"""List-based substrate: per-attribute sorted lists and the classic
+aggregation algorithms (FA, TA, NRA).
+
+This is both a family of related-work baselines in its own right (§VII-B)
+and the engine inside HL/HL+, which run threshold-style processing over the
+sorted lists of each convex layer.
+"""
+
+from repro.lists.sorted_lists import SortedLists
+from repro.lists.fa import fagins_algorithm
+from repro.lists.ta import threshold_algorithm
+from repro.lists.nra import no_random_access
+
+__all__ = [
+    "SortedLists",
+    "fagins_algorithm",
+    "threshold_algorithm",
+    "no_random_access",
+]

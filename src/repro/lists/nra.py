@@ -1,0 +1,96 @@
+"""No-Random-Access algorithm (NRA) [11], minimization variant.
+
+Only sorted accesses are allowed.  Each partially seen tuple carries a lower
+and an upper bound on its final score; the algorithm stops when ``k`` tuples
+have upper bounds no worse than every other tuple's lower bound.  Because a
+tuple is never "randomly" fetched, cost accounting here reports a tuple as
+evaluated on its *first* sorted appearance (its score is assembled
+incrementally from list entries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lists.sorted_lists import SortedLists
+from repro.stats import AccessCounter
+
+
+def no_random_access(
+    lists: SortedLists,
+    weights: np.ndarray,
+    k: int,
+    counter: AccessCounter | None = None,
+    check_every: int = 8,
+) -> list[tuple[float, int]]:
+    """Top-k ``(score, row)`` pairs, ascending, via NRA.
+
+    ``check_every`` controls how often the (quadratic-ish) stopping test
+    runs; it trades a little extra depth for much less bookkeeping.
+    """
+    counter = counter if counter is not None else AccessCounter()
+    n, d = lists.n, lists.d
+    if n == 0 or k < 1:
+        return []
+    weights = np.asarray(weights, dtype=np.float64)
+
+    known = {}  # row -> (mask of seen attributes, partial weighted sum)
+    front = np.zeros(d, dtype=np.float64)
+    full_mask = (1 << d) - 1
+
+    def bounds(row: int) -> tuple[float, float]:
+        mask, partial = known[row]
+        lower = partial
+        upper = partial
+        for attribute in range(d):
+            if not mask & (1 << attribute):
+                lower += weights[attribute] * front[attribute]
+                upper += weights[attribute] * 1.0  # domain is [0, 1]
+        return lower, upper
+
+    result: list[tuple[float, int]] | None = None
+    for depth in range(n):
+        for attribute in range(d):
+            row, value = lists.sorted_entry(attribute, depth)
+            counter.count_sorted_access()
+            front[attribute] = value
+            if row not in known:
+                known[row] = (0, 0.0)
+                counter.count_real()
+            mask, partial = known[row]
+            bit = 1 << attribute
+            if not mask & bit:
+                known[row] = (mask | bit, partial + weights[attribute] * value)
+
+        if depth % check_every and depth != n - 1:
+            continue
+        # Stopping test: k best upper bounds <= min lower bound of the rest,
+        # and <= threshold for completely unseen tuples.
+        rows = list(known)
+        uppers = sorted((bounds(r)[1], r) for r in rows)
+        if len(uppers) < k:
+            continue
+        kth_upper = uppers[k - 1][0]
+        candidate_rows = {r for _, r in uppers[:k]}
+        rest_lower = min(
+            (bounds(r)[0] for r in rows if r not in candidate_rows),
+            default=float("inf"),
+        )
+        unseen_lower = float(front @ weights) if len(known) < n else float("inf")
+        if kth_upper <= rest_lower and kth_upper <= unseen_lower:
+            result = []
+            for _, row in uppers[:k]:
+                mask, partial = known[row]
+                if mask == full_mask:
+                    result.append((partial, row))
+                else:
+                    # Bounds converged without full sight of the tuple —
+                    # complete the score for reporting (one more evaluation).
+                    score = float(lists.row_values(row) @ weights)
+                    result.append((score, row))
+            break
+    if result is None:
+        # Exhausted all lists: everything is fully known.
+        result = sorted((partial, row) for row, (_, partial) in known.items())[:k]
+    result.sort()
+    return result[:k]

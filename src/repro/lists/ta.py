@@ -1,0 +1,55 @@
+"""The Threshold Algorithm (Fagin, Lotem, Naor [11]), minimization variant.
+
+Round-robin sorted access over the ``d`` lists; every newly seen tuple is
+fully scored by random access; the algorithm stops when the ``k``-th best
+seen score is no worse than the threshold ``F(front_1, ..., front_d)`` —
+the best score any unseen tuple could still achieve.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.lists.sorted_lists import SortedLists
+from repro.stats import AccessCounter
+
+
+def threshold_algorithm(
+    lists: SortedLists,
+    weights: np.ndarray,
+    k: int,
+    counter: AccessCounter | None = None,
+) -> list[tuple[float, int]]:
+    """Top-k ``(score, row)`` pairs, ascending, via TA.
+
+    ``counter.real`` tallies distinct tuples scored (random accesses);
+    ``counter.sorted_accesses`` tallies list advances.
+    """
+    counter = counter if counter is not None else AccessCounter()
+    n, d = lists.n, lists.d
+    if n == 0 or k < 1:
+        return []
+    weights = np.asarray(weights, dtype=np.float64)
+
+    seen: set[int] = set()
+    # Max-heap of the best k seen so far: store (-score, -row).
+    best: list[tuple[float, int]] = []
+    front = np.zeros(d, dtype=np.float64)
+    for depth in range(n):
+        for attribute in range(d):
+            row, value = lists.sorted_entry(attribute, depth)
+            counter.count_sorted_access()
+            front[attribute] = value
+            if row not in seen:
+                seen.add(row)
+                score = float(lists.row_values(row) @ weights)
+                counter.count_real()
+                heapq.heappush(best, (-score, -row))
+                if len(best) > k:
+                    heapq.heappop(best)
+        threshold = float(front @ weights)
+        if len(best) == k and -best[0][0] <= threshold:
+            break
+    return sorted((-negscore, -negrow) for negscore, negrow in best)

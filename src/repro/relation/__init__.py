@@ -1,0 +1,27 @@
+"""Relation substrate: the in-memory tuple store the indexes are built over.
+
+A :class:`~repro.relation.relation.Relation` is a dense numpy matrix of shape
+``(n, d)`` with stable integer tuple ids and named attributes, matching the
+paper's model of a relation ``R = (t^1, ..., t^n)`` over attributes
+``A = (A_1, ..., A_d)`` with domains normalized to ``[0, 1]``.
+"""
+
+from repro.relation.relation import Relation
+from repro.relation.schema import Schema
+from repro.relation.scoring import (
+    LinearScore,
+    normalize_weights,
+    random_weight_vector,
+    score,
+    top_k_bruteforce,
+)
+
+__all__ = [
+    "Relation",
+    "Schema",
+    "LinearScore",
+    "normalize_weights",
+    "random_weight_vector",
+    "score",
+    "top_k_bruteforce",
+]

@@ -1,0 +1,55 @@
+"""Relation schemas: attribute names and domain checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Named attributes of a relation.
+
+    The paper's model assumes every attribute domain is normalized to
+    ``[0, 1]``; :meth:`validate_matrix` enforces shape and finiteness and
+    (optionally) the normalized domain.
+    """
+
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise SchemaError("a schema needs at least one attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"duplicate attribute names in {self.attributes}")
+        for name in self.attributes:
+            if not name or not isinstance(name, str):
+                raise SchemaError(f"invalid attribute name: {name!r}")
+
+    @property
+    def d(self) -> int:
+        """Number of attributes (the paper's dimensionality ``d``)."""
+        return len(self.attributes)
+
+    @classmethod
+    def anonymous(cls, d: int) -> "Schema":
+        """Build a schema with generated names ``a0..a{d-1}``."""
+        if d < 1:
+            raise SchemaError(f"dimensionality must be >= 1, got {d}")
+        return cls(tuple(f"a{i}" for i in range(d)))
+
+    def index_of(self, name: str) -> int:
+        """Position of attribute ``name``; raises :class:`SchemaError` if absent."""
+        try:
+            return self.attributes.index(name)
+        except ValueError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; have {list(self.attributes)}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)

@@ -1,0 +1,102 @@
+"""Linear scoring functions and the brute-force top-k reference.
+
+The paper assumes monotone linear scoring: ``F(t) = Σ w_i t_i`` with strictly
+positive weights normalized to sum to one, and top-k returns the ``k``
+*lowest*-scoring tuples with ties broken by tuple id (Definition 1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidQueryError, InvalidWeightError
+
+
+def normalize_weights(weights: Sequence[float] | np.ndarray, d: int | None = None) -> np.ndarray:
+    """Validate a weight vector and normalize it to sum to one.
+
+    Weights must be finite and strictly positive, matching the paper's
+    query model (``0 < w_i < 1`` after normalization, ``Σ w_i = 1``).
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1:
+        raise InvalidWeightError(f"weight vector must be 1-D, got shape {w.shape}")
+    if d is not None and w.shape[0] != d:
+        raise InvalidWeightError(f"expected {d} weights, got {w.shape[0]}")
+    if w.shape[0] == 0:
+        raise InvalidWeightError("weight vector is empty")
+    if not np.all(np.isfinite(w)):
+        raise InvalidWeightError("weights must be finite")
+    if np.any(w <= 0):
+        raise InvalidWeightError(
+            f"weights must be strictly positive (monotone scoring), got {w.tolist()}"
+        )
+    return w / w.sum()
+
+
+def random_weight_vector(d: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """A random weight vector uniform on the open simplex.
+
+    Mirrors the paper's workload: ``0 < w_i < 1`` and ``Σ w_i = 1``.
+    Components are clamped away from zero so the strict-positivity
+    assumption holds even for unlucky draws.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    w = rng.dirichlet(np.ones(d))
+    w = np.clip(w, 1e-9, None)
+    return w / w.sum()
+
+
+def score(matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Scores of all rows of ``matrix`` under a (normalized) weight vector."""
+    return matrix @ weights
+
+
+class LinearScore:
+    """A reusable linear scoring function ``F(t) = Σ w_i t_i``.
+
+    Wraps a validated, normalized weight vector with convenience calls for
+    scoring single tuples or row batches.
+    """
+
+    __slots__ = ("weights",)
+
+    def __init__(self, weights: Sequence[float] | np.ndarray, d: int | None = None) -> None:
+        self.weights = normalize_weights(weights, d)
+
+    @property
+    def d(self) -> int:
+        """Dimensionality of the scoring function."""
+        return self.weights.shape[0]
+
+    def __call__(self, values: np.ndarray) -> np.ndarray | float:
+        """Score one tuple (1-D input) or a batch of rows (2-D input)."""
+        values = np.asarray(values, dtype=np.float64)
+        return values @ self.weights
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinearScore({np.round(self.weights, 4).tolist()})"
+
+
+def top_k_bruteforce(
+    matrix: np.ndarray, weights: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference top-k by full scan: ``(ids, scores)`` sorted ascending.
+
+    Ties are broken by tuple id (Definition 1's arbitrary-but-stable rule).
+    Returns fewer than ``k`` entries when the relation is smaller than ``k``.
+    """
+    if k < 1:
+        raise InvalidQueryError(f"retrieval size k must be >= 1, got {k}")
+    n = matrix.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64)
+    scores = matrix @ weights
+    take = min(k, n)
+    # Full lexsort by (score, id): exact deterministic tie-breaking even when
+    # ties straddle the k-th position.
+    order = np.lexsort((np.arange(n), scores))
+    ids = order[:take].astype(np.intp)
+    return ids, scores[ids]

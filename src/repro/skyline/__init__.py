@@ -1,0 +1,35 @@
+"""Skyline substrate: dominance tests, skyline algorithms, and layer peeling.
+
+The paper builds coarse-level layers from iterated skylines (Definition 3)
+using BSkyTree [28].  The skyline of a set is unique, so any correct
+algorithm yields identical layers; this package provides three independent
+implementations (BNL, SFS, and a pivot-based divide-and-conquer in the
+spirit of BSkyTree) that are cross-checked in the test suite, plus the layer
+peeling used by DG/DL and the convex (onion) peeling used by Onion/HL.
+"""
+
+from repro.skyline.dominance import (
+    dominance_matrix,
+    dominates,
+    dominates_any,
+    dominators_of,
+    is_dominated,
+)
+from repro.skyline.bnl import skyline_bnl
+from repro.skyline.sfs import skyline_sfs
+from repro.skyline.bskytree import skyline_bskytree
+from repro.skyline.layers import convex_layers, skyline, skyline_layers
+
+__all__ = [
+    "dominance_matrix",
+    "dominates",
+    "dominates_any",
+    "dominators_of",
+    "is_dominated",
+    "skyline_bnl",
+    "skyline_sfs",
+    "skyline_bskytree",
+    "skyline",
+    "skyline_layers",
+    "convex_layers",
+]

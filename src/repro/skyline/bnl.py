@@ -1,0 +1,44 @@
+"""Block-nested-loops skyline (Börzsönyi et al. [23]).
+
+The classic baseline: maintain a window of incomparable tuples; each incoming
+tuple is dropped if dominated, otherwise it evicts the window tuples it
+dominates and joins the window.  Kept primarily as an independent oracle for
+cross-checking the faster algorithms; O(n·|window|) with per-tuple numpy
+filtering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def skyline_bnl(points: np.ndarray) -> np.ndarray:
+    """Indices (into ``points``) of the skyline, ascending.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array, minimization orientation.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n = points.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    window_idx: list[int] = []
+    for i in range(n):
+        candidate = points[i]
+        if window_idx:
+            window = points[window_idx]
+            leq = np.all(window <= candidate, axis=1)
+            lt = np.any(window < candidate, axis=1)
+            if np.any(leq & lt):
+                continue
+            geq = np.all(window >= candidate, axis=1)
+            gt = np.any(window > candidate, axis=1)
+            evicted = geq & gt
+            if np.any(evicted):
+                window_idx = [
+                    idx for idx, out in zip(window_idx, evicted) if not out
+                ]
+        window_idx.append(i)
+    return np.asarray(sorted(window_idx), dtype=np.intp)

@@ -1,0 +1,79 @@
+"""Vectorized dominance primitives (Definition 2).
+
+``t`` dominates ``t'`` (written ``t ≺ t'``) iff ``t_i <= t'_i`` for every
+attribute and ``t_j < t'_j`` for at least one.  Minimization orientation
+throughout, matching the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Chunk row-count for pairwise dominance checks, keeps peak memory bounded.
+_CHUNK = 4096
+
+
+def dominates(t: np.ndarray, u: np.ndarray) -> bool:
+    """True iff tuple ``t`` dominates tuple ``u``."""
+    t = np.asarray(t, dtype=np.float64)
+    u = np.asarray(u, dtype=np.float64)
+    return bool(np.all(t <= u) and np.any(t < u))
+
+
+def is_dominated(point: np.ndarray, against: np.ndarray) -> bool:
+    """True iff ``point`` is dominated by any row of ``against``."""
+    against = np.atleast_2d(np.asarray(against, dtype=np.float64))
+    if against.shape[0] == 0:
+        return False
+    leq = np.all(against <= point, axis=1)
+    lt = np.any(against < point, axis=1)
+    return bool(np.any(leq & lt))
+
+
+def dominates_any(points: np.ndarray, against: np.ndarray) -> np.ndarray:
+    """Boolean mask over ``points`` rows: dominated by some row of ``against``.
+
+    Memory-bounded: iterates ``against`` in chunks of :data:`_CHUNK` rows.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    against = np.atleast_2d(np.asarray(against, dtype=np.float64))
+    n = points.shape[0]
+    result = np.zeros(n, dtype=bool)
+    if n == 0 or against.shape[0] == 0:
+        return result
+    for start in range(0, against.shape[0], _CHUNK):
+        block = against[start : start + _CHUNK]
+        # (m, n): block row dominates point column.
+        remaining = ~result
+        if not np.any(remaining):
+            break
+        pts = points[remaining]
+        leq = np.all(block[:, None, :] <= pts[None, :, :], axis=2)
+        lt = np.any(block[:, None, :] < pts[None, :, :], axis=2)
+        result[remaining] |= np.any(leq & lt, axis=0)
+    return result
+
+
+def dominance_matrix(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Boolean matrix ``M[i, j]`` = row ``i`` of ``rows`` dominates row ``j`` of ``cols``.
+
+    Used to wire ∀-dominance edges between adjacent coarse layers; both
+    inputs are layer-sized, so the dense matrix stays small.
+    """
+    rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+    cols = np.atleast_2d(np.asarray(cols, dtype=np.float64))
+    if rows.shape[0] == 0 or cols.shape[0] == 0:
+        return np.zeros((rows.shape[0], cols.shape[0]), dtype=bool)
+    leq = np.all(rows[:, None, :] <= cols[None, :, :], axis=2)
+    lt = np.any(rows[:, None, :] < cols[None, :, :], axis=2)
+    return leq & lt
+
+
+def dominators_of(point: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Indices of ``candidates`` rows that dominate ``point``."""
+    candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+    if candidates.shape[0] == 0:
+        return np.empty(0, dtype=np.intp)
+    leq = np.all(candidates <= point, axis=1)
+    lt = np.any(candidates < point, axis=1)
+    return np.nonzero(leq & lt)[0].astype(np.intp)

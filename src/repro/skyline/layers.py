@@ -1,0 +1,93 @@
+"""Layer peeling: skyline layers (DG/DL coarse layers) and convex layers (Onion/HL).
+
+Both peels satisfy the layer-index contract the paper relies on: the i-th
+best tuple under any monotone linear scoring function lies within the first
+``i`` layers, so a top-k query never needs more than ``k`` layers.  Passing
+``max_layers`` bounds construction accordingly (the remainder is returned as
+an overflow layer by :func:`skyline_layers` / :func:`convex_layers` callers
+via the ``leftover`` entry).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.geometry.convex_skyline import convex_skyline
+from repro.skyline.bnl import skyline_bnl
+from repro.skyline.bskytree import skyline_bskytree
+from repro.skyline.sfs import skyline_sfs
+
+_ALGORITHMS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "bnl": skyline_bnl,
+    "sfs": skyline_sfs,
+    "bskytree": skyline_bskytree,
+}
+
+
+def skyline(points: np.ndarray, algorithm: str = "sfs") -> np.ndarray:
+    """Skyline indices of ``points`` using a named algorithm (sfs default)."""
+    try:
+        impl = _ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown skyline algorithm {algorithm!r}; have {sorted(_ALGORITHMS)}"
+        ) from None
+    return impl(points)
+
+
+def _peel(
+    points: np.ndarray,
+    extract: Callable[[np.ndarray], np.ndarray],
+    max_layers: int | None,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Iteratively peel ``points`` with ``extract``; returns (layers, leftover).
+
+    Each layer is an ascending array of *global* indices into ``points``;
+    ``leftover`` holds the indices never assigned because ``max_layers``
+    stopped the peel (empty on a full peel).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    remaining = np.arange(points.shape[0], dtype=np.intp)
+    layers: list[np.ndarray] = []
+    while remaining.shape[0] > 0:
+        if max_layers is not None and len(layers) >= max_layers:
+            return layers, remaining
+        local = extract(points[remaining])
+        if local.shape[0] == 0:
+            raise RuntimeError("layer extraction returned an empty layer")
+        layer = remaining[local]
+        layers.append(np.sort(layer).astype(np.intp))
+        mask = np.ones(remaining.shape[0], dtype=bool)
+        mask[local] = False
+        remaining = remaining[mask]
+    return layers, remaining
+
+
+def skyline_layers(
+    points: np.ndarray,
+    algorithm: str = "sfs",
+    max_layers: int | None = None,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Skyline-layer peel: layer i is the skyline of what layers < i left.
+
+    Returns ``(layers, leftover)`` of global index arrays.
+    """
+    impl = _ALGORITHMS.get(algorithm)
+    if impl is None:
+        raise ValueError(
+            f"unknown skyline algorithm {algorithm!r}; have {sorted(_ALGORITHMS)}"
+        )
+    return _peel(points, impl, max_layers)
+
+
+def convex_layers(
+    points: np.ndarray,
+    max_layers: int | None = None,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Convex (onion) peel: layer i is the convex skyline of the residual.
+
+    Returns ``(layers, leftover)`` of global index arrays.
+    """
+    return _peel(points, convex_skyline, max_layers)

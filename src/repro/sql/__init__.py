@@ -1,0 +1,12 @@
+"""Mini SQL front-end for the paper's Example 1 query shape.
+
+Parses ``SELECT * FROM <relation> [WHERE city = '...'] ORDER BY
+w1*attr1 + w2*attr2 + ... STOP AFTER k`` (the ORDER BY / STOP AFTER dialect
+of [1, 2] the paper's introduction uses) and executes it against a chosen
+top-k index.
+"""
+
+from repro.sql.parser import ParsedTopKQuery, parse_topk_query
+from repro.sql.planner import Database
+
+__all__ = ["ParsedTopKQuery", "parse_topk_query", "Database"]

@@ -1,0 +1,153 @@
+"""Parser for the SQL-style top-k dialect (``ORDER BY ... STOP AFTER k``).
+
+Grammar (case-insensitive keywords)::
+
+    [EXPLAIN] SELECT (* | attr [, attr]...) FROM <name>
+    [WHERE <condition> [AND <condition>]...]
+    ORDER BY <term> [+ <term>]...
+    STOP AFTER <int>
+
+    term      := <number> * <attr> | <attr> * <number> | <attr>
+    condition := <attr> = '<value>'          (label equality)
+               | <attr> <op> <number>        (numeric; op in <=, >=, <, >)
+
+A bare ORDER BY attribute gets weight 1; weights are normalized downstream.
+The paper's Example 1 is the canonical instance of this grammar.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.exceptions import SQLParseError
+
+_QUERY_RE = re.compile(
+    r"""
+    ^\s*(?P<explain>EXPLAIN\s+)?
+    SELECT\s+(?P<select>\*|[\w\s,]+?)\s+FROM\s+(?P<table>\w+)
+    (?:\s+WHERE\s+(?P<where>.+?))?
+    \s+ORDER\s+BY\s+(?P<order>.+?)
+    \s+STOP\s+AFTER\s+(?P<k>\d+)
+    \s*;?\s*$
+    """,
+    re.IGNORECASE | re.VERBOSE | re.DOTALL,
+)
+
+_TERM_RE = re.compile(
+    r"""
+    ^\s*(?:
+        (?P<coeff1>\d+(?:\.\d+)?)\s*\*\s*(?P<attr1>\w+)
+      | (?P<attr2>\w+)\s*\*\s*(?P<coeff2>\d+(?:\.\d+)?)
+      | (?P<attr3>\w+)
+    )\s*$
+    """,
+    re.VERBOSE,
+)
+
+_EQUALS_RE = re.compile(r"^\s*(?P<attr>\w+)\s*=\s*'(?P<value>[^']*)'\s*$")
+_NUMERIC_RE = re.compile(
+    r"^\s*(?P<attr>\w+)\s*(?P<op><=|>=|<|>)\s*(?P<value>-?\d+(?:\.\d+)?)\s*$"
+)
+
+#: Numeric comparison operators supported in WHERE.
+NUMERIC_OPS = ("<=", ">=", "<", ">")
+
+
+@dataclass
+class NumericPredicate:
+    """One numeric WHERE condition ``attr op value``."""
+
+    attribute: str
+    op: str
+    value: float
+
+    def key(self) -> tuple[str, str, float]:
+        """Hashable form for plan caching."""
+        return (self.attribute, self.op, self.value)
+
+
+@dataclass
+class ParsedTopKQuery:
+    """Structured form of one top-k statement."""
+
+    table: str
+    weights: dict[str, float]
+    k: int
+    equals: dict[str, str] = field(default_factory=dict)
+    numeric: list[NumericPredicate] = field(default_factory=list)
+    projection: list[str] | None = None  # None means SELECT *
+    explain: bool = False
+
+
+def parse_topk_query(text: str) -> ParsedTopKQuery:
+    """Parse one statement; raises :class:`SQLParseError` on malformed input."""
+    match = _QUERY_RE.match(text)
+    if match is None:
+        raise SQLParseError(
+            "expected: [EXPLAIN] SELECT */cols FROM <t> [WHERE ...] "
+            f"ORDER BY <weighted sum> STOP AFTER <k>; got {text!r}"
+        )
+    k = int(match.group("k"))
+    if k < 1:
+        raise SQLParseError(f"STOP AFTER must be >= 1, got {k}")
+
+    select = match.group("select").strip()
+    if select == "*":
+        projection = None
+    else:
+        projection = [column.strip() for column in select.split(",")]
+        if any(not column for column in projection):
+            raise SQLParseError(f"malformed SELECT list {select!r}")
+        if len(set(projection)) != len(projection):
+            raise SQLParseError(f"duplicate column in SELECT list {select!r}")
+
+    weights: dict[str, float] = {}
+    for raw_term in match.group("order").split("+"):
+        term = _TERM_RE.match(raw_term)
+        if term is None:
+            raise SQLParseError(f"cannot parse ORDER BY term {raw_term.strip()!r}")
+        if term.group("coeff1"):
+            attr, coeff = term.group("attr1"), float(term.group("coeff1"))
+        elif term.group("coeff2"):
+            attr, coeff = term.group("attr2"), float(term.group("coeff2"))
+        else:
+            attr, coeff = term.group("attr3"), 1.0
+        if attr in weights:
+            raise SQLParseError(f"attribute {attr!r} appears twice in ORDER BY")
+        if coeff <= 0:
+            raise SQLParseError(
+                f"weights must be strictly positive (monotone scoring), got {coeff}"
+            )
+        weights[attr] = coeff
+
+    equals: dict[str, str] = {}
+    numeric: list[NumericPredicate] = []
+    where = match.group("where")
+    if where:
+        for raw_cond in re.split(r"\s+AND\s+", where, flags=re.IGNORECASE):
+            eq = _EQUALS_RE.match(raw_cond)
+            if eq is not None:
+                equals[eq.group("attr")] = eq.group("value")
+                continue
+            num = _NUMERIC_RE.match(raw_cond)
+            if num is not None:
+                numeric.append(
+                    NumericPredicate(
+                        attribute=num.group("attr"),
+                        op=num.group("op"),
+                        value=float(num.group("value")),
+                    )
+                )
+                continue
+            raise SQLParseError(f"cannot parse WHERE condition {raw_cond.strip()!r}")
+
+    return ParsedTopKQuery(
+        table=match.group("table"),
+        weights=weights,
+        k=k,
+        equals=equals,
+        numeric=numeric,
+        projection=projection,
+        explain=bool(match.group("explain")),
+    )

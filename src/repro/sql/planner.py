@@ -1,0 +1,243 @@
+"""Execution of parsed top-k statements against registered relations.
+
+A :class:`Database` holds named relations (optionally with categorical label
+columns) and a per-(table, predicate-set) cache of built indexes: each
+distinct selection gets its own layer index, mirroring how a deployment
+pre-materializes per-partition indexes (the paper's hotel example partitions
+by city).  Numeric WHERE predicates filter the numeric attributes; label
+equality filters the categorical columns; projections select output
+columns; ``EXPLAIN`` exposes the chosen plan and its static cost bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import DLPlusIndex, TopKIndex
+from repro.core.analysis import cost_bounds
+from repro.exceptions import SchemaError, SQLParseError
+from repro.relation import Relation
+from repro.sql.parser import ParsedTopKQuery, parse_topk_query
+from repro.sql.subspace import embed_subspace_weights
+
+_NUMERIC_OPS = {
+    "<=": np.less_equal,
+    ">=": np.greater_equal,
+    "<": np.less,
+    ">": np.greater,
+}
+
+
+@dataclass
+class QueryAnswer:
+    """Result of executing a statement.
+
+    ``ids`` are ids in the registered (global) relation; ``rows`` holds the
+    projected attribute values aligned with ``ids``; ``plan`` is filled for
+    EXPLAIN statements.
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray
+    cost: int
+    algorithm: str
+    columns: tuple[str, ...] = ()
+    rows: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    plan: str = ""
+
+
+class Database:
+    """Named relations + label columns + cached per-selection indexes.
+
+    Parameters
+    ----------
+    index_class:
+        Which top-k index backs query execution (DL+ by default).
+    subspace:
+        When true (default), an ORDER BY that weights only a subset of the
+        numeric attributes is answered as a *subspace query*: unmentioned
+        attributes get an epsilon weight (see :mod:`repro.sql.subspace`).
+        When false, partial ORDER BY clauses are rejected.
+    """
+
+    def __init__(
+        self,
+        index_class: type[TopKIndex] = DLPlusIndex,
+        *,
+        subspace: bool = True,
+    ) -> None:
+        self.index_class = index_class
+        self.subspace = subspace
+        self._tables: dict[str, Relation] = {}
+        self._labels: dict[str, dict[str, np.ndarray]] = {}
+        self._index_cache: dict[tuple, tuple[TopKIndex, np.ndarray]] = {}
+
+    def register(
+        self,
+        name: str,
+        relation: Relation,
+        labels: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        """Register a relation, with optional categorical label columns."""
+        label_map: dict[str, np.ndarray] = {}
+        for column, values in (labels or {}).items():
+            values = np.asarray(values)
+            if values.shape[0] != relation.n:
+                raise SchemaError(
+                    f"label column {column!r} has {values.shape[0]} entries "
+                    f"for {relation.n} tuples"
+                )
+            if column in relation.schema.attributes:
+                raise SchemaError(
+                    f"label column {column!r} clashes with a numeric attribute"
+                )
+            label_map[column] = values
+        self._tables[name] = relation
+        self._labels[name] = label_map
+
+    def execute(self, statement: str | ParsedTopKQuery) -> QueryAnswer:
+        """Parse (if needed) and run one top-k statement."""
+        parsed = self._parse(statement)
+        relation, weights, index, selection = self._plan(parsed)
+        result = index.query(weights, parsed.k)
+        columns, rows = self._project(relation, parsed, selection[result.ids])
+        answer = QueryAnswer(
+            ids=selection[result.ids],
+            scores=result.scores,
+            cost=result.cost,
+            algorithm=index.name,
+            columns=columns,
+            rows=rows,
+        )
+        if parsed.explain:
+            answer.plan = self._render_plan(parsed, weights, index, selection)
+        return answer
+
+    def explain(self, statement: str | ParsedTopKQuery) -> str:
+        """Plan a statement (building/caching its index) without running it."""
+        parsed = self._parse(statement)
+        _, weights, index, selection = self._plan(parsed)
+        return self._render_plan(parsed, weights, index, selection)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _parse(self, statement: str | ParsedTopKQuery) -> ParsedTopKQuery:
+        if isinstance(statement, ParsedTopKQuery):
+            return statement
+        return parse_topk_query(statement)
+
+    def _plan(self, parsed: ParsedTopKQuery):
+        if parsed.table not in self._tables:
+            raise SQLParseError(f"unknown table {parsed.table!r}")
+        relation = self._tables[parsed.table]
+        weights = self._resolve_weights(relation, parsed)
+        index, selection = self._index_for(parsed, relation)
+        return relation, weights, index, selection
+
+    def _resolve_weights(
+        self, relation: Relation, parsed: ParsedTopKQuery
+    ) -> np.ndarray:
+        weights = np.zeros(relation.d, dtype=np.float64)
+        for attr, coeff in parsed.weights.items():
+            weights[relation.schema.index_of(attr)] = coeff
+        if np.any(weights <= 0):
+            if not self.subspace:
+                missing = [
+                    a
+                    for i, a in enumerate(relation.schema.attributes)
+                    if weights[i] <= 0
+                ]
+                raise SQLParseError(
+                    "ORDER BY must weight every attribute positively; "
+                    f"missing {missing}"
+                )
+            weights = embed_subspace_weights(relation.schema, parsed.weights)
+        return weights
+
+    def _selection_mask(
+        self, parsed: ParsedTopKQuery, relation: Relation
+    ) -> np.ndarray:
+        mask = np.ones(relation.n, dtype=bool)
+        labels = self._labels[parsed.table]
+        for column, value in parsed.equals.items():
+            if column not in labels:
+                raise SQLParseError(
+                    f"unknown label column {column!r} in WHERE "
+                    f"(have {sorted(labels)})"
+                )
+            mask &= labels[column] == value
+        for predicate in parsed.numeric:
+            column = relation.schema.index_of(predicate.attribute)
+            mask &= _NUMERIC_OPS[predicate.op](
+                relation.matrix[:, column], predicate.value
+            )
+        return mask
+
+    def _index_for(
+        self, parsed: ParsedTopKQuery, relation: Relation
+    ) -> tuple[TopKIndex, np.ndarray]:
+        key = (
+            parsed.table,
+            tuple(sorted(parsed.equals.items())),
+            tuple(sorted(p.key() for p in parsed.numeric)),
+        )
+        if key in self._index_cache:
+            return self._index_cache[key]
+        mask = self._selection_mask(parsed, relation)
+        selection = np.nonzero(mask)[0].astype(np.intp)
+        if selection.shape[0] == 0:
+            raise SQLParseError("WHERE predicate selects no tuples")
+        subset = relation.subset(selection)
+        index = self.index_class(subset).build()
+        self._index_cache[key] = (index, selection)
+        return index, selection
+
+    def _project(
+        self,
+        relation: Relation,
+        parsed: ParsedTopKQuery,
+        global_ids: np.ndarray,
+    ) -> tuple[tuple[str, ...], np.ndarray]:
+        if parsed.projection is None:
+            columns = relation.schema.attributes
+        else:
+            for column in parsed.projection:
+                relation.schema.index_of(column)  # raises on unknown
+            columns = tuple(parsed.projection)
+        indices = [relation.schema.index_of(c) for c in columns]
+        return columns, relation.take(global_ids)[:, indices]
+
+    def _render_plan(
+        self,
+        parsed: ParsedTopKQuery,
+        weights: np.ndarray,
+        index: TopKIndex,
+        selection: np.ndarray,
+    ) -> str:
+        relation = self._tables[parsed.table]
+        lines = [
+            f"TopK(k={parsed.k}, weights={np.round(weights, 6).tolist()})",
+            f"  index: {index.name} over {selection.shape[0]} of "
+            f"{relation.n} tuples "
+            f"(built in {index.build_stats.seconds:.3f}s, "
+            f"{index.build_stats.num_layers} layers)",
+        ]
+        predicates = [f"{a} = '{v}'" for a, v in sorted(parsed.equals.items())]
+        predicates += [
+            f"{p.attribute} {p.op} {p.value}" for p in parsed.numeric
+        ]
+        if predicates:
+            lines.append(f"  selection: {' AND '.join(predicates)}")
+        structure = getattr(index, "structure", None)
+        if structure is not None:
+            lower, upper = cost_bounds(structure, parsed.k)
+            lines.append(
+                f"  cost bounds: {lower} <= tuples evaluated <= {upper}"
+            )
+        if parsed.projection is not None:
+            lines.append(f"  project: {', '.join(parsed.projection)}")
+        return "\n".join(lines)

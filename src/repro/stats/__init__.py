@@ -1,0 +1,13 @@
+"""Instrumentation: access counters and build statistics.
+
+The paper's evaluation metric (Definition 9) is the number of tuples that are
+*accessed and computed by the scoring function* during query processing, not
+wall-clock time.  Every index in this library reports its work through the
+:class:`~repro.stats.counters.AccessCounter` so that algorithms written with
+very different machinery (graph traversal, TA over sorted lists, plain scans)
+are compared on exactly the same footing.
+"""
+
+from repro.stats.counters import AccessCounter, BuildStats, QueryStats
+
+__all__ = ["AccessCounter", "BuildStats", "QueryStats"]

@@ -1,0 +1,33 @@
+"""Disk-layout substrate: block storage, buffer pool, I/O cost replay.
+
+The paper evaluates in main memory but notes (§VI-A) that all the layer
+indexes "can be modified into disk-based algorithms, where tuples in the
+same layer are stored in the same disk block to reduce I/O cost, as
+discussed in [5]".  This package simulates exactly that: a page-structured
+:class:`~repro.storage.blocks.BlockStore` with pluggable tuple placement
+(layer-clustered vs. insertion order), an LRU
+:class:`~repro.storage.buffer.BufferPool`, and an
+:class:`~repro.storage.iocost.IOCostModel` that replays an index's
+per-query access trace against a layout and reports page faults.
+"""
+
+from repro.storage.blocks import BlockStore, layer_clustered_placement, row_order_placement
+from repro.storage.buffer import BufferPool
+from repro.storage.iocost import IOCostModel, IOReport
+from repro.storage.pages import DEFAULT_PAGE_SIZE, SlottedPage
+from repro.storage.heapfile import HeapFile
+from repro.storage.disk_index import DiskQueryResult, DiskResidentIndex
+
+__all__ = [
+    "BlockStore",
+    "BufferPool",
+    "DEFAULT_PAGE_SIZE",
+    "DiskQueryResult",
+    "DiskResidentIndex",
+    "HeapFile",
+    "IOCostModel",
+    "IOReport",
+    "SlottedPage",
+    "layer_clustered_placement",
+    "row_order_placement",
+]

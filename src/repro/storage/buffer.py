@@ -1,0 +1,54 @@
+"""An LRU buffer pool with hit/miss accounting."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.exceptions import ReproError
+
+
+class BufferPool:
+    """Fixed-capacity page cache with least-recently-used eviction.
+
+    ``access(page)`` returns True on a hit; misses "fault the page in",
+    evicting the least recently used page when full.  Counters expose the
+    totals the I/O cost model reports.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ReproError(f"buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access(self, page: int) -> bool:
+        """Touch a page; returns True on a buffer hit."""
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._pages) >= self.capacity:
+            self._pages.popitem(last=False)
+            self.evictions += 1
+        self._pages[page] = None
+        return False
+
+    @property
+    def resident(self) -> int:
+        """Pages currently cached."""
+        return len(self._pages)
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction tallies (cache content kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def clear(self) -> None:
+        """Drop all cached pages and zero the counters."""
+        self._pages.clear()
+        self.reset_counters()

@@ -1,0 +1,114 @@
+"""Slotted pages: fixed-size byte pages holding float tuples.
+
+The replay model in :mod:`repro.storage.iocost` works on page *ids*; this
+module makes the bytes real, so the disk-resident experiments exercise an
+actual storage path: a :class:`SlottedPage` is a fixed-size ``bytearray``
+with a header (tuple count, dimensionality) and densely packed float64
+tuples plus their tuple ids; pages serialize to/from raw bytes.
+
+Layout (little-endian)::
+
+    [u32 magic][u16 d][u16 count] then count * ([u64 tuple_id][d * f64])
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+#: Default page size in bytes (a common DBMS page).
+DEFAULT_PAGE_SIZE = 4096
+_MAGIC = 0x52505247  # "RPRG"
+_HEADER = struct.Struct("<IHH")
+_SLOT_ID = struct.Struct("<Q")
+
+
+class SlottedPage:
+    """One fixed-size page of ``(tuple_id, values)`` records."""
+
+    def __init__(self, d: int, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if d < 1:
+            raise ReproError(f"dimensionality must be >= 1, got {d}")
+        if page_size < self.slot_size(d) + _HEADER.size:
+            raise ReproError(
+                f"page size {page_size} cannot hold even one {d}-d tuple"
+            )
+        self.d = d
+        self.page_size = page_size
+        self.tuple_ids: list[int] = []
+        self.values: list[np.ndarray] = []
+
+    @staticmethod
+    def slot_size(d: int) -> int:
+        """Bytes per record: id + d float64 values."""
+        return _SLOT_ID.size + 8 * d
+
+    @property
+    def capacity(self) -> int:
+        """Maximum records per page."""
+        return (self.page_size - _HEADER.size) // self.slot_size(self.d)
+
+    @property
+    def count(self) -> int:
+        """Records currently stored."""
+        return len(self.tuple_ids)
+
+    @property
+    def full(self) -> bool:
+        """True when no further record fits."""
+        return self.count >= self.capacity
+
+    def append(self, tuple_id: int, values: np.ndarray) -> None:
+        """Add one record; raises :class:`ReproError` when full."""
+        if self.full:
+            raise ReproError("page is full")
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.d,):
+            raise ReproError(
+                f"expected a {self.d}-vector, got shape {values.shape}"
+            )
+        self.tuple_ids.append(int(tuple_id))
+        self.values.append(values.copy())
+
+    def to_bytes(self) -> bytes:
+        """Serialize to exactly ``page_size`` bytes (zero padded)."""
+        buffer = bytearray(self.page_size)
+        _HEADER.pack_into(buffer, 0, _MAGIC, self.d, self.count)
+        offset = _HEADER.size
+        for tuple_id, values in zip(self.tuple_ids, self.values):
+            _SLOT_ID.pack_into(buffer, offset, tuple_id)
+            offset += _SLOT_ID.size
+            buffer[offset : offset + 8 * self.d] = values.tobytes()
+            offset += 8 * self.d
+        return bytes(buffer)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, page_size: int = DEFAULT_PAGE_SIZE) -> "SlottedPage":
+        """Deserialize a page written by :meth:`to_bytes`."""
+        if len(raw) != page_size:
+            raise ReproError(
+                f"expected {page_size} bytes, got {len(raw)}"
+            )
+        magic, d, count = _HEADER.unpack_from(raw, 0)
+        if magic != _MAGIC:
+            raise ReproError("not a repro page (bad magic)")
+        page = cls(d, page_size)
+        offset = _HEADER.size
+        for _ in range(count):
+            (tuple_id,) = _SLOT_ID.unpack_from(raw, offset)
+            offset += _SLOT_ID.size
+            values = np.frombuffer(raw, dtype=np.float64, count=d, offset=offset)
+            offset += 8 * d
+            page.append(tuple_id, values)
+        return page
+
+    def lookup(self, tuple_id: int) -> np.ndarray | None:
+        """Values of a tuple on this page, or None."""
+        try:
+            slot = self.tuple_ids.index(tuple_id)
+        except ValueError:
+            return None
+        return self.values[slot]

@@ -1,0 +1,102 @@
+"""Estimators and the index advisor."""
+
+import numpy as np
+import pytest
+
+from repro.advisor import (
+    estimate_layer_count,
+    estimate_skyline_size,
+    recommend_index,
+    sample_correlation,
+)
+from repro.data import generate
+from repro.exceptions import EmptyRelationError, InvalidQueryError
+from repro.relation import Relation
+from repro.skyline import skyline, skyline_layers
+
+
+def test_skyline_estimate_exact_on_full_sample():
+    relation = generate("IND", 500, 3, seed=1)
+    estimate = estimate_skyline_size(relation, sample_size=500)
+    assert estimate == skyline(relation.matrix).shape[0]
+
+
+def test_skyline_estimate_within_factor_on_subsample():
+    relation = generate("IND", 8000, 3, seed=2)
+    true_size = skyline(relation.matrix).shape[0]
+    estimate = estimate_skyline_size(relation, sample_size=1000, seed=0)
+    assert true_size / 4 <= estimate <= true_size * 4
+
+
+def test_skyline_estimate_orders_distributions():
+    n = 4000
+    ant = estimate_skyline_size(generate("ANT", n, 3, seed=3), 800)
+    ind = estimate_skyline_size(generate("IND", n, 3, seed=3), 800)
+    cor = estimate_skyline_size(generate("COR", n, 3, seed=3), 800)
+    assert cor < ind < ant
+
+
+def test_layer_count_estimate_reasonable():
+    relation = generate("IND", 3000, 3, seed=4)
+    true_layers = len(skyline_layers(relation.matrix)[0])
+    estimate = estimate_layer_count(relation, sample_size=800)
+    assert true_layers / 4 <= estimate <= true_layers * 4
+
+
+def test_correlation_signs():
+    assert sample_correlation(generate("ANT", 2000, 3, seed=5)) < -0.1
+    assert abs(sample_correlation(generate("IND", 2000, 3, seed=5))) < 0.15
+    assert sample_correlation(generate("COR", 2000, 3, seed=5)) > 0.3
+
+
+def test_correlation_1d_zero():
+    assert sample_correlation(generate("IND", 100, 1, seed=0)) == 0.0
+
+
+def test_tiny_relation_gets_scan():
+    advice = recommend_index(generate("IND", 100, 3, seed=6))
+    assert advice.index_name == "SCAN"
+    assert "tiny" in advice.rationale
+
+
+def test_update_heavy_gets_dynamic():
+    advice = recommend_index(
+        generate("IND", 5000, 3, seed=7), queries_per_update=2.0
+    )
+    assert advice.index_name == "DynamicDualLayerIndex"
+
+
+def test_anticorrelated_gets_dlplus():
+    advice = recommend_index(generate("ANT", 5000, 4, seed=8))
+    assert advice.index_name == "DL+"
+    assert advice.correlation < 0
+
+
+def test_correlated_low_d_gets_dgplus():
+    advice = recommend_index(generate("COR", 5000, 2, seed=9), expected_k=2)
+    assert advice.index_name in ("DG+", "DL+")
+
+
+def test_huge_k_gets_lists():
+    relation = generate("COR", 2000, 2, seed=10)
+    layers = estimate_layer_count(relation)
+    advice = recommend_index(relation, expected_k=int(layers * 10))
+    assert advice.index_name == "TA"
+
+
+def test_describe_mentions_everything():
+    advice = recommend_index(generate("ANT", 5000, 4, seed=11))
+    text = advice.describe()
+    assert "DL+" in text
+    assert "skyline" in text
+    assert "also consider" in text
+
+
+def test_invalid_inputs():
+    relation = generate("IND", 100, 2, seed=0)
+    with pytest.raises(InvalidQueryError):
+        recommend_index(relation, expected_k=0)
+    with pytest.raises(InvalidQueryError):
+        recommend_index(relation, queries_per_update=0.0)
+    with pytest.raises(EmptyRelationError):
+        recommend_index(Relation(np.empty((0, 2))))

@@ -1,0 +1,61 @@
+"""Shared correctness matrix over every baseline index."""
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS
+from repro.data import generate
+from repro.relation import top_k_bruteforce
+
+INDEX_NAMES = sorted(ALGORITHMS)
+
+
+@pytest.fixture(scope="module", params=["IND", "ANT"])
+def workload(request):
+    relation = generate(request.param, 200, 3, seed=13)
+    rng = np.random.default_rng(77)
+    weights = [rng.dirichlet(np.ones(3)) for _ in range(4)]
+    return relation, weights
+
+
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_matches_bruteforce(name, workload):
+    relation, weights = workload
+    index = ALGORITHMS[name](relation).build()
+    for w in weights:
+        for k in (1, 5, 25):
+            result = index.query(w, k)
+            _, ref_scores = top_k_bruteforce(relation.matrix, w, k)
+            np.testing.assert_allclose(
+                np.sort(result.scores), np.sort(ref_scores), atol=1e-9
+            )
+            assert len(result) == len(ref_scores)
+
+
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_scores_ascending_and_ids_valid(name, workload):
+    relation, weights = workload
+    index = ALGORITHMS[name](relation).build()
+    result = index.query(weights[0], 10)
+    assert np.all(np.diff(result.scores) >= -1e-12)
+    assert np.all(result.ids >= 0)
+    assert np.all(result.ids < relation.n)
+    assert np.unique(result.ids).shape[0] == len(result)
+
+
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_cost_positive_and_bounded(name, workload):
+    relation, weights = workload
+    index = ALGORITHMS[name](relation).build()
+    result = index.query(weights[0], 5)
+    assert result.cost >= 1
+    # Real accesses can never exceed the relation size.
+    assert result.counter.real <= relation.n
+
+
+@pytest.mark.parametrize("name", INDEX_NAMES)
+def test_k_exceeding_n(name):
+    relation = generate("IND", 15, 2, seed=3)
+    index = ALGORITHMS[name](relation).build()
+    result = index.query(np.array([0.5, 0.5]), 40)
+    assert len(result) == 15

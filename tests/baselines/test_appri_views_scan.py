@@ -1,0 +1,100 @@
+"""AppRI, PREFER views, scan, and list-based index specifics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AppRIIndex,
+    ListTAIndex,
+    PreferViewIndex,
+    ScanIndex,
+)
+from repro.baselines.appri import dominance_counts
+from repro.baselines.views import watermark_bound
+from repro.data import generate
+from repro.exceptions import IndexCapacityError, ReproError
+from repro.skyline import dominators_of
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate("IND", 250, 3, seed=41)
+
+
+def test_dominance_counts_match_naive(rng):
+    points = rng.random((120, 3))
+    counts = dominance_counts(points)
+    for i in range(points.shape[0]):
+        assert counts[i] == dominators_of(points[i], points).shape[0]
+
+
+def test_dominance_counts_cap():
+    rng = np.random.default_rng(0)
+    points = rng.random((200, 2))
+    capped = dominance_counts(points, cap=3)
+    assert capped.max() <= 3
+
+
+def test_appri_bucket_zero_is_skyline(relation):
+    from repro.skyline import skyline
+
+    index = AppRIIndex(relation).build()
+    np.testing.assert_array_equal(
+        np.sort(index.buckets[0]), skyline(relation.matrix)
+    )
+
+
+def test_appri_max_rank_capacity(relation):
+    index = AppRIIndex(relation, max_rank=5).build()
+    index.query(np.ones(3) / 3, 5)
+    with pytest.raises(IndexCapacityError):
+        index.query(np.ones(3) / 3, 6)
+
+
+def test_scan_cost_is_n(relation):
+    index = ScanIndex(relation).build()
+    assert index.query(np.ones(3) / 3, 5).cost == relation.n
+
+
+def test_watermark_bound_monotone_in_tau():
+    view_w = np.array([0.5, 0.5])
+    query_w = np.array([0.7, 0.3])
+    bounds = [watermark_bound(view_w, query_w, tau) for tau in (0.1, 0.4, 0.8)]
+    assert bounds == sorted(bounds)
+    assert bounds[0] >= 0
+
+
+def test_watermark_bound_is_sound(rng):
+    """No tuple with view score >= tau may beat the bound."""
+    for _ in range(20):
+        view_w = rng.dirichlet([1, 1, 1])
+        query_w = rng.dirichlet([1, 1, 1])
+        tau = float(rng.uniform(0.1, 0.9))
+        bound = watermark_bound(view_w, query_w, tau)
+        points = rng.random((200, 3))
+        eligible = points[points @ view_w >= tau]
+        if eligible.shape[0]:
+            assert (eligible @ query_w).min() >= bound - 1e-9
+
+
+def test_prefer_exact_view_hit_is_cheap(relation):
+    w = np.ones(3) / 3
+    index = PreferViewIndex(relation, view_weights=w[None, :]).build()
+    result = index.query(w, 5)
+    # Walking its own ranking, the watermark fires almost immediately.
+    assert result.cost <= 20
+
+
+def test_prefer_needs_a_view(relation):
+    with pytest.raises(ReproError):
+        PreferViewIndex(relation, views=0)
+
+
+def test_prefer_custom_views_normalized(relation):
+    index = PreferViewIndex(relation, view_weights=np.array([[2.0, 1.0, 1.0]]))
+    np.testing.assert_allclose(index.view_weights.sum(axis=1), 1.0)
+
+
+def test_list_ta_index_cheap_for_top1(relation):
+    index = ListTAIndex(relation).build()
+    assert index.query(np.ones(3) / 3, 1).cost < relation.n

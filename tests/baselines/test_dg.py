@@ -1,0 +1,59 @@
+"""DG / DG+ specifics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DGIndex, DGPlusIndex
+from repro.data import generate
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate("ANT", 300, 3, seed=21)
+
+
+def test_dg_has_no_fine_machinery(relation):
+    index = DGIndex(relation).build()
+    assert index.build_stats.extra["exists_edges"] == 0
+    assert index.build_stats.extra["fine_sublayers"] == index.build_stats.num_layers
+    assert index.structure.n_pseudo == 0
+
+
+def test_dg_complete_access_to_first_layer(relation):
+    """DG evaluates every first-layer tuple on any query (its known cost floor)."""
+    index = DGIndex(relation).build()
+    first_layer_size = index.build_stats.layer_sizes[0]
+    result = index.query(np.ones(3) / 3, 1)
+    assert result.cost >= first_layer_size
+
+
+def test_dgplus_selective_first_layer(relation):
+    dg = DGIndex(relation).build()
+    dgp = DGPlusIndex(relation).build()
+    w = np.ones(3) / 3
+    assert dgp.query(w, 1).counter.real < dg.query(w, 1).counter.real
+
+
+def test_dgplus_uses_flat_pseudo_layer(relation):
+    index = DGPlusIndex(relation).build()
+    assert index.structure.n_pseudo > 0
+    # Flat: every pseudo node is a seed.
+    seeds = index.structure.seeds(np.ones(3) / 3)
+    assert set(seeds.tolist()) == set(
+        range(index.structure.n_real, index.structure.n_nodes)
+    )
+
+
+def test_dgplus_uses_clusters_even_in_2d():
+    relation = generate("IND", 150, 2, seed=4)
+    index = DGPlusIndex(relation).build()
+    assert index.structure.n_pseudo > 0
+    assert index.structure.seed_selector is None
+
+
+def test_dgplus_cluster_count_knob(relation):
+    few = DGPlusIndex(relation, clusters=2, seed=0).build()
+    many = DGPlusIndex(relation, clusters=30, seed=0).build()
+    assert few.structure.n_pseudo <= 2
+    assert many.structure.n_pseudo <= 30
+    assert many.structure.n_pseudo > few.structure.n_pseudo

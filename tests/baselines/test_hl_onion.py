@@ -1,0 +1,64 @@
+"""HL / HL+ / Onion specifics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HLIndex, HLPlusIndex, OnionIndex
+from repro.data import generate
+from repro.exceptions import IndexCapacityError
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate("ANT", 300, 3, seed=31)
+
+
+def test_onion_cost_is_full_layers(relation):
+    index = OnionIndex(relation).build()
+    k = 4
+    result = index.query(np.ones(3) / 3, k)
+    assert result.cost == sum(index.build_stats.layer_sizes[:k])
+
+
+def test_hl_layers_match_onion_layers(relation):
+    onion = OnionIndex(relation).build()
+    hl = HLIndex(relation).build()
+    assert onion.build_stats.layer_sizes == hl.build_stats.layer_sizes
+
+
+def test_hl_selective_within_layers(relation):
+    onion = OnionIndex(relation).build()
+    hl = HLIndex(relation).build()
+    w = np.ones(3) / 3
+    assert hl.query(w, 10).cost <= onion.query(w, 10).cost
+
+
+def test_hlplus_tighter_than_hl(relation, rng):
+    hl = HLIndex(relation).build()
+    hlp = HLPlusIndex(relation).build()
+    total_hl = total_hlp = 0
+    for _ in range(6):
+        w = rng.dirichlet(np.ones(3))
+        total_hl += hl.query(w, 10).cost
+        total_hlp += hlp.query(w, 10).cost
+    assert total_hlp <= total_hl
+
+
+def test_hl_capacity_error_on_partial(relation):
+    index = HLPlusIndex(relation, max_layers=3).build()
+    index.query(np.ones(3) / 3, 3)
+    with pytest.raises(IndexCapacityError):
+        index.query(np.ones(3) / 3, 5)
+
+
+def test_onion_capacity_error_on_partial(relation):
+    index = OnionIndex(relation, max_layers=3).build()
+    index.query(np.ones(3) / 3, 3)
+    with pytest.raises(IndexCapacityError):
+        index.query(np.ones(3) / 3, 5)
+
+
+def test_hlplus_counts_sorted_accesses(relation):
+    index = HLPlusIndex(relation).build()
+    result = index.query(np.ones(3) / 3, 5)
+    assert result.counter.sorted_accesses > 0

@@ -1,0 +1,71 @@
+"""Partitioned-layer (PL) index specifics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OnionIndex, PLIndex
+from repro.data import generate
+from repro.exceptions import IndexCapacityError, ReproError
+from repro.relation import top_k_bruteforce
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate("ANT", 400, 3, seed=51)
+
+
+def test_matches_bruteforce(relation, rng):
+    index = PLIndex(relation, partitions=4).build()
+    for _ in range(6):
+        w = np.clip(rng.dirichlet(np.ones(3)), 1e-6, None)
+        for k in (1, 5, 20):
+            result = index.query(w, k)
+            _, ref = top_k_bruteforce(relation.matrix, w / w.sum(), k)
+            np.testing.assert_allclose(np.sort(result.scores), np.sort(ref), atol=1e-9)
+
+
+def test_single_partition_equals_onion_cost(relation):
+    pl = PLIndex(relation, partitions=1, seed=0).build()
+    onion = OnionIndex(relation).build()
+    w = np.ones(3) / 3
+    assert pl.query(w, 5).cost == onion.query(w, 5).cost
+
+
+def test_partitions_recorded(relation):
+    index = PLIndex(relation, partitions=4).build()
+    assert index.build_stats.extra["partitions"] == 4.0
+    assert index.build_stats.num_layers >= 1
+
+
+def test_builds_faster_layers_than_onion():
+    """Per-partition peels touch smaller point sets (the PL selling point)."""
+    relation = generate("IND", 3000, 3, seed=5)
+    pl = PLIndex(relation, partitions=8, max_layers=10).build()
+    onion = OnionIndex(relation, max_layers=10).build()
+    # Not asserting wall-clock (noisy); assert partition layers are smaller.
+    assert max(pl.build_stats.layer_sizes) >= max(onion.build_stats.layer_sizes)
+
+
+def test_cost_grows_with_partitions(relation):
+    w = np.ones(3) / 3
+    few = PLIndex(relation, partitions=2, seed=0).build().query(w, 10).cost
+    many = PLIndex(relation, partitions=16, seed=0).build().query(w, 10).cost
+    assert few <= many
+
+
+def test_capacity_error(relation):
+    index = PLIndex(relation, partitions=4, max_layers=3).build()
+    index.query(np.ones(3) / 3, 3)
+    with pytest.raises(IndexCapacityError):
+        index.query(np.ones(3) / 3, 5)
+
+
+def test_invalid_partitions(relation):
+    with pytest.raises(ReproError):
+        PLIndex(relation, partitions=0)
+
+
+def test_k_exceeds_n():
+    relation = generate("IND", 12, 2, seed=1)
+    index = PLIndex(relation, partitions=3).build()
+    assert len(index.query(np.array([0.5, 0.5]), 50)) == 12

@@ -1,0 +1,43 @@
+"""Experiment grid declarations."""
+
+from repro.bench import EXPERIMENTS
+from repro.bench.experiments import ALGORITHM_CLASSES
+
+
+def test_every_paper_table_and_figure_present():
+    expected = {
+        "table4",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_specs_reference_known_algorithms():
+    known = set(ALGORITHM_CLASSES) | {"HL"}
+    for spec in EXPERIMENTS.values():
+        for name in spec.algorithms:
+            assert name in known, f"{spec.experiment_id} references {name}"
+
+
+def test_sweep_specs_have_values_and_ratio():
+    for spec in EXPERIMENTS.values():
+        if spec.parameter == "build":
+            continue
+        assert spec.values, spec.experiment_id
+        assert spec.ratio is not None
+        assert spec.ratio[0] in spec.algorithms
+        assert spec.ratio[1] in spec.algorithms
+
+
+def test_expected_shapes_documented():
+    for spec in EXPERIMENTS.values():
+        assert len(spec.expected_shape) > 20
+        assert spec.distributions == ("IND", "ANT")

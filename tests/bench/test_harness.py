@@ -1,0 +1,98 @@
+"""Benchmark harness: workloads, cells, sweeps, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DGIndex, ScanIndex
+from repro.bench import (
+    BenchConfig,
+    Workload,
+    build_index,
+    format_build_table,
+    format_series_table,
+    measure_cost,
+    query_weights,
+    run_sweep,
+)
+from repro.core import DLIndex
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload.make("IND", 150, 3, queries=4, seed=1)
+
+
+def test_workload_construction(workload):
+    assert workload.relation.n == 150
+    assert len(workload.weights) == 4
+    for w in workload.weights:
+        assert w.shape == (3,)
+        assert w.sum() == pytest.approx(1.0)
+
+
+def test_query_weights_deterministic():
+    a = query_weights(3, 5, seed=9)
+    b = query_weights(3, 5, seed=9)
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+def test_bench_config_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_N", "1234")
+    monkeypatch.setenv("REPRO_BENCH_QUERIES", "7")
+    config = BenchConfig()
+    assert config.n == 1234
+    assert config.queries == 7
+    assert config.scaled_n(4) == 1234
+    assert config.scaled_n(5) == 617
+
+
+def test_measure_cost_scan_exact(workload):
+    index = ScanIndex(workload.relation).build()
+    cell = measure_cost(index, workload, 5)
+    assert cell.mean_cost == 150.0
+    assert cell.min_cost == cell.max_cost == 150
+    assert cell.algorithm == "SCAN"
+    assert cell.k == 5
+
+
+def test_build_index_respects_max_k(workload):
+    index = build_index(DLIndex, workload, max_k=3)
+    assert index.max_layers == 3
+    scan = build_index(ScanIndex, workload, max_k=3)  # no max_layers kwarg
+    assert scan.name == "SCAN"
+
+
+def test_run_sweep_shares_indexes(workload):
+    sweep = run_sweep(
+        "k",
+        [1, 3, 5],
+        {"DL": DLIndex, "DG": DGIndex},
+        workload_for=lambda value: workload,
+        k_for=lambda value: value,
+    )
+    assert sweep.values == [1, 3, 5]
+    assert set(sweep.series) == {"DL", "DG"}
+    dl_costs = sweep.mean_series("DL")
+    assert dl_costs == sorted(dl_costs), "cost grows with k"
+
+
+def test_format_series_table(workload):
+    sweep = run_sweep(
+        "k",
+        [1, 2],
+        {"DL": DLIndex, "DG": DGIndex},
+        workload_for=lambda value: workload,
+        k_for=lambda value: value,
+    )
+    text = format_series_table("demo", sweep, ratio=("DG", "DL"))
+    assert "DG/DL" in text
+    assert "demo" in text
+    assert len(text.splitlines()) >= 6
+
+
+def test_format_build_table(workload):
+    index = DLIndex(workload.relation).build()
+    text = format_build_table("builds", [index.build_stats])
+    assert "DL" in text
+    assert "seconds" in text

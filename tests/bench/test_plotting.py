@@ -1,0 +1,58 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.bench.harness import CellResult, SweepResult
+from repro.bench.plotting import ascii_series_chart
+
+
+def make_sweep():
+    sweep = SweepResult(parameter="k", values=[10, 20])
+    for name, costs in (("DG", [100.0, 200.0]), ("DL", [30.0, 60.0])):
+        sweep.series[name] = [
+            CellResult(
+                algorithm=name,
+                distribution="IND",
+                n=100,
+                d=2,
+                k=k,
+                mean_cost=cost,
+                min_cost=int(cost),
+                max_cost=int(cost),
+                mean_real=cost,
+                mean_pseudo=0.0,
+            )
+            for k, cost in zip([10, 20], costs)
+        ]
+    return sweep
+
+
+def test_chart_contains_all_groups_and_bars():
+    text = ascii_series_chart("demo", make_sweep())
+    assert "demo" in text
+    assert text.count("k = ") == 2
+    assert text.count("DG |") == 2
+    assert text.count("DL |") == 2
+    assert "100.0" in text and "60.0" in text
+
+
+def test_log_bars_ordered_by_cost():
+    text = ascii_series_chart("demo", make_sweep(), log=True)
+    lines = [l for l in text.splitlines() if "|" in l]
+    dg_bar = lines[0].split("|")[1].split()[0]
+    dl_bar = lines[1].split("|")[1].split()[0]
+    assert len(dg_bar) > len(dl_bar)
+
+
+def test_linear_scale():
+    text = ascii_series_chart("demo", make_sweep(), log=False)
+    assert "linear scale" in text
+
+
+def test_zero_costs_handled():
+    sweep = make_sweep()
+    for cells in sweep.series.values():
+        for cell in cells:
+            cell.mean_cost = 0.0
+    text = ascii_series_chart("demo", sweep)
+    assert "0.0" in text

@@ -1,0 +1,69 @@
+"""k-means from scratch."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import kmeans
+from repro.exceptions import ReproError
+
+
+def test_separated_blobs_recovered(rng):
+    blob_a = rng.normal([0.2, 0.2], 0.02, size=(40, 2))
+    blob_b = rng.normal([0.8, 0.8], 0.02, size=(40, 2))
+    points = np.vstack([blob_a, blob_b])
+    result = kmeans(points, 2, seed=0)
+    assert result.k == 2
+    # All of blob A in one cluster, all of blob B in the other.
+    assert len(set(result.labels[:40].tolist())) == 1
+    assert len(set(result.labels[40:].tolist())) == 1
+    assert result.labels[0] != result.labels[40]
+
+
+def test_labels_shape_and_range(rng):
+    points = rng.random((100, 3))
+    result = kmeans(points, 5, seed=1)
+    assert result.labels.shape == (100,)
+    assert result.labels.min() >= 0
+    assert result.labels.max() < result.k
+    assert result.centroids.shape == (result.k, 3)
+
+
+def test_every_cluster_nonempty(rng):
+    points = rng.random((50, 2))
+    result = kmeans(points, 10, seed=2)
+    for c in range(result.k):
+        assert np.any(result.labels == c)
+
+
+def test_k_clamped_to_distinct_points():
+    points = np.tile([0.5, 0.5], (8, 1))
+    result = kmeans(points, 4, seed=0)
+    assert result.k == 1
+    assert np.all(result.labels == 0)
+
+
+def test_deterministic_given_seed(rng):
+    points = rng.random((60, 2))
+    a = kmeans(points, 4, seed=9)
+    b = kmeans(points, 4, seed=9)
+    np.testing.assert_array_equal(a.labels, b.labels)
+
+
+def test_inertia_decreases_with_more_clusters(rng):
+    points = rng.random((200, 2))
+    few = kmeans(points, 2, seed=3)
+    many = kmeans(points, 12, seed=3)
+    assert many.inertia < few.inertia
+
+
+def test_invalid_inputs():
+    with pytest.raises(ReproError):
+        kmeans(np.empty((0, 2)), 2)
+    with pytest.raises(ReproError):
+        kmeans(np.ones((5, 2)), 0)
+
+
+def test_single_point():
+    result = kmeans(np.array([[0.3, 0.7]]), 3)
+    assert result.k == 1
+    assert result.inertia == pytest.approx(0.0)

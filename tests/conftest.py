@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate
+from repro.data.hotels import HOTEL_NAMES, toy_hotels
+
+
+@pytest.fixture(scope="session")
+def toy():
+    """The paper's Fig. 1 toy hotel relation."""
+    return toy_hotels()
+
+
+@pytest.fixture(scope="session")
+def toy_ids():
+    """Name → tuple id mapping for the toy hotels."""
+    return {name: i for i, name in enumerate(HOTEL_NAMES)}
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic random generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session", params=["IND", "ANT"])
+def small_relation(request):
+    """A small relation of each benchmark distribution (d=3)."""
+    return generate(request.param, 250, 3, seed=9)
+
+
+def names_of(ids) -> set[str]:
+    """Toy-hotel names for a collection of ids (test helper)."""
+    return {HOTEL_NAMES[int(i)] for i in ids}

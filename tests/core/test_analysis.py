@@ -1,0 +1,83 @@
+"""Index introspection: profiles, cost bounds, networkx export."""
+
+import numpy as np
+import pytest
+
+from repro.core import DLIndex, DLPlusIndex
+from repro.core.analysis import cost_bounds, profile_structure, to_networkx
+from repro.data import generate
+
+
+@pytest.fixture(scope="module")
+def built():
+    relation = generate("ANT", 300, 3, seed=23)
+    return relation, DLIndex(relation).build()
+
+
+def test_profile_counts_match_build_stats(built):
+    relation, index = built
+    report = profile_structure(index.structure)
+    assert report.n_real == relation.n
+    assert report.num_coarse_layers == index.build_stats.num_layers
+    assert [layer.size for layer in report.layers] == index.build_stats.layer_sizes
+    assert report.forall_edges == index.build_stats.extra["forall_edges"]
+    assert report.exists_edges == index.build_stats.extra["exists_edges"]
+    assert sum(layer.size for layer in report.layers) == relation.n
+
+
+def test_profile_sublayer_sizes_sum(built):
+    _, index = built
+    report = profile_structure(index.structure)
+    for layer in report.layers:
+        assert sum(layer.sublayer_sizes) == layer.size
+        assert len(layer.sublayer_sizes) == layer.fine_sublayers
+
+
+def test_describe_mentions_every_layer(built):
+    _, index = built
+    report = profile_structure(index.structure)
+    text = report.describe()
+    assert f"L{report.num_coarse_layers}" in text
+    assert "forall" in text
+
+
+def test_cost_bounds_hold_for_actual_queries(built):
+    relation, index = built
+    rng = np.random.default_rng(3)
+    for k in (1, 5, 20):
+        lower, upper = cost_bounds(index.structure, k)
+        assert lower <= upper
+        for _ in range(5):
+            w = rng.dirichlet(np.ones(3))
+            cost = index.query(np.clip(w, 1e-6, None), k).cost
+            assert lower <= cost <= upper
+
+
+def test_cost_bounds_with_zero_layer():
+    relation = generate("IND", 200, 3, seed=9)
+    index = DLPlusIndex(relation).build()
+    lower, upper = cost_bounds(index.structure, 5)
+    cost = index.query(np.ones(3) / 3, 5).cost
+    assert lower <= cost <= upper
+
+
+def test_networkx_export(built):
+    relation, index = built
+    graph = to_networkx(index.structure)
+    assert graph.number_of_nodes() == index.structure.n_nodes
+    counts = index.structure.edge_counts()
+    assert graph.number_of_edges() == counts["forall_edges"] + counts["exists_edges"]
+    gates = {data["gate"] for _, _, data in graph.edges(data=True)}
+    assert gates == {"forall", "exists"}
+    # The gated graph is a DAG (required for traversal termination).
+    import networkx as nx
+
+    assert nx.is_directed_acyclic_graph(graph)
+
+
+def test_networkx_node_attributes(built):
+    _, index = built
+    graph = to_networkx(index.structure)
+    node0 = graph.nodes[0]
+    assert node0["kind"] == "real"
+    assert node0["coarse"] >= 0

@@ -1,0 +1,104 @@
+"""Algorithm 1: dual-layer construction invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.build import build_dual_layer
+from repro.data import generate
+from repro.skyline import skyline_layers
+
+
+@pytest.fixture(scope="module", params=["IND", "ANT"])
+def relation(request):
+    return generate(request.param, 250, 3, seed=5)
+
+
+def test_coarse_layers_match_skyline_peel(relation):
+    blueprint = build_dual_layer(relation.matrix)
+    layers, _ = skyline_layers(relation.matrix)
+    assert len(blueprint.coarse_layers) == len(layers)
+    for mine, reference in zip(blueprint.coarse_layers, layers):
+        np.testing.assert_array_equal(mine, reference)
+
+
+def test_fine_layers_partition_each_coarse_layer(relation):
+    blueprint = build_dual_layer(relation.matrix)
+    for coarse, sublayers in zip(blueprint.coarse_layers, blueprint.fine_layers):
+        union = np.sort(np.concatenate(sublayers))
+        np.testing.assert_array_equal(union, np.sort(coarse))
+        assert len(sublayers) >= 1
+
+
+def test_seeds_are_first_fine_sublayer(relation):
+    blueprint = build_dual_layer(relation.matrix)
+    np.testing.assert_array_equal(
+        np.sort(blueprint.structure.static_seeds),
+        np.sort(blueprint.fine_layers[0][0]),
+    )
+
+
+def test_exists_gates_only_inside_coarse_layers(relation):
+    blueprint = build_dual_layer(relation.matrix)
+    structure = blueprint.structure
+    for node in range(structure.n_real):
+        for child in structure.exists_children[node]:
+            assert structure.coarse_of[int(child)] == structure.coarse_of[node]
+            assert structure.fine_of[int(child)] == structure.fine_of[node] + 1
+
+
+def test_forall_gates_cross_adjacent_coarse_layers(relation):
+    blueprint = build_dual_layer(relation.matrix)
+    structure = blueprint.structure
+    for node in range(structure.n_real):
+        for child in structure.forall_children[node]:
+            assert (
+                structure.coarse_of[int(child)] == structure.coarse_of[node] + 1
+            )
+
+
+def test_forall_parents_are_dominators(relation):
+    blueprint = build_dual_layer(relation.matrix)
+    structure = blueprint.structure
+    points = relation.matrix
+    for node in range(structure.n_real):
+        for child in structure.forall_children[node]:
+            child = int(child)
+            assert np.all(points[node] <= points[child])
+            assert np.any(points[node] < points[child])
+
+
+def test_dg_mode_has_no_fine_structure(relation):
+    blueprint = build_dual_layer(relation.matrix, fine_sublayers=False)
+    assert all(len(sublayers) == 1 for sublayers in blueprint.fine_layers)
+    assert blueprint.structure.edge_counts()["exists_edges"] == 0
+    np.testing.assert_array_equal(
+        np.sort(blueprint.structure.static_seeds),
+        np.sort(blueprint.coarse_layers[0]),
+    )
+
+
+def test_max_layers_partial_build(relation):
+    blueprint = build_dual_layer(relation.matrix, max_layers=2)
+    assert len(blueprint.coarse_layers) == 2
+    assert not blueprint.structure.complete
+    assert blueprint.leftover.shape[0] == relation.n - sum(
+        layer.shape[0] for layer in blueprint.coarse_layers
+    )
+
+
+def test_dl_has_at_least_as_many_sublayers_as_coarse(relation):
+    blueprint = build_dual_layer(relation.matrix)
+    total_subs = sum(len(s) for s in blueprint.fine_layers)
+    assert total_subs >= len(blueprint.coarse_layers)
+
+
+def test_empty_input():
+    blueprint = build_dual_layer(np.empty((0, 2)))
+    assert blueprint.coarse_layers == []
+    assert blueprint.structure.n_nodes == 0
+
+
+def test_duplicates_all_placed():
+    points = np.tile([0.4, 0.6], (6, 1))
+    blueprint = build_dual_layer(points)
+    assert sum(l.shape[0] for l in blueprint.coarse_layers) == 6

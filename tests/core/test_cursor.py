@@ -1,0 +1,96 @@
+"""Resumable top-k cursor."""
+
+import numpy as np
+import pytest
+
+from repro.core import DLIndex, DLPlusIndex
+from repro.core.build import build_dual_layer
+from repro.core.cursor import TopKCursor
+from repro.data import generate
+from repro.exceptions import IndexCapacityError, InvalidQueryError
+from repro.relation import top_k_bruteforce
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate("ANT", 250, 3, seed=29)
+
+
+def test_paged_fetch_equals_single_query(relation):
+    index = DLIndex(relation).build()
+    w = np.array([0.2, 0.5, 0.3])
+    cursor = TopKCursor(index.structure, w)
+    pages = [cursor.fetch(7) for _ in range(3)]
+    ids = np.concatenate([p[0] for p in pages])
+    scores = np.concatenate([p[1] for p in pages])
+    ref_ids, ref_scores = top_k_bruteforce(relation.matrix, w / w.sum(), 21)
+    np.testing.assert_allclose(scores, ref_scores, atol=1e-12)
+    assert np.all(np.diff(scores) >= 0)
+    assert cursor.emitted == 21
+
+
+def test_incremental_cost_no_worse_than_flat(relation):
+    """Paging 3x7 costs no more than a fresh top-21 query."""
+    index = DLIndex(relation).build()
+    w = np.ones(3) / 3
+    cursor = TopKCursor(index.structure, w)
+    for _ in range(3):
+        cursor.fetch(7)
+    flat = index.query(w, 21)
+    assert cursor.counter.total <= flat.cost
+
+
+def test_marginal_page_cost_is_small(relation):
+    index = DLIndex(relation).build()
+    cursor = TopKCursor(index.structure, np.ones(3) / 3)
+    cursor.fetch(10)
+    cost_before = cursor.counter.total
+    cursor.fetch(10)
+    marginal = cursor.counter.total - cost_before
+    fresh = index.query(np.ones(3) / 3, 20).cost
+    assert marginal < fresh
+
+
+def test_exhaustion(relation):
+    index = DLIndex(relation).build()
+    cursor = TopKCursor(index.structure, np.ones(3) / 3)
+    ids, _ = cursor.fetch(relation.n + 50)
+    assert ids.shape[0] == relation.n
+    assert cursor.exhausted
+    more, _ = cursor.fetch(5)
+    assert more.shape[0] == 0
+
+
+def test_iteration_protocol(relation):
+    index = DLIndex(relation).build()
+    w = np.ones(3) / 3
+    pairs = list(TopKCursor(index.structure, w))
+    assert len(pairs) == relation.n
+    scores = [s for _, s in pairs]
+    assert scores == sorted(scores)
+    ref_ids, ref_scores = top_k_bruteforce(relation.matrix, w, relation.n)
+    np.testing.assert_allclose(scores, ref_scores, atol=1e-12)
+
+
+def test_cursor_with_zero_layer(relation):
+    index = DLPlusIndex(relation).build()
+    cursor = TopKCursor(index.structure, np.ones(3) / 3)
+    ids, scores = cursor.fetch(10)
+    ref_ids, ref_scores = top_k_bruteforce(relation.matrix, np.ones(3) / 3, 10)
+    np.testing.assert_allclose(scores, ref_scores, atol=1e-12)
+    assert np.all(ids < relation.n)  # pseudo nodes never emitted
+
+
+def test_capacity_error_on_partial(relation):
+    structure = build_dual_layer(relation.matrix, max_layers=4).structure
+    cursor = TopKCursor(structure, np.ones(3) / 3)
+    cursor.fetch(4)
+    with pytest.raises(IndexCapacityError):
+        cursor.fetch(1)
+
+
+def test_invalid_fetch_size(relation):
+    index = DLIndex(relation).build()
+    cursor = TopKCursor(index.structure, np.ones(3) / 3)
+    with pytest.raises(InvalidQueryError):
+        cursor.fetch(0)

@@ -1,0 +1,103 @@
+"""∃-dominance-set assignment: coverage, witnesses, fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.core.eds import assign_covering_facets
+from repro.exceptions import IndexConstructionError
+from repro.geometry import convex_combination_dominates
+from repro.geometry.convex_skyline import convex_skyline_with_facets
+
+
+def peel_once(points):
+    """(sublayer points, facets, residual points) of one convex peel."""
+    vertices, facets = convex_skyline_with_facets(points)
+    mask = np.ones(points.shape[0], dtype=bool)
+    mask[vertices] = False
+    return points[vertices], _relocalize(facets, vertices), points[mask]
+
+
+def _relocalize(facets, vertices):
+    from dataclasses import replace
+
+    position = {int(v): i for i, v in enumerate(vertices)}
+    return [
+        replace(
+            f,
+            members=np.asarray([position[int(m)] for m in f.members], dtype=np.intp),
+        )
+        for f in facets
+    ]
+
+
+@pytest.mark.parametrize("d", [2, 3, 4])
+def test_every_assignment_is_a_true_eds(d, rng):
+    """Each assigned parent set admits a convex combination below its target."""
+    from repro.skyline import skyline
+
+    points = rng.random((300, d))
+    layer = points[skyline(points)]
+    sub_points, facets, residual = peel_once(layer)
+    if residual.shape[0] == 0:
+        pytest.skip("layer had a single sublayer")
+    assignments = assign_covering_facets(sub_points, facets, residual)
+    assert len(assignments) == residual.shape[0]
+    for parents, target in zip(assignments, residual):
+        assert parents.shape[0] >= 1
+        assert convex_combination_dominates(sub_points[parents], target, tol=1e-6)
+
+
+@pytest.mark.parametrize("d", [2, 3, 4])
+def test_lemma2_score_guarantee(d, rng):
+    """Some parent scores weakly below the gated tuple for every w > 0."""
+    from repro.skyline import skyline
+
+    points = rng.random((200, d))
+    layer = points[skyline(points)]
+    sub_points, facets, residual = peel_once(layer)
+    if residual.shape[0] == 0:
+        pytest.skip("layer had a single sublayer")
+    assignments = assign_covering_facets(sub_points, facets, residual)
+    for _ in range(10):
+        w = rng.dirichlet(np.ones(d))
+        residual_scores = residual @ w
+        for parents, target_score in zip(assignments, residual_scores):
+            assert (sub_points[parents] @ w).min() <= target_score + 1e-7
+
+
+def test_single_point_dominator_fast_path():
+    prev = np.array([[0.1, 0.1]])
+    facets = _relocalize(*_single_facet(prev))
+    assignments = assign_covering_facets(prev, facets, np.array([[0.5, 0.5]]))
+    np.testing.assert_array_equal(assignments[0], [0])
+
+
+def _single_facet(prev):
+    vertices, facets = convex_skyline_with_facets(prev)
+    return facets, vertices
+
+
+def test_uncoverable_target_raises():
+    prev = np.array([[0.5, 0.5], [0.6, 0.4]])
+    vertices, facets = convex_skyline_with_facets(prev)
+    with pytest.raises(IndexConstructionError, match="coverage violated"):
+        assign_covering_facets(prev, facets, np.array([[0.0, 0.0]]))
+
+
+def test_empty_targets():
+    prev = np.array([[0.1, 0.1]])
+    vertices, facets = convex_skyline_with_facets(prev)
+    assert assign_covering_facets(prev, facets, np.empty((0, 2))) == []
+
+
+def test_empty_sublayer_rejected():
+    with pytest.raises(IndexConstructionError, match="empty sublayer"):
+        assign_covering_facets(np.empty((0, 2)), [], np.array([[0.5, 0.5]]))
+
+
+def test_duplicate_target_covered_by_weak_dominance():
+    """A tuple equal to a sublayer vertex is covered via weak contact."""
+    prev = np.array([[0.2, 0.8], [0.8, 0.2]])
+    vertices, facets = convex_skyline_with_facets(prev)
+    assignments = assign_covering_facets(prev, facets, np.array([[0.2, 0.8]]))
+    assert assignments[0].shape[0] >= 1

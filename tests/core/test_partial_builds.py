@@ -1,0 +1,61 @@
+"""Bounded (max_layers) builds interacting with zero layers and queries."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DGPlusIndex
+from repro.core import DLIndex, DLPlusIndex
+from repro.data import generate
+from repro.exceptions import IndexCapacityError
+from repro.relation import top_k_bruteforce
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate("ANT", 500, 3, seed=61)
+
+
+@pytest.mark.parametrize("cls", [DLPlusIndex, DGPlusIndex])
+def test_partial_build_with_zero_layer_correct(cls, relation, rng):
+    index = cls(relation, max_layers=5).build()
+    assert not index.structure.complete
+    for _ in range(5):
+        w = np.clip(rng.dirichlet(np.ones(3)), 1e-6, None)
+        result = index.query(w, 5)
+        _, ref = top_k_bruteforce(relation.matrix, w / w.sum(), 5)
+        np.testing.assert_allclose(np.sort(result.scores), np.sort(ref), atol=1e-9)
+
+
+def test_partial_build_capacity_respects_coarse_layers(relation):
+    index = DLPlusIndex(relation, max_layers=4).build()
+    index.query(np.ones(3) / 3, 4)
+    with pytest.raises(IndexCapacityError):
+        index.query(np.ones(3) / 3, 5)
+
+
+def test_partial_2d_chain_zero_layer():
+    relation = generate("IND", 400, 2, seed=62)
+    index = DLPlusIndex(relation, max_layers=3).build()
+    result = index.query(np.array([0.3, 0.7]), 1)
+    assert result.cost == 1
+    _, ref = top_k_bruteforce(relation.matrix, np.array([0.3, 0.7]), 1)
+    np.testing.assert_allclose(result.scores, ref, atol=1e-12)
+
+
+def test_partial_vs_full_same_answers(relation, rng):
+    partial = DLIndex(relation, max_layers=6).build()
+    full = DLIndex(relation).build()
+    for _ in range(5):
+        w = np.clip(rng.dirichlet(np.ones(3)), 1e-6, None)
+        a = partial.query(w, 6)
+        b = full.query(w, 6)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        # Partial and full structures gate identically within shared layers.
+        assert a.cost == b.cost
+
+
+def test_leftover_accounting(relation):
+    index = DLIndex(relation, max_layers=2).build()
+    blueprint = index.blueprint
+    materialized = sum(layer.shape[0] for layer in blueprint.coarse_layers)
+    assert materialized + blueprint.leftover.shape[0] == relation.n

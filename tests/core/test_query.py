@@ -1,0 +1,80 @@
+"""Algorithm 2: the gated traversal engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.build import build_dual_layer
+from repro.core.query import process_top_k
+from repro.data import generate
+from repro.exceptions import IndexCapacityError
+from repro.relation import top_k_bruteforce
+from repro.stats import AccessCounter
+
+
+def test_results_sorted_and_correct(rng):
+    relation = generate("IND", 200, 3, seed=2)
+    structure = build_dual_layer(relation.matrix).structure
+    for _ in range(5):
+        w = rng.dirichlet(np.ones(3))
+        counter = AccessCounter()
+        ids, scores = process_top_k(structure, w, 10, counter)
+        assert np.all(np.diff(scores) >= 0)
+        _, ref_scores = top_k_bruteforce(relation.matrix, w, 10)
+        np.testing.assert_allclose(scores, ref_scores, atol=1e-12)
+
+
+def test_cost_counts_each_access_once(rng):
+    relation = generate("IND", 150, 2, seed=3)
+    structure = build_dual_layer(relation.matrix).structure
+    counter = AccessCounter()
+    process_top_k(structure, np.array([0.5, 0.5]), 5, counter)
+    # Cost is bounded by the number of nodes and at least k.
+    assert 5 <= counter.total <= structure.n_nodes
+
+
+def test_cost_at_most_n_even_for_full_k(rng):
+    relation = generate("ANT", 120, 3, seed=4)
+    structure = build_dual_layer(relation.matrix).structure
+    counter = AccessCounter()
+    ids, _ = process_top_k(structure, np.ones(3) / 3, 120, counter)
+    assert ids.shape[0] == 120
+    assert np.unique(ids).shape[0] == 120
+    assert counter.total == 120
+
+
+def test_capacity_error_on_partial_structure():
+    relation = generate("IND", 200, 2, seed=5)
+    structure = build_dual_layer(relation.matrix, max_layers=3).structure
+    counter = AccessCounter()
+    # k within the materialized layers: fine.
+    process_top_k(structure, np.array([0.5, 0.5]), 3, counter)
+    with pytest.raises(IndexCapacityError):
+        process_top_k(structure, np.array([0.5, 0.5]), 4, AccessCounter())
+
+
+def test_partial_structure_answers_match_bruteforce(rng):
+    relation = generate("ANT", 300, 3, seed=6)
+    structure = build_dual_layer(relation.matrix, max_layers=5).structure
+    for _ in range(5):
+        w = rng.dirichlet(np.ones(3))
+        ids, scores = process_top_k(structure, w, 5, AccessCounter())
+        _, ref = top_k_bruteforce(relation.matrix, w, 5)
+        np.testing.assert_allclose(scores, ref, atol=1e-12)
+
+
+def test_pseudo_nodes_counted_separately():
+    from repro.core.index import DLPlusIndex
+
+    relation = generate("IND", 200, 3, seed=7)
+    index = DLPlusIndex(relation).build()
+    result = index.query(np.ones(3) / 3, 5)
+    assert result.counter.pseudo > 0
+    assert result.counter.real >= 5
+    # Pseudo nodes are never emitted.
+    assert np.all(result.ids < relation.n)
+
+
+def test_empty_structure():
+    structure = build_dual_layer(np.empty((0, 2))).structure
+    ids, scores = process_top_k(structure, np.array([0.5, 0.5]), 0, AccessCounter())
+    assert ids.shape == (0,)

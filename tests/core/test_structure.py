@@ -1,0 +1,90 @@
+"""StructureBuilder / LayerStructure invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.structure import StructureBuilder
+from repro.exceptions import IndexConstructionError
+
+
+def minimal_points(n=4):
+    return np.linspace(0.1, 0.9, n * 2).reshape(n, 2)
+
+
+def test_gates_and_children_wiring():
+    builder = StructureBuilder(minimal_points())
+    for node in range(4):
+        builder.place(node, 0, 0)
+    builder.static_seeds.extend([0, 1])
+    builder.add_forall_parents(2, [0, 1])
+    builder.add_exists_parents(3, [0])
+    structure = builder.freeze()
+    assert structure.forall_parent_count[2] == 2
+    assert structure.exists_gated[3]
+    assert not structure.exists_gated[2]
+    assert 2 in structure.forall_children[0]
+    assert 2 in structure.forall_children[1]
+    assert 3 in structure.exists_children[0]
+    assert structure.edge_counts() == {"forall_edges": 2, "exists_edges": 1}
+
+
+def test_duplicate_parents_deduped():
+    builder = StructureBuilder(minimal_points())
+    for node in range(4):
+        builder.place(node, 0, 0)
+    builder.static_seeds.extend([0, 1, 3])
+    builder.add_forall_parents(2, [0, 0, 1, 1])
+    structure = builder.freeze()
+    assert structure.forall_parent_count[2] == 2
+
+
+def test_pseudo_nodes():
+    builder = StructureBuilder(minimal_points())
+    pseudo = builder.add_pseudo_node(np.array([0.05, 0.05]))
+    assert pseudo == 4
+    builder.place(pseudo, 0, 0)
+    builder.static_seeds.append(pseudo)
+    for node in range(4):
+        builder.place(node, 1, 0)
+        builder.add_forall_parents(node, [pseudo])
+    structure = builder.freeze()
+    assert structure.n_real == 4
+    assert structure.n_pseudo == 1
+    assert structure.is_pseudo(4)
+    assert not structure.is_pseudo(3)
+    np.testing.assert_allclose(structure.values[4], [0.05, 0.05])
+
+
+def test_unreachable_node_rejected():
+    builder = StructureBuilder(minimal_points())
+    for node in range(4):
+        builder.place(node, 0, 0)
+    builder.static_seeds.append(0)  # nodes 1..3 gateless and unseeded
+    with pytest.raises(IndexConstructionError, match="unreachable"):
+        builder.freeze()
+
+
+def test_incomplete_placement_rejected():
+    builder = StructureBuilder(minimal_points())
+    builder.place(0, 0, 0)
+    builder.static_seeds.append(0)
+    with pytest.raises(IndexConstructionError, match="place every node"):
+        builder.freeze()
+
+
+def test_partial_build_allowed_when_incomplete():
+    builder = StructureBuilder(minimal_points())
+    builder.complete = False
+    builder.place(0, 0, 0)
+    builder.static_seeds.append(0)
+    structure = builder.freeze()
+    assert not structure.complete
+
+
+def test_seed_selector_passthrough():
+    builder = StructureBuilder(minimal_points())
+    for node in range(4):
+        builder.place(node, 0, 0)
+    builder.seed_selector = lambda weights: np.array([2], dtype=np.intp)
+    structure = builder.freeze()
+    np.testing.assert_array_equal(structure.seeds(np.array([0.5, 0.5])), [2])

@@ -1,0 +1,98 @@
+"""§V zero layers: weight-range chain (2-D) and clustered pseudo-tuples."""
+
+import numpy as np
+import pytest
+
+from repro.core.build import build_dual_layer
+from repro.core.structure import StructureBuilder
+from repro.core.zero_layer import (
+    attach_chain_zero_layer,
+    attach_clustered_zero_layer,
+    default_cluster_count,
+)
+from repro.data import generate
+
+
+def test_default_cluster_count_scaling():
+    assert default_cluster_count(1) == 2
+    assert default_cluster_count(4) == 2
+    assert default_cluster_count(100) == 10
+    assert default_cluster_count(10000) == 100
+
+
+def build_with_chain(points):
+    builder = StructureBuilder(points)
+    blueprint = build_dual_layer(points, builder=builder, freeze=False)
+    partition = attach_chain_zero_layer(
+        builder, points, blueprint.fine_layers[0][0]
+    )
+    return builder.freeze(), partition
+
+
+def test_chain_zero_layer_single_seed(rng):
+    points = generate("IND", 200, 2, seed=1).matrix
+    structure, partition = build_with_chain(points)
+    for _ in range(10):
+        w1 = float(rng.uniform(0.05, 0.95))
+        seeds = structure.seeds(np.array([w1, 1 - w1]))
+        assert seeds.shape == (1,)
+        assert int(seeds[0]) == partition.top1_id(w1)
+
+
+def test_chain_zero_layer_adds_no_pseudo(rng):
+    points = generate("ANT", 150, 2, seed=2).matrix
+    structure, _ = build_with_chain(points)
+    assert structure.n_pseudo == 0
+
+
+def build_with_clusters(points, **kwargs):
+    builder = StructureBuilder(points)
+    blueprint = build_dual_layer(points, builder=builder, freeze=False)
+    minima = attach_clustered_zero_layer(
+        builder, points, blueprint.coarse_layers[0], **kwargs
+    )
+    return builder.freeze(), minima, blueprint
+
+
+def test_cluster_minima_dominate_members(rng):
+    points = generate("ANT", 300, 3, seed=3).matrix
+    structure, minima, blueprint = build_with_clusters(points, seed=1)
+    first_layer = blueprint.coarse_layers[0]
+    # Every L1 member must have at least one pseudo ∀-parent.
+    for node in first_layer:
+        assert structure.forall_parent_count[int(node)] >= 1
+    # Each pseudo value is the componentwise min of some subset: below at
+    # least one layer member in every coordinate.
+    layer_pts = points[first_layer]
+    for row in minima:
+        assert np.all(row <= layer_pts.max(axis=0))
+        assert np.any(np.all(row[None, :] <= layer_pts, axis=1))
+
+
+def test_flat_zero_layer_seeds_all_pseudo(rng):
+    points = generate("IND", 300, 3, seed=4).matrix
+    structure, minima, _ = build_with_clusters(
+        points, fine_sublayers=False, seed=0
+    )
+    assert structure.n_pseudo == minima.shape[0]
+    seeds = structure.seeds(np.ones(3) / 3)
+    assert set(seeds.tolist()) == set(
+        range(structure.n_real, structure.n_nodes)
+    )
+
+
+def test_fine_zero_layer_seeds_subset_of_pseudo(rng):
+    points = generate("ANT", 400, 3, seed=5).matrix
+    structure, minima, _ = build_with_clusters(
+        points, fine_sublayers=True, clusters=25, seed=0
+    )
+    seeds = structure.seeds(np.ones(3) / 3)
+    assert all(int(s) >= structure.n_real for s in seeds)
+    if minima.shape[0] > 3:
+        assert seeds.shape[0] <= minima.shape[0]
+
+
+def test_explicit_cluster_count(rng):
+    points = generate("IND", 300, 3, seed=6).matrix
+    structure, minima, _ = build_with_clusters(points, clusters=4, seed=0)
+    assert minima.shape[0] <= 4

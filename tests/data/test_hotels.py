@@ -1,0 +1,49 @@
+"""Toy hotel dataset: structure, helpers, and the synthetic variant."""
+
+import numpy as np
+
+from repro.data.hotels import (
+    HOTEL_NAMES,
+    RAW_HOTELS,
+    hotel_id,
+    hotel_names,
+    synthetic_hotels,
+    toy_hotels,
+)
+
+
+def test_eleven_named_hotels():
+    rel = toy_hotels()
+    assert rel.n == 11
+    assert rel.d == 2
+    assert rel.schema.attributes == ("price", "distance")
+    assert len(HOTEL_NAMES) == 11
+    assert len(RAW_HOTELS) == 11
+
+
+def test_normalization_is_divide_by_ten():
+    rel = toy_hotels()
+    for name in HOTEL_NAMES:
+        raw = RAW_HOTELS[name]
+        np.testing.assert_allclose(
+            rel.tuple(hotel_id(name)), np.asarray(raw) / 10.0
+        )
+
+
+def test_hotel_names_roundtrip():
+    assert hotel_names([0, 5, 10]) == ["a", "f", "k"]
+    assert [hotel_id(n) for n in ("a", "f", "k")] == [0, 5, 10]
+
+
+def test_synthetic_hotels_shape_and_labels():
+    rel, cities = synthetic_hotels(200, seed=1, city_count=3)
+    assert rel.n == 200
+    assert cities.shape == (200,)
+    assert set(np.unique(cities)) <= {0, 1, 2}
+    assert rel.matrix.min() > 0 and rel.matrix.max() < 1
+
+
+def test_synthetic_hotels_anticorrelated():
+    rel, _ = synthetic_hotels(3000, seed=2)
+    corr = np.corrcoef(rel.matrix[:, 0], rel.matrix[:, 1])[0, 1]
+    assert corr < -0.5

@@ -1,0 +1,77 @@
+"""Synthetic player table and the maximization embedding."""
+
+import numpy as np
+import pytest
+
+from repro.core import DLIndex
+from repro.data.players import (
+    PLAYER_STATS,
+    maximization_relation,
+    synthetic_players,
+)
+from repro.exceptions import SchemaError
+
+
+def test_shapes_and_embedding_domain():
+    table = synthetic_players(500, seed=1)
+    assert table.n == 500
+    assert table.raw.shape == (500, 5)
+    assert table.relation.schema.attributes == PLAYER_STATS
+    assert table.relation.matrix.min() >= 0.0
+    assert table.relation.matrix.max() <= 1.0
+
+
+def test_embedding_reverses_order():
+    """Higher raw stat -> lower embedded value, per attribute."""
+    table = synthetic_players(200, seed=2)
+    for column in range(5):
+        raw_order = np.argsort(table.raw[:, column])
+        embedded = table.relation.matrix[raw_order, column]
+        assert np.all(np.diff(embedded) <= 1e-12)
+
+
+def test_top1_maximizes_weighted_raw_average():
+    table = synthetic_players(800, seed=3)
+    index = DLIndex(table.relation).build()
+    weights = np.array([0.5, 0.2, 0.1, 0.1, 0.1])
+    result = index.query(weights, 1)
+    # Normalized raw maximization objective, same normalization the
+    # embedding used:
+    span = np.where(table.hi > table.lo, table.hi - table.lo, 1.0)
+    normalized = (table.raw - table.lo) / span
+    objective = normalized @ (weights / weights.sum())
+    assert int(result.ids[0]) == int(np.argmax(objective))
+
+
+def test_decode_scores_roundtrip():
+    table = synthetic_players(300, seed=4)
+    index = DLIndex(table.relation).build()
+    weights = np.array([0.3, 0.3, 0.2, 0.1, 0.1])
+    result = index.query(weights, 5)
+    decoded = table.decode_scores(weights, result.scores)
+    # Decoded values descend (best first) and live within raw stat bounds.
+    assert np.all(np.diff(decoded) <= 1e-9)
+    w = weights / weights.sum()
+    assert decoded.max() <= float(w @ table.hi) + 1e-9
+    assert decoded.min() >= float(w @ table.lo) - 1e-9
+
+
+def test_positive_stat_correlation():
+    table = synthetic_players(3000, seed=5)
+    corr = np.corrcoef(table.raw[:, 0], table.raw[:, 1])[0, 1]
+    assert corr > 0.15  # latent skill factor induces positive correlation
+
+
+def test_validation():
+    with pytest.raises(SchemaError):
+        synthetic_players(0)
+    with pytest.raises(SchemaError):
+        maximization_relation(np.ones((5, 3)))
+
+
+def test_constant_stat_column_handled():
+    raw = np.ones((10, 5))
+    raw[:, 0] = np.arange(10)
+    table = maximization_relation(raw)
+    # Constant columns embed to a constant without dividing by zero.
+    assert np.all(np.isfinite(table.relation.matrix))

@@ -1,0 +1,87 @@
+"""Convex-combination dominance (the ∃-dominance witness test)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import convex_combination_dominates
+from repro.geometry.feasibility import dominating_combination
+
+
+def test_single_point_facet():
+    assert convex_combination_dominates(np.array([[0.1, 0.1]]), np.array([0.2, 0.2]))
+    assert not convex_combination_dominates(
+        np.array([[0.3, 0.1]]), np.array([0.2, 0.2])
+    )
+
+
+def test_paper_example2_segment():
+    """{a, b} covers f via the segment even though neither endpoint does."""
+    a, b, f = np.array([0.10, 0.60]), np.array([0.30, 0.44]), np.array([0.25, 0.50])
+    assert not convex_combination_dominates(a[None, :], f)
+    assert not convex_combination_dominates(b[None, :], f)
+    assert convex_combination_dominates(np.vstack([a, b]), f)
+
+
+def test_segment_above_target_fails():
+    segment = np.array([[0.0, 1.0], [1.0, 0.5]])
+    assert not convex_combination_dominates(segment, np.array([0.5, 0.2]))
+
+
+def test_segment_sideways_target():
+    """Feasible only at an extreme λ: target far along one axis."""
+    segment = np.array([[0.0, 1.0], [1.0, 0.0]])
+    assert convex_combination_dominates(segment, np.array([10.0, 0.05]))
+    assert not convex_combination_dominates(segment, np.array([10.0, -0.05]))
+
+
+def test_weak_contact_counts():
+    """Boundary contact (equality) is accepted — duplicate tolerance."""
+    segment = np.array([[0.0, 1.0], [1.0, 0.0]])
+    assert convex_combination_dominates(segment, np.array([0.5, 0.5]))
+
+
+def test_triangle_facet_lp_path(rng):
+    triangle = np.array([[0.0, 0.0, 1.0], [0.0, 1.0, 0.0], [1.0, 0.0, 0.0]])
+    # Centroid of the triangle is (1/3, 1/3, 1/3); anything above it works.
+    assert convex_combination_dominates(triangle, np.array([0.4, 0.4, 0.4]))
+    assert not convex_combination_dominates(triangle, np.array([0.2, 0.2, 0.2]))
+
+
+def test_empty_facet():
+    assert not convex_combination_dominates(np.empty((0, 2)), np.array([0.5, 0.5]))
+
+
+def test_witness_is_valid(rng):
+    """dominating_combination returns an actual witness below the target."""
+    for m, d in ((2, 2), (3, 3), (4, 3)):
+        for _ in range(20):
+            facet = rng.random((m, d))
+            target = rng.random(d)
+            witness = dominating_combination(facet, target)
+            feasible = convex_combination_dominates(facet, target)
+            assert (witness is not None) == feasible
+            if witness is not None:
+                assert np.all(witness <= target + 1e-6)
+                # Witness must be (near) a convex combination: inside bbox.
+                assert np.all(witness >= facet.min(axis=0) - 1e-9)
+                assert np.all(witness <= facet.max(axis=0) + 1e-9)
+
+
+def test_witness_empty_and_single():
+    assert dominating_combination(np.empty((0, 2)), np.array([0.5, 0.5])) is None
+    w = dominating_combination(np.array([[0.1, 0.1]]), np.array([0.5, 0.5]))
+    np.testing.assert_allclose(w, [0.1, 0.1])
+    assert dominating_combination(np.array([[0.9, 0.9]]), np.array([0.5, 0.5])) is None
+
+
+def test_lemma2_inequality(rng):
+    """If the facet covers t', then for every positive w some member scores
+    weakly below t' — the Lemma 2 guarantee the gating relies on."""
+    for _ in range(30):
+        facet = rng.random((3, 3))
+        target = rng.random(3) + 0.2
+        if not convex_combination_dominates(facet, target, tol=0.0):
+            continue
+        for _ in range(10):
+            w = rng.dirichlet(np.ones(3))
+            assert (facet @ w).min() <= target @ w + 1e-9

@@ -1,0 +1,51 @@
+"""Hardened convex-hull wrapper."""
+
+import numpy as np
+
+from repro.geometry import convex_hull
+
+
+def test_simplex_hull():
+    points = np.array(
+        [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+    )
+    result = convex_hull(points)
+    assert result.ok
+    assert set(result.vertices.tolist()) == {0, 1, 2, 3}
+    assert result.equations.shape[1] == 4
+    assert result.simplices.shape[1] == 3
+
+
+def test_interior_point_not_vertex():
+    points = np.array(
+        [
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [0.0, 1.0],
+            [1.0, 1.0],
+            [0.5, 0.5],
+        ]
+    )
+    result = convex_hull(points)
+    assert result.ok
+    assert 4 not in result.vertices
+
+
+def test_too_few_points_not_ok():
+    assert not convex_hull(np.array([[0.0, 0.0], [1.0, 1.0]])).ok
+    assert not convex_hull(np.empty((0, 2))).ok
+
+
+def test_degenerate_collinear_joggled_or_failed():
+    points = np.array([[0.0, 0.0], [0.5, 0.5], [1.0, 1.0], [0.25, 0.25]])
+    result = convex_hull(points)  # must not raise either way
+    assert result.ok in (True, False)
+
+
+def test_outward_normal_orientation(rng):
+    points = rng.random((30, 3))
+    result = convex_hull(points)
+    assert result.ok
+    interior = points.mean(axis=0)
+    residual = result.equations[:, :-1] @ interior + result.equations[:, -1]
+    assert np.all(residual < 0), "interior point must satisfy all inequalities"

@@ -1,0 +1,87 @@
+"""2-D skyline sweep and lower-left convex chain."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import lower_left_chain, skyline_2d
+from repro.skyline import skyline_bnl
+
+
+def test_skyline_2d_matches_bnl(rng):
+    points = rng.random((300, 2))
+    np.testing.assert_array_equal(skyline_2d(points), skyline_bnl(points))
+
+
+def test_skyline_2d_duplicates_survive():
+    points = np.array([[0.2, 0.8], [0.2, 0.8], [0.5, 0.5]])
+    np.testing.assert_array_equal(skyline_2d(points), [0, 1, 2])
+
+
+def test_skyline_2d_rejects_wrong_dim():
+    with pytest.raises(ValueError):
+        skyline_2d(np.zeros((3, 3)))
+
+
+def test_chain_order_x_ascending(rng):
+    points = rng.random((200, 2))
+    chain = lower_left_chain(points)
+    xs = points[chain][:, 0]
+    ys = points[chain][:, 1]
+    assert np.all(np.diff(xs) > 0)
+    assert np.all(np.diff(ys) < 0)
+
+
+def test_chain_is_convex(rng):
+    points = rng.random((200, 2))
+    chain = points[lower_left_chain(points)]
+    slopes = np.diff(chain[:, 1]) / np.diff(chain[:, 0])
+    assert np.all(np.diff(slopes) > 0), "slopes must strictly increase"
+
+
+def test_chain_endpoints_are_axis_minima(rng):
+    points = rng.random((100, 2))
+    chain = lower_left_chain(points)
+    assert points[chain[0], 0] == points[:, 0].min()
+    assert points[chain[-1], 1] == points[:, 1].min()
+
+
+def test_chain_contains_every_directional_argmin(rng):
+    points = rng.random((100, 2))
+    chain = set(lower_left_chain(points).tolist())
+    for _ in range(25):
+        w = rng.dirichlet([1, 1])
+        scores = points @ w
+        argmins = np.nonzero(scores == scores.min())[0]
+        assert chain & set(argmins.tolist())
+
+
+def test_chain_single_point():
+    np.testing.assert_array_equal(lower_left_chain(np.array([[0.3, 0.4]])), [0])
+
+
+def test_chain_identical_points():
+    points = np.tile([0.3, 0.4], (4, 1))
+    chain = lower_left_chain(points)
+    assert chain.shape == (1,)
+
+
+def test_chain_collinear_points_keep_endpoints():
+    points = np.array([[0.1, 0.5], [0.2, 0.4], [0.3, 0.3]])
+    chain = lower_left_chain(points)
+    np.testing.assert_array_equal(chain, [0, 2])
+
+
+def test_chain_vertical_stack_single_vertex():
+    points = np.array([[0.5, 0.1], [0.5, 0.5], [0.5, 0.9]])
+    np.testing.assert_array_equal(lower_left_chain(points), [0])
+
+
+def test_chain_dominated_point_excluded():
+    points = np.array([[0.1, 0.9], [0.9, 0.1], [0.45, 0.5], [0.6, 0.6]])
+    chain = lower_left_chain(points)
+    assert 3 not in chain
+    assert set(chain.tolist()) == {0, 1, 2}
+
+
+def test_chain_empty():
+    assert lower_left_chain(np.empty((0, 2))).shape == (0,)

@@ -1,0 +1,80 @@
+"""Filtered-exact orientation predicates."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.predicates import (
+    _orientation_exact,
+    collinear,
+    orientation,
+    point_below_segment,
+    turns_left,
+)
+
+
+def test_basic_orientations():
+    a, b = (0.0, 0.0), (1.0, 0.0)
+    assert orientation(a, b, (0.5, 1.0)) == 1   # left
+    assert orientation(a, b, (0.5, -1.0)) == -1  # right
+    assert orientation(a, b, (2.0, 0.0)) == 0   # collinear
+
+
+def test_chain_convention():
+    # Lower-left chain a(0,3) -> b(1,1) -> c(2,0): convex, keep the middle.
+    assert turns_left((0.0, 3.0), (1.0, 1.0), (2.0, 0.0))
+    # Concave middle: pop.
+    assert not turns_left((0.0, 3.0), (1.0, 2.9), (2.0, 0.0))
+    # Collinear middle: pop.
+    assert not turns_left((0.0, 2.0), (1.0, 1.0), (2.0, 0.0))
+
+
+def test_exact_fallback_near_collinear():
+    """Points collinear up to one ulp: the filter must go exact."""
+    a = (0.0, 0.0)
+    b = (1.0, 1.0)
+    eps = np.nextafter(2.0, 3.0) - 2.0
+    exactly = (2.0, 2.0)
+    above = (2.0, 2.0 + eps)
+    below = (2.0, 2.0 - eps / 2)
+    assert orientation(a, b, exactly) == 0
+    assert orientation(a, b, above) == 1
+    assert orientation(a, b, below) == -1
+
+
+def test_exact_matches_float_on_clear_cases(rng):
+    for _ in range(300):
+        pts = rng.random((3, 2))
+        det = float(
+            (pts[1, 0] - pts[0, 0]) * (pts[2, 1] - pts[0, 1])
+            - (pts[1, 1] - pts[0, 1]) * (pts[2, 0] - pts[0, 0])
+        )
+        if abs(det) < 1e-9:
+            continue
+        expected = 1 if det > 0 else -1
+        assert orientation(pts[0], pts[1], pts[2]) == expected
+        assert _orientation_exact(*pts[0], *pts[1], *pts[2]) == expected
+
+
+def test_tiny_coordinates_decided_exactly():
+    """Sub-normal-ish magnitudes that float cross products squash to 0."""
+    a = (0.0, 0.0)
+    b = (1e-200, 1e-200)
+    c = (2e-200, 3e-200)
+    assert orientation(a, b, c) == 1
+    assert orientation(a, b, (2e-200, 1.5e-200)) == -1
+
+
+def test_collinear_and_below_segment():
+    p, q = (0.0, 1.0), (1.0, 0.0)
+    assert collinear(p, q, (0.5, 0.5))
+    assert point_below_segment(p, q, (0.25, 0.25))
+    assert not point_below_segment(p, q, (0.75, 0.75))
+
+
+def test_chain_still_correct_after_predicate_swap(rng):
+    from repro.geometry import lower_left_chain
+
+    points = rng.random((150, 2))
+    chain = points[lower_left_chain(points)]
+    slopes = np.diff(chain[:, 1]) / np.diff(chain[:, 0])
+    assert np.all(np.diff(slopes) > 0)

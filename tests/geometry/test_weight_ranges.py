@@ -1,0 +1,92 @@
+"""§V-A weight-range partition of the 2-D simplex."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError, InvalidWeightError
+from repro.geometry import WeightRangePartition, lower_left_chain
+
+
+def make_partition(points):
+    chain = lower_left_chain(points)
+    return WeightRangePartition(points[chain], chain), chain
+
+
+def test_top1_matches_bruteforce(rng):
+    points = rng.random((60, 2))
+    partition, _ = make_partition(points)
+    for _ in range(50):
+        w1 = float(rng.uniform(0.01, 0.99))
+        w = np.array([w1, 1 - w1])
+        expected = int(np.argmin(points @ w))
+        got = partition.top1_id(w1)
+        assert points[got] @ w == pytest.approx(points[expected] @ w)
+
+
+def test_ranges_are_disjoint_cover(rng):
+    points = rng.random((40, 2))
+    partition, chain = make_partition(points)
+    ranges = partition.ranges()
+    assert ranges[0][0] == 0.0
+    assert ranges[-1][1] == 1.0
+    for (lo1, hi1, _), (lo2, hi2, _) in zip(ranges, ranges[1:]):
+        assert hi1 == lo2
+    assert len(ranges) == chain.shape[0]
+
+
+def test_extreme_weights_pick_axis_minima(rng):
+    points = rng.random((40, 2))
+    partition, _ = make_partition(points)
+    # w1 -> 1: price dominates -> min-x point; w1 -> 0: min-y point.
+    assert points[partition.top1_id(0.999), 0] == points[:, 0].min()
+    assert points[partition.top1_id(0.001), 1] == points[:, 1].min()
+
+
+def test_invalid_w1_rejected(rng):
+    points = rng.random((10, 2))
+    partition, _ = make_partition(points)
+    for bad in (0.0, 1.0, -0.5, 1.5):
+        with pytest.raises(InvalidWeightError):
+            partition.top1_id(bad)
+
+
+def test_single_tuple_chain():
+    partition = WeightRangePartition(
+        np.array([[0.2, 0.3]]), np.array([7], dtype=np.intp)
+    )
+    assert partition.top1_id(0.5) == 7
+    assert partition.ranges() == [(0.0, 1.0, 7)]
+
+
+def test_misaligned_inputs_rejected():
+    with pytest.raises(GeometryError):
+        WeightRangePartition(np.ones((2, 2)), np.array([0]))
+
+
+def test_empty_chain_rejected():
+    with pytest.raises(GeometryError):
+        WeightRangePartition(np.empty((0, 2)), np.empty(0, dtype=np.intp))
+
+
+def test_non_2d_rejected():
+    with pytest.raises(GeometryError):
+        WeightRangePartition(np.ones((2, 3)), np.array([0, 1]))
+
+
+def test_near_collinear_chain_tolerated():
+    """Float-perturbed collinear vertices tie breakpoints; still answers."""
+    points = np.array([[0.1, 0.9], [0.5, 0.5], [0.9, 0.1]])
+    partition = WeightRangePartition(points, np.array([0, 1, 2], dtype=np.intp))
+    for w1 in (0.2, 0.5, 0.8):
+        top = partition.top1_id(w1)
+        w = np.array([w1, 1 - w1])
+        scores = points @ w
+        assert scores[top] == pytest.approx(scores.min())
+
+
+def test_non_chain_input_rejected():
+    # x ascending but y ascending too: not a valid lower-left chain.
+    with pytest.raises(GeometryError):
+        WeightRangePartition(
+            np.array([[0.1, 0.1], [0.2, 0.2]]), np.array([0, 1])
+        )

@@ -1,0 +1,108 @@
+"""End-to-end CLI: generate → build → query, plus compare."""
+
+import numpy as np
+
+from repro.cli import main
+
+
+def test_generate_build_query_pipeline(tmp_path, capsys):
+    data = tmp_path / "rel.npz"
+    index = tmp_path / "index.pkl"
+
+    assert main([
+        "generate", "--distribution", "ANT", "--n", "300", "--d", "3",
+        "--seed", "1", "--out", str(data),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "300 x 3" in out
+
+    assert main([
+        "build", "--data", str(data), "--algorithm", "DL+", "--out", str(index),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "DL+" in out
+
+    assert main([
+        "query", "--index", str(index), "--weights", "0.4,0.3,0.3", "--k", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert out.count("tuple") >= 5
+    assert "cost:" in out
+
+
+def test_query_with_random_weights(tmp_path, capsys):
+    data = tmp_path / "rel.npz"
+    index = tmp_path / "index.pkl"
+    main(["generate", "--n", "100", "--d", "2", "--out", str(data)])
+    main(["build", "--data", str(data), "--algorithm", "DG", "--out", str(index)])
+    capsys.readouterr()
+    assert main(["query", "--index", str(index), "--k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "random weights" in out
+
+
+def test_compare_command(capsys):
+    assert main([
+        "compare", "--distribution", "IND", "--n", "200", "--d", "2",
+        "--k", "5", "--queries", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "DL+" in out and "SCAN" in out
+
+
+def test_analyze_command(tmp_path, capsys):
+    data = tmp_path / "rel.npz"
+    index = tmp_path / "index.pkl"
+    main(["generate", "--n", "200", "--d", "3", "--out", str(data)])
+    main(["build", "--data", str(data), "--algorithm", "DL", "--out", str(index)])
+    capsys.readouterr()
+    assert main(["analyze", "--index", str(index), "--k", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "coarse layers" in out
+    assert "cost bounds" in out
+
+
+def test_advise_command(tmp_path, capsys):
+    data = tmp_path / "rel.npz"
+    main(["generate", "--distribution", "ANT", "--n", "3000", "--d", "4",
+          "--out", str(data)])
+    capsys.readouterr()
+    assert main(["advise", "--data", str(data), "--k", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "recommended index:" in out
+    assert "rationale:" in out
+
+
+def test_sql_command(tmp_path, capsys):
+    data = tmp_path / "rel.npz"
+    main(["generate", "--n", "300", "--d", "2", "--out", str(data)])
+    capsys.readouterr()
+    assert main([
+        "sql", "--data", str(data),
+        "EXPLAIN SELECT a0 FROM r WHERE a0 <= 0.8 "
+        "ORDER BY a0 + a1 STOP AFTER 3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "TopK(k=3" in out
+    assert "tuples evaluated" in out
+    assert out.count("\n1  ") or "1  " in out
+
+
+def test_build_with_max_layers(tmp_path, capsys):
+    data = tmp_path / "rel.npz"
+    index = tmp_path / "index.pkl"
+    main(["generate", "--n", "200", "--d", "2", "--out", str(data)])
+    assert main([
+        "build", "--data", str(data), "--algorithm", "DL",
+        "--max-layers", "5", "--out", str(index),
+    ]) == 0
+
+
+def test_bench_command_tiny_scale(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_N", "400")
+    monkeypatch.setenv("REPRO_BENCH_QUERIES", "2")
+    assert main(["bench", "--experiment", "fig10"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig 10" in out
+    assert "DG/DL" in out
+    assert "[ANT]" in out

@@ -1,0 +1,107 @@
+"""Failure injection / degenerate inputs across the whole stack.
+
+Every index must behave sensibly on the pathological relations real
+deployments produce: duplicates, constant columns, collinear geometry,
+single tuples, n < d, and adversarial weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS
+from repro.relation import Relation, Schema, top_k_bruteforce
+
+CORE_NAMES = ["DL", "DL+", "DG", "DG+", "HL+", "ONION", "PL", "AppRI"]
+
+
+def check_against_bruteforce(relation, names=CORE_NAMES, ks=(1, 3)):
+    rng = np.random.default_rng(0)
+    for name in names:
+        index = ALGORITHMS[name](relation).build()
+        for _ in range(3):
+            w = np.clip(rng.dirichlet(np.ones(relation.d)), 1e-6, None)
+            for k in ks:
+                result = index.query(w, k)
+                _, ref = top_k_bruteforce(relation.matrix, w / w.sum(), k)
+                np.testing.assert_allclose(
+                    np.sort(result.scores), np.sort(ref), atol=1e-9,
+                    err_msg=f"{name} failed",
+                )
+
+
+def test_all_identical_tuples():
+    check_against_bruteforce(Relation(np.tile([0.4, 0.6], (20, 1))))
+
+
+def test_many_duplicates():
+    base = np.array([[0.1, 0.9], [0.5, 0.5], [0.9, 0.1]])
+    matrix = np.repeat(base, 7, axis=0)
+    check_against_bruteforce(Relation(matrix))
+
+
+def test_constant_column():
+    rng = np.random.default_rng(1)
+    matrix = np.column_stack([rng.random(30), np.full(30, 0.5)])
+    check_against_bruteforce(Relation(matrix))
+
+
+def test_collinear_diagonal():
+    values = np.linspace(0.05, 0.95, 15)
+    matrix = np.column_stack([values, values])
+    check_against_bruteforce(Relation(matrix))
+
+
+def test_anti_diagonal_exactly():
+    values = np.linspace(0.05, 0.95, 15)
+    matrix = np.column_stack([values, 1.0 - values])
+    check_against_bruteforce(Relation(matrix))
+
+
+def test_coplanar_3d():
+    rng = np.random.default_rng(2)
+    xy = rng.random((25, 2)) * 0.5
+    z = 0.9 - 0.5 * xy[:, 0] - 0.4 * xy[:, 1]
+    check_against_bruteforce(Relation(np.column_stack([xy, z])))
+
+
+def test_single_tuple():
+    check_against_bruteforce(Relation([[0.3, 0.7]]), ks=(1,))
+
+
+def test_two_tuples():
+    check_against_bruteforce(Relation([[0.3, 0.7], [0.7, 0.3]]), ks=(1, 2))
+
+
+def test_n_smaller_than_d():
+    matrix = np.array([[0.1, 0.9, 0.5, 0.3], [0.9, 0.1, 0.4, 0.6]])
+    check_against_bruteforce(Relation(matrix), ks=(1, 2))
+
+
+def test_one_dimensional():
+    rng = np.random.default_rng(3)
+    relation = Relation(rng.random((30, 1)))
+    # 1-D exercises the geometric edge paths of every layer index.
+    check_against_bruteforce(relation, names=["DL", "DG", "ONION", "PL"], ks=(1, 5))
+
+
+def test_extreme_weight_skew():
+    rng = np.random.default_rng(4)
+    relation = Relation(rng.random((60, 3)), Schema(("a", "b", "c")))
+    w = np.array([1e-8, 1e-8, 1.0])
+    for name in ("DL", "DL+", "DG+", "HL+"):
+        index = ALGORITHMS[name](relation).build()
+        result = index.query(w, 5)
+        _, ref = top_k_bruteforce(relation.matrix, w / w.sum(), 5)
+        np.testing.assert_allclose(np.sort(result.scores), np.sort(ref), atol=1e-9)
+
+
+def test_near_zero_spread():
+    rng = np.random.default_rng(5)
+    matrix = 0.5 + rng.random((25, 3)) * 1e-9
+    check_against_bruteforce(Relation(matrix, check_domain=False))
+
+
+def test_grid_clusters_heavy_ties():
+    rng = np.random.default_rng(6)
+    matrix = rng.integers(0, 4, size=(50, 3)) / 4.0
+    check_against_bruteforce(Relation(matrix, check_domain=False))

@@ -1,0 +1,58 @@
+"""Example scripts: compile everything, execute the fast ones."""
+
+import importlib.util
+import py_compile
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("script", sorted(p.name for p in EXAMPLES_DIR.glob("*.py")))
+def test_example_compiles(script):
+    py_compile.compile(str(EXAMPLES_DIR / script), doraise=True)
+
+
+def test_examples_directory_has_at_least_three():
+    assert len(list(EXAMPLES_DIR.glob("*.py"))) >= 3
+
+
+def test_weight_sensitivity_runs(capsys):
+    load_example("weight_sensitivity.py").main()
+    out = capsys.readouterr().out
+    assert "weight ranges" in out
+    assert "DL+ evaluates 1 tuple(s)" in out
+
+
+def test_compare_indexes_runs_small(capsys):
+    load_example("compare_indexes.py").main(400, 2, 5)
+    out = capsys.readouterr().out
+    assert "DL+" in out and "SCAN" in out
+    assert "fewer tuples than a scan" in out
+
+
+def test_hotel_finder_runs(capsys, monkeypatch):
+    module = load_example("hotel_finder.py")
+    # Shrink the big table for test speed.
+    import repro.data.hotels as hotels
+
+    original = hotels.synthetic_hotels
+
+    def small(n, seed=None, city_count=4):
+        return original(min(n, 1500), seed=seed, city_count=city_count)
+
+    monkeypatch.setattr(module, "synthetic_hotels", small)
+    module.main()
+    out = capsys.readouterr().out
+    assert "Alice (0.5, 0.5), top-5: ['a', 'b', 'f', 'd', 'e']" in out
+    assert "answered by DL+" in out

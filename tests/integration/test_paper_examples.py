@@ -1,0 +1,172 @@
+"""The paper's worked examples, executed end-to-end on the toy dataset.
+
+These tests pin the reconstruction of Fig. 1 to every structural statement
+the paper makes about it: the skyline layers of Fig. 2(a), the convex layers
+of Fig. 2(b), the dual-resolution layout of Fig. 5 / Example 3, the
+∃-dominance facts of Example 2, the tuple statuses of Example 4, and the
+full Table III query trace of Example 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DLIndex, DLPlusIndex
+from repro.core.build import build_dual_layer
+from repro.data.hotels import HOTEL_NAMES, RAW_HOTELS, hotel_id, toy_hotels
+from repro.geometry import convex_combination_dominates
+from repro.skyline import convex_layers, skyline_layers
+
+from tests.conftest import names_of
+
+
+@pytest.fixture(scope="module")
+def toy_matrix():
+    return toy_hotels().matrix
+
+
+def test_fig1_score_of_a_is_3_5_on_raw_grid():
+    price, distance = RAW_HOTELS["a"]
+    assert 0.5 * price + 0.5 * distance == pytest.approx(3.5)
+
+
+def test_fig2a_skyline_layers(toy_matrix):
+    layers, leftover = skyline_layers(toy_matrix)
+    assert leftover.shape[0] == 0
+    assert [names_of(layer) for layer in layers] == [
+        {"a", "b", "c", "f", "g"},
+        {"d", "e", "i", "j"},
+        {"h", "k"},
+    ]
+
+
+def test_fig2b_convex_layers(toy_matrix):
+    layers, leftover = convex_layers(toy_matrix)
+    assert leftover.shape[0] == 0
+    assert [names_of(layer) for layer in layers] == [
+        {"a", "b", "c"},
+        {"d", "f", "g"},
+        {"e", "j"},
+        {"h", "i"},
+        {"k"},
+    ]
+
+
+def test_example3_dual_resolution_fine_layers(toy_matrix):
+    blueprint = build_dual_layer(toy_matrix)
+    fine = [
+        [names_of(sublayer) for sublayer in sublayers]
+        for sublayers in blueprint.fine_layers
+    ]
+    assert fine == [
+        [{"a", "b", "c"}, {"f", "g"}],
+        [{"d", "e", "j"}, {"i"}],
+        [{"h", "k"}],
+    ]
+
+
+def test_example2_eds_facts(toy_matrix, toy_ids):
+    ab = toy_matrix[[toy_ids["a"], toy_ids["b"]]]
+    bc = toy_matrix[[toy_ids["b"], toy_ids["c"]]]
+    f = toy_matrix[toy_ids["f"]]
+    g = toy_matrix[toy_ids["g"]]
+    # {a,b} is an EDS of f; {b,c} is an EDS of g (Examples 2 and 3) —
+    # and not the other way around.
+    assert convex_combination_dominates(ab, f)
+    assert not convex_combination_dominates(bc, f)
+    assert convex_combination_dominates(bc, g)
+    assert not convex_combination_dominates(ab, g)
+
+
+def test_fig5_forall_edges(toy_matrix, toy_ids):
+    blueprint = build_dual_layer(toy_matrix)
+    structure = blueprint.structure
+
+    def forall_children_of(name):
+        return names_of(structure.forall_children[toy_ids[name]])
+
+    # "a ∀-dominates {d, e, i}" (Example 3).
+    assert forall_children_of("a") == {"d", "e", "i"}
+    # i's parents are exactly {a, f} (Example 4: after a and f, i is free).
+    i_parents = {
+        name
+        for name in ("a", "b", "c", "f", "g")
+        if toy_ids["i"] in structure.forall_children[toy_ids[name]]
+    }
+    assert i_parents == {"a", "f"}
+    # b is connected to j (Example 5 step 6) but popping b alone must not
+    # free j (Table III shows j not enqueued at that point).
+    assert toy_ids["j"] in structure.forall_children[toy_ids["b"]]
+    assert structure.forall_parent_count[toy_ids["j"]] >= 2
+
+
+def test_example4_initial_statuses(toy_matrix, toy_ids):
+    structure = build_dual_layer(toy_matrix).structure
+    # ∀-dominance-free: the whole first coarse layer.
+    forall_free = {
+        HOTEL_NAMES[node]
+        for node in range(structure.n_real)
+        if structure.forall_parent_count[node] == 0
+    }
+    assert forall_free == {"a", "b", "c", "f", "g"}
+    # ∃-dominance-free: the first fine sublayer of each coarse layer.
+    exists_free = {
+        HOTEL_NAMES[node]
+        for node in range(structure.n_real)
+        if not structure.exists_gated[node]
+    }
+    assert exists_free == {"a", "b", "c", "d", "e", "j", "h", "k"}
+    # Seeds (both conditions): exactly L^{11}.
+    assert names_of(structure.static_seeds) == {"a", "b", "c"}
+
+
+def test_example5_table3_trace(toy):
+    """k=3, w=(0.5, 0.5): pop order a, b, f; d, e, g accessed; i, j not."""
+    index = DLIndex(toy).build()
+    result = index.query(np.array([0.5, 0.5]), 3)
+    assert [HOTEL_NAMES[i] for i in result.ids] == ["a", "b", "f"]
+    # Accessed tuples: seeds {a,b,c} + {d,e,f} after popping a + {g} after
+    # popping b = 7 evaluations; i and j stay gated.
+    assert result.cost == 7
+
+
+def test_example1_top5(toy):
+    index = DLIndex(toy).build()
+    result = index.query(np.array([0.5, 0.5]), 5)
+    assert [HOTEL_NAMES[i] for i in result.ids] == ["a", "b", "f", "d", "e"]
+
+
+def test_section5a_dlplus_top1_single_access(toy):
+    """The 2-D zero layer answers top-1 with exactly one tuple evaluated."""
+    index = DLPlusIndex(toy).build()
+    for w1, expected in ((0.5, "a"), (0.42, "b"), (0.2, "c")):
+        result = index.query(np.array([w1, 1 - w1]), 1)
+        assert [HOTEL_NAMES[i] for i in result.ids] == [expected]
+        assert result.cost == 1
+
+
+def test_section5b_clusters_match_paper(toy):
+    """Fig. 7: L¹ clusters {a,b,f} and {c,g} with minima (1,4.4), (6,1)/10."""
+    index = DLPlusIndex(toy, zero_layer="clusters", clusters=2).build()
+    structure = index.structure
+    pseudo = structure.values[structure.n_real :]
+    expected = {(0.10, 0.44), (0.60, 0.10)}
+    got = {tuple(np.round(row, 6)) for row in pseudo}
+    assert got == expected
+
+
+def test_dl_vs_dg_cost_on_toy(toy):
+    from repro.baselines import DGIndex
+
+    dl = DLIndex(toy).build()
+    dg = DGIndex(toy).build()
+    w = np.array([0.5, 0.5])
+    for k in (1, 2, 3, 5, 8, 11):
+        assert dl.query(w, k).cost <= dg.query(w, k).cost
+
+
+def test_hotel_id_helpers():
+    assert hotel_id("a") == 0
+    assert hotel_id("k") == 10
+    assert HOTEL_NAMES[hotel_id("f")] == "f"

@@ -1,0 +1,74 @@
+"""Relation and index persistence."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DGPlusIndex, HLPlusIndex
+from repro.core import DLIndex, DLPlusIndex
+from repro.data import generate, toy_hotels
+from repro.exceptions import SerializationError
+from repro.io import load_index, load_relation, save_index, save_relation
+
+
+def test_relation_roundtrip(tmp_path):
+    relation = generate("ANT", 100, 3, seed=1)
+    path = tmp_path / "rel.npz"
+    save_relation(relation, path)
+    loaded = load_relation(path)
+    np.testing.assert_array_equal(loaded.matrix, relation.matrix)
+    assert loaded.schema.attributes == relation.schema.attributes
+
+
+def test_relation_bad_file(tmp_path):
+    path = tmp_path / "junk.npz"
+    path.write_bytes(b"not an npz")
+    with pytest.raises(SerializationError):
+        load_relation(path)
+
+
+@pytest.mark.parametrize("cls", [DLIndex, DLPlusIndex, DGPlusIndex, HLPlusIndex])
+def test_index_roundtrip_same_answers(cls, tmp_path, rng):
+    relation = generate("IND", 150, 3, seed=2)
+    index = cls(relation).build()
+    path = tmp_path / "index.pkl"
+    save_index(index, path)
+    loaded = load_index(path)
+    assert loaded.name == index.name
+    for _ in range(3):
+        w = rng.dirichlet(np.ones(3))
+        a = index.query(w, 5)
+        b = loaded.query(w, 5)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        assert a.cost == b.cost
+
+
+def test_index_roundtrip_2d_chain_zero_layer(tmp_path):
+    """The 2-D DL+ seed selector must survive pickling."""
+    index = DLPlusIndex(toy_hotels()).build()
+    path = tmp_path / "chain.pkl"
+    save_index(index, path)
+    loaded = load_index(path)
+    result = loaded.query(np.array([0.5, 0.5]), 1)
+    assert result.cost == 1
+
+
+def test_save_unbuilt_index_builds_first(tmp_path):
+    index = DLIndex(generate("IND", 50, 2, seed=3))
+    save_index(index, tmp_path / "i.pkl")
+    assert index._built
+
+
+def test_index_bad_file(tmp_path):
+    path = tmp_path / "junk.pkl"
+    path.write_bytes(b"garbage")
+    with pytest.raises(SerializationError):
+        load_index(path)
+
+
+def test_index_wrong_payload(tmp_path):
+    import pickle
+
+    path = tmp_path / "wrong.pkl"
+    path.write_bytes(pickle.dumps({"magic": "other"}))
+    with pytest.raises(SerializationError, match="not a repro index"):
+        load_index(path)

@@ -1,0 +1,86 @@
+"""FA, TA, NRA: correctness against full sort, stopping behaviour, costs."""
+
+import numpy as np
+import pytest
+
+from repro.lists import (
+    SortedLists,
+    fagins_algorithm,
+    no_random_access,
+    threshold_algorithm,
+)
+from repro.stats import AccessCounter
+
+ALGORITHMS = [fagins_algorithm, threshold_algorithm, no_random_access]
+
+
+def reference(points, weights, k):
+    scores = points @ weights
+    order = np.lexsort((np.arange(len(scores)), scores))[:k]
+    return [float(scores[i]) for i in order]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("d", [2, 3, 4])
+def test_matches_reference(algorithm, d, rng):
+    points = rng.random((80, d))
+    lists = SortedLists(points)
+    for _ in range(5):
+        weights = rng.dirichlet(np.ones(d))
+        for k in (1, 5, 20):
+            result = algorithm(lists, weights, k)
+            got = [score for score, _ in result]
+            np.testing.assert_allclose(got, reference(points, weights, k), atol=1e-12)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_k_exceeds_n(algorithm, rng):
+    points = rng.random((6, 2))
+    lists = SortedLists(points)
+    result = algorithm(lists, np.array([0.5, 0.5]), 50)
+    assert len(result) == 6
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_empty_inputs(algorithm):
+    lists = SortedLists(np.empty((0, 2)))
+    assert algorithm(lists, np.array([0.5, 0.5]), 3) == []
+    lists2 = SortedLists(np.array([[0.5, 0.5]]))
+    assert algorithm(lists2, np.array([0.5, 0.5]), 0) == []
+
+
+def test_ta_stops_before_exhaustion(rng):
+    """On easy data, TA must evaluate far fewer than n tuples."""
+    points = rng.random((500, 2))
+    lists = SortedLists(points)
+    counter = AccessCounter()
+    threshold_algorithm(lists, np.array([0.5, 0.5]), 1, counter)
+    assert counter.real < 250
+
+
+def test_ta_cost_grows_with_k(rng):
+    points = rng.random((400, 3))
+    lists = SortedLists(points)
+    costs = []
+    for k in (1, 10, 50):
+        counter = AccessCounter()
+        threshold_algorithm(lists, np.array([1 / 3] * 3), k, counter)
+        costs.append(counter.real)
+    assert costs[0] <= costs[1] <= costs[2]
+
+
+def test_fa_sees_k_on_all_lists(rng):
+    points = rng.random((100, 2))
+    lists = SortedLists(points)
+    counter = AccessCounter()
+    result = fagins_algorithm(lists, np.array([0.5, 0.5]), 5, counter)
+    assert len(result) == 5
+    assert counter.sorted_accesses >= 10  # at least k steps on both lists
+
+
+def test_nra_uses_no_more_real_than_sorted(rng):
+    points = rng.random((200, 2))
+    lists = SortedLists(points)
+    counter = AccessCounter()
+    no_random_access(lists, np.array([0.5, 0.5]), 5, counter)
+    assert counter.real <= counter.sorted_accesses

@@ -1,0 +1,41 @@
+"""Per-attribute sorted lists."""
+
+import numpy as np
+import pytest
+
+from repro.lists import SortedLists
+
+
+def test_sorted_access_is_ascending(rng):
+    points = rng.random((30, 3))
+    lists = SortedLists(points)
+    for attribute in range(3):
+        values = [
+            lists.sorted_entry(attribute, pos)[1] for pos in range(lists.n)
+        ]
+        assert values == sorted(values)
+
+
+def test_random_access_and_ids():
+    points = np.array([[0.5, 0.1], [0.2, 0.9]])
+    lists = SortedLists(points, ids=np.array([10, 20]))
+    np.testing.assert_allclose(lists.row_values(1), [0.2, 0.9])
+    assert lists.external_id(1) == 20
+    assert lists.d == 2 and lists.n == 2
+
+
+def test_default_ids():
+    lists = SortedLists(np.random.default_rng(0).random((5, 2)))
+    assert [lists.external_id(r) for r in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_tie_break_deterministic():
+    points = np.array([[0.5, 0.0], [0.5, 0.0], [0.1, 0.0]])
+    lists = SortedLists(points)
+    rows = [lists.sorted_entry(0, pos)[0] for pos in range(3)]
+    assert rows == [2, 0, 1]
+
+
+def test_misaligned_ids_rejected():
+    with pytest.raises(ValueError):
+        SortedLists(np.ones((3, 2)), ids=np.array([1, 2]))

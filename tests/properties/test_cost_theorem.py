@@ -1,0 +1,69 @@
+"""Property-based tests: the paper's cost guarantees.
+
+Theorem 5: DL never evaluates more tuples than DG on the same data/query.
+We additionally check the analogous relation between the optimized variants
+(same zero-layer clustering), and that DG/DL never exceed the scan floor.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines import DGIndex, DGPlusIndex
+from repro.core import DLIndex, DLPlusIndex
+from repro.relation import Relation
+
+
+@st.composite
+def workloads(draw):
+    d = draw(st.integers(2, 4))
+    n = draw(st.integers(2, 60))
+    grid = draw(st.sampled_from([None, 6]))
+    if grid:
+        cells = draw(arrays(np.int64, (n, d), elements=st.integers(0, grid)))
+        points = cells.astype(np.float64) / grid
+    else:
+        points = draw(
+            arrays(
+                np.float64,
+                (n, d),
+                elements=st.floats(0.0, 1.0, allow_nan=False, width=32),
+            )
+        )
+    raw = [draw(st.floats(0.05, 1.0, allow_nan=False)) for _ in range(d)]
+    weights = np.asarray(raw)
+    k = draw(st.integers(1, max(1, n // 2)))
+    return points, weights / weights.sum(), k
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=workloads())
+def test_theorem5_dl_cost_at_most_dg(workload):
+    points, weights, k = workload
+    relation = Relation(points, check_domain=False)
+    dl_cost = DLIndex(relation).build().query(weights, k).cost
+    dg_cost = DGIndex(relation).build().query(weights, k).cost
+    assert dl_cost <= dg_cost
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload=workloads())
+def test_optimized_variants_beat_scan(workload):
+    points, weights, k = workload
+    relation = Relation(points, check_domain=False)
+    n = points.shape[0]
+    for cls in (DLPlusIndex, DGPlusIndex):
+        cost = cls(relation, seed=0).build().query(weights, k).counter.real
+        assert cost <= n
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload=workloads())
+def test_dlplus_real_accesses_at_most_dl(workload):
+    """The zero layer can only reduce *real* tuple evaluations."""
+    points, weights, k = workload
+    relation = Relation(points, check_domain=False)
+    dl_real = DLIndex(relation).build().query(weights, k).counter.real
+    dlp_real = DLPlusIndex(relation, seed=0).build().query(weights, k).counter.real
+    assert dlp_real <= dl_real

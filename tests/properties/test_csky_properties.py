@@ -1,0 +1,73 @@
+"""Property-based tests: convex skyline and facet invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry import convex_skyline, lower_left_chain
+from repro.geometry.convex_skyline import convex_skyline_with_facets
+
+
+def point_sets(max_n=40, d_range=(2, 4), grid=None):
+    def build(draw):
+        d = draw(st.integers(*d_range))
+        n = draw(st.integers(1, max_n))
+        if grid:
+            cells = draw(arrays(np.int64, (n, d), elements=st.integers(0, grid)))
+            return cells.astype(np.float64) / grid
+        return draw(
+            arrays(
+                np.float64,
+                (n, d),
+                elements=st.floats(0.0, 1.0, allow_nan=False, width=32),
+            )
+        )
+
+    return st.composite(lambda draw: build(draw))()
+
+
+@settings(max_examples=50, deadline=None)
+@given(points=point_sets(), data=st.data())
+def test_csky_contains_directional_argmin(points, data):
+    csky = set(convex_skyline(points).tolist())
+    assert csky, "non-empty input must give non-empty CSKY"
+    d = points.shape[1]
+    raw = [
+        data.draw(st.floats(0.01, 1.0, allow_nan=False)) for _ in range(d)
+    ]
+    w = np.asarray(raw) / np.sum(raw)
+    scores = points @ w
+    argmins = set(np.nonzero(scores <= scores.min() + 1e-12)[0].tolist())
+    assert csky & argmins
+
+
+@settings(max_examples=50, deadline=None)
+@given(points=point_sets(grid=5))
+def test_csky_nonempty_and_within_bounds(points):
+    csky = convex_skyline(points)
+    assert 1 <= csky.shape[0] <= points.shape[0]
+    assert np.unique(csky).shape[0] == csky.shape[0]
+
+
+@settings(max_examples=50, deadline=None)
+@given(points=point_sets())
+def test_facets_cover_all_vertices(points):
+    vertices, facets = convex_skyline_with_facets(points)
+    assert facets
+    union = np.unique(np.concatenate([f.members for f in facets]))
+    assert set(union.tolist()) == set(vertices.tolist())
+
+
+@settings(max_examples=50, deadline=None)
+@given(points=point_sets(d_range=(2, 2)))
+def test_chain_subset_of_skyline_and_convex(points):
+    from repro.skyline import skyline_sfs
+
+    chain = lower_left_chain(points)
+    sky = set(skyline_sfs(points).tolist())
+    assert set(chain.tolist()) <= sky
+    if chain.shape[0] >= 3:
+        pts = points[chain]
+        slopes = np.diff(pts[:, 1]) / np.diff(pts[:, 0])
+        assert np.all(np.diff(slopes) > 0)

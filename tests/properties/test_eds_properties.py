@@ -1,0 +1,64 @@
+"""Property-based tests: ∃-dominance assignments (Definition 5 / Lemma 2)."""
+
+import numpy as np
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.eds import assign_covering_facets
+from repro.geometry import convex_combination_dominates
+from repro.geometry.convex_skyline import convex_skyline_with_facets
+from repro.skyline import skyline_sfs
+
+
+@st.composite
+def skyline_layers_with_two_sublayers(draw):
+    d = draw(st.integers(2, 4))
+    n = draw(st.integers(8, 60))
+    points = draw(
+        arrays(
+            np.float64,
+            (n, d),
+            elements=st.floats(0.0, 1.0, allow_nan=False, width=32),
+        )
+    )
+    layer = points[skyline_sfs(points)]
+    return layer
+
+
+def _localized(facets, vertices):
+    position = {int(v): i for i, v in enumerate(vertices)}
+    return [
+        replace(
+            f,
+            members=np.asarray(
+                [position[int(m)] for m in f.members], dtype=np.intp
+            ),
+        )
+        for f in facets
+    ]
+
+
+@settings(max_examples=50, deadline=None)
+@given(layer=skyline_layers_with_two_sublayers(), data=st.data())
+def test_assignments_are_witnessed_and_satisfy_lemma2(layer, data):
+    vertices, facets = convex_skyline_with_facets(layer)
+    mask = np.ones(layer.shape[0], dtype=bool)
+    mask[vertices] = False
+    residual = layer[mask]
+    if residual.shape[0] == 0:
+        return
+    sub_points = layer[vertices]
+    assignments = assign_covering_facets(
+        sub_points, _localized(facets, vertices), residual
+    )
+    d = layer.shape[1]
+    raw = [data.draw(st.floats(0.05, 1.0, allow_nan=False)) for _ in range(d)]
+    w = np.asarray(raw) / np.sum(raw)
+    for parents, target in zip(assignments, residual):
+        # Definition 5 witness: a convex combination below the target.
+        assert convex_combination_dominates(sub_points[parents], target, tol=1e-6)
+        # Lemma 2: some parent scores weakly below the target for any w > 0.
+        assert (sub_points[parents] @ w).min() <= target @ w + 1e-7

@@ -1,0 +1,73 @@
+"""Property-based tests: skyline and layer invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.skyline import (
+    is_dominated,
+    skyline_bnl,
+    skyline_bskytree,
+    skyline_layers,
+    skyline_sfs,
+)
+
+
+def point_sets(max_n=60, d_range=(1, 4), grid=None):
+    """Random point sets; ``grid`` quantizes values to provoke ties."""
+
+    def build(draw):
+        d = draw(st.integers(*d_range))
+        n = draw(st.integers(1, max_n))
+        if grid:
+            cells = draw(
+                arrays(np.int64, (n, d), elements=st.integers(0, grid))
+            )
+            return cells.astype(np.float64) / grid
+        return draw(
+            arrays(
+                np.float64,
+                (n, d),
+                elements=st.floats(0.0, 1.0, allow_nan=False, width=32),
+            )
+        )
+
+    return st.composite(lambda draw: build(draw))()
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_sets())
+def test_skyline_is_exactly_nondominated_set(points):
+    sky = set(skyline_sfs(points).tolist())
+    for i in range(points.shape[0]):
+        others = np.delete(points, i, axis=0)
+        assert (i in sky) == (not is_dominated(points[i], others))
+
+
+@settings(max_examples=60, deadline=None)
+@given(points=point_sets(grid=6))
+def test_skyline_algorithms_agree_on_tie_heavy_data(points):
+    a = skyline_bnl(points)
+    b = skyline_sfs(points)
+    c = skyline_bskytree(points)
+    np.testing.assert_array_equal(a, b)
+    np.testing.assert_array_equal(b, c)
+
+
+@settings(max_examples=40, deadline=None)
+@given(points=point_sets(grid=5))
+def test_layers_partition_and_order(points):
+    layers, leftover = skyline_layers(points)
+    assert leftover.shape[0] == 0
+    ids = np.concatenate(layers)
+    assert np.unique(ids).shape[0] == points.shape[0]
+    # Peeling order: every tuple in layer i+1 is dominated by some tuple in
+    # layer i; and within a layer no tuple dominates another.
+    for prev, layer in zip(layers, layers[1:]):
+        for t in layer:
+            assert is_dominated(points[t], points[prev])
+    for layer in layers:
+        block = points[layer]
+        for i in range(block.shape[0]):
+            assert not is_dominated(block[i], np.delete(block, i, axis=0))

@@ -1,0 +1,88 @@
+"""Property-based tests: SQL parser round-trips for generated statements."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import parse_topk_query
+
+_ATTRS = ["price", "distance", "rating", "size"]
+
+attribute = st.sampled_from(_ATTRS)
+coefficient = st.floats(0.1, 9.9, allow_nan=False).map(lambda x: round(x, 2))
+
+
+@st.composite
+def statements(draw):
+    """A random valid statement plus its expected parse."""
+    table = draw(st.sampled_from(["hotel", "r", "items"]))
+    k = draw(st.integers(1, 500))
+    explain = draw(st.booleans())
+
+    order_attrs = draw(
+        st.lists(attribute, min_size=1, max_size=len(_ATTRS), unique=True)
+    )
+    terms = []
+    weights = {}
+    for attr in order_attrs:
+        style = draw(st.integers(0, 2))
+        if style == 0:
+            coeff = draw(coefficient)
+            terms.append(f"{coeff}*{attr}")
+            weights[attr] = coeff
+        elif style == 1:
+            coeff = draw(coefficient)
+            terms.append(f"{attr} * {coeff}")
+            weights[attr] = coeff
+        else:
+            terms.append(attr)
+            weights[attr] = 1.0
+
+    select_attrs = draw(
+        st.one_of(
+            st.none(),
+            st.lists(attribute, min_size=1, max_size=3, unique=True),
+        )
+    )
+    select = "*" if select_attrs is None else ", ".join(select_attrs)
+
+    conditions = []
+    equals = {}
+    numeric = []
+    for attr in draw(st.lists(attribute, max_size=2, unique=True)):
+        if draw(st.booleans()):
+            value = draw(st.sampled_from(["NY", "DC", "x y", ""]))
+            conditions.append(f"{attr} = '{value}'")
+            equals[attr] = value
+        else:
+            op = draw(st.sampled_from(["<=", ">=", "<", ">"]))
+            bound = round(draw(st.floats(-5, 5, allow_nan=False)), 3)
+            conditions.append(f"{attr} {op} {bound}")
+            numeric.append((attr, op, bound))
+
+    where = f" WHERE {' AND '.join(conditions)}" if conditions else ""
+    prefix = "EXPLAIN " if explain else ""
+    text = (
+        f"{prefix}SELECT {select} FROM {table}{where} "
+        f"ORDER BY {' + '.join(terms)} STOP AFTER {k}"
+    )
+    return text, table, weights, k, equals, numeric, select_attrs, explain
+
+
+@settings(max_examples=120, deadline=None)
+@given(case=statements())
+def test_parse_roundtrip(case):
+    text, table, weights, k, equals, numeric, select_attrs, explain = case
+    parsed = parse_topk_query(text)
+    assert parsed.table == table
+    assert parsed.k == k
+    assert parsed.explain == explain
+    assert parsed.weights == weights
+    assert parsed.equals == equals
+    assert [
+        (p.attribute, p.op, p.value) for p in parsed.numeric
+    ] == [(a, op, float(v)) for a, op, v in numeric]
+    if select_attrs is None:
+        assert parsed.projection is None
+    else:
+        assert parsed.projection == select_attrs

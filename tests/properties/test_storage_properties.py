@@ -1,0 +1,75 @@
+"""Property-based tests: storage substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.storage import BlockStore, BufferPool, SlottedPage
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.data(),
+    d=st.integers(1, 6),
+    count=st.integers(0, 20),
+)
+def test_page_roundtrip_any_contents(data, d, count):
+    page = SlottedPage(d=d)
+    count = min(count, page.capacity)
+    rows = data.draw(
+        arrays(
+            np.float64,
+            (count, d),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, width=32),
+        )
+    )
+    ids = data.draw(
+        st.lists(
+            st.integers(0, 2**50), min_size=count, max_size=count, unique=True
+        )
+    )
+    for tuple_id, row in zip(ids, rows):
+        page.append(tuple_id, row)
+    restored = SlottedPage.from_bytes(page.to_bytes())
+    assert restored.tuple_ids == page.tuple_ids
+    for tuple_id, row in zip(ids, rows):
+        np.testing.assert_array_equal(restored.lookup(tuple_id), row)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    capacity=st.integers(1, 8),
+    accesses=st.lists(st.integers(0, 12), min_size=1, max_size=60),
+)
+def test_buffer_pool_invariants(capacity, accesses):
+    pool = BufferPool(capacity)
+    reference: list[int] = []  # LRU order, most recent last
+    for page in accesses:
+        hit = pool.access(page)
+        assert hit == (page in reference)
+        if page in reference:
+            reference.remove(page)
+        elif len(reference) >= capacity:
+            reference.pop(0)
+        reference.append(page)
+        assert pool.resident == len(reference) <= capacity
+    assert pool.hits + pool.misses == len(accesses)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.data(),
+    n=st.integers(1, 60),
+    page_capacity=st.integers(1, 9),
+)
+def test_block_store_partitions_tuples(data, n, page_capacity):
+    order = data.draw(st.permutations(list(range(n))))
+    store = BlockStore(np.asarray(order), page_capacity)
+    # Every tuple maps to exactly one page; pages fill in storage order.
+    pages = [store.page_of(t) for t in range(n)]
+    assert min(pages) == 0
+    assert max(pages) == store.num_pages - 1
+    counts = np.bincount(pages)
+    assert np.all(counts <= page_capacity)
+    assert counts.sum() == n

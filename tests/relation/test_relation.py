@@ -1,0 +1,104 @@
+"""Relation construction, accessors, normalization, CSV round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyRelationError, SchemaError
+from repro.relation import Relation, Schema
+
+
+def test_basic_accessors():
+    rel = Relation([[0.1, 0.2], [0.3, 0.4]])
+    assert rel.n == 2
+    assert rel.d == 2
+    assert len(rel) == 2
+    np.testing.assert_array_equal(rel.ids, [0, 1])
+    np.testing.assert_allclose(rel.tuple(1), [0.3, 0.4])
+    np.testing.assert_allclose(rel.take([1, 0]), [[0.3, 0.4], [0.1, 0.2]])
+
+
+def test_matrix_is_readonly():
+    rel = Relation([[0.1, 0.2]])
+    with pytest.raises(ValueError):
+        rel.matrix[0, 0] = 0.5
+
+
+def test_column_by_name():
+    rel = Relation([[0.1, 0.9]], Schema(("price", "distance")))
+    np.testing.assert_allclose(rel.column("distance"), [0.9])
+
+
+def test_domain_check_rejects_out_of_range():
+    with pytest.raises(SchemaError, match="normalize"):
+        Relation([[1.5, 0.2]])
+    with pytest.raises(SchemaError, match="normalize"):
+        Relation([[-0.1, 0.2]])
+
+
+def test_non_finite_rejected():
+    with pytest.raises(SchemaError, match="finite"):
+        Relation([[np.nan, 0.2]])
+    with pytest.raises(SchemaError, match="finite"):
+        Relation.from_raw([[np.inf, 0.2]])
+
+
+def test_wrong_shape_rejected():
+    with pytest.raises(SchemaError):
+        Relation(np.zeros(3))
+    with pytest.raises(SchemaError):
+        Relation(np.zeros((2, 0)))
+
+
+def test_schema_mismatch_rejected():
+    with pytest.raises(SchemaError, match="schema"):
+        Relation([[0.1, 0.2]], Schema(("only_one",)))
+
+
+def test_from_raw_minmax_normalizes():
+    rel = Relation.from_raw([[10.0, 5.0], [20.0, 5.0], [30.0, 7.0]])
+    np.testing.assert_allclose(rel.matrix[:, 0], [0.0, 0.5, 1.0])
+    # Constant column maps to zero.
+    np.testing.assert_allclose(rel.matrix[:2, 1], [0.0, 0.0])
+
+
+def test_from_raw_empty():
+    rel = Relation.from_raw(np.empty((0, 2)))
+    assert rel.n == 0
+
+
+def test_csv_roundtrip(tmp_path):
+    rel = Relation([[0.1, 0.2], [0.3, 0.4]], Schema(("price", "distance")))
+    path = tmp_path / "rel.csv"
+    rel.to_csv(path)
+    loaded = Relation.from_csv(path)
+    np.testing.assert_allclose(loaded.matrix, rel.matrix)
+    assert loaded.schema.attributes == ("price", "distance")
+
+
+def test_csv_normalize_flag(tmp_path):
+    path = tmp_path / "raw.csv"
+    path.write_text("x,y\n10,1\n20,3\n")
+    loaded = Relation.from_csv(path, normalize=True)
+    assert loaded.matrix.max() <= 1.0
+    assert loaded.matrix.min() >= 0.0
+
+
+def test_csv_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(SchemaError, match="empty"):
+        Relation.from_csv(path)
+
+
+def test_subset_rebases_ids():
+    rel = Relation([[0.1, 0.2], [0.3, 0.4], [0.5, 0.6]])
+    sub = rel.subset([2, 0])
+    assert sub.n == 2
+    np.testing.assert_allclose(sub.tuple(0), [0.5, 0.6])
+
+
+def test_require_nonempty():
+    rel = Relation(np.empty((0, 2)))
+    with pytest.raises(EmptyRelationError):
+        rel.require_nonempty("test op")
+    Relation([[0.0, 0.0]]).require_nonempty()  # no raise

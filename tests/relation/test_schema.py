@@ -1,0 +1,46 @@
+"""Schema construction and validation."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relation import Schema
+
+
+def test_anonymous_names():
+    schema = Schema.anonymous(3)
+    assert schema.attributes == ("a0", "a1", "a2")
+    assert schema.d == 3
+    assert len(schema) == 3
+    assert list(schema) == ["a0", "a1", "a2"]
+
+
+def test_index_of():
+    schema = Schema(("price", "distance"))
+    assert schema.index_of("price") == 0
+    assert schema.index_of("distance") == 1
+
+
+def test_index_of_unknown_raises():
+    schema = Schema(("price",))
+    with pytest.raises(SchemaError, match="unknown attribute"):
+        schema.index_of("rating")
+
+
+def test_empty_schema_rejected():
+    with pytest.raises(SchemaError):
+        Schema(())
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(SchemaError, match="duplicate"):
+        Schema(("a", "a"))
+
+
+def test_bad_name_rejected():
+    with pytest.raises(SchemaError):
+        Schema(("a", ""))
+
+
+def test_anonymous_zero_dim_rejected():
+    with pytest.raises(SchemaError):
+        Schema.anonymous(0)

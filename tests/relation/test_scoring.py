@@ -1,0 +1,81 @@
+"""Weight validation, scoring, and the brute-force top-k reference."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidQueryError, InvalidWeightError
+from repro.relation import (
+    LinearScore,
+    normalize_weights,
+    random_weight_vector,
+    top_k_bruteforce,
+)
+
+
+def test_normalize_weights_sums_to_one():
+    w = normalize_weights([2.0, 2.0])
+    np.testing.assert_allclose(w, [0.5, 0.5])
+
+
+def test_normalize_weights_rejects_nonpositive():
+    with pytest.raises(InvalidWeightError):
+        normalize_weights([0.5, 0.0])
+    with pytest.raises(InvalidWeightError):
+        normalize_weights([0.5, -0.1])
+
+
+def test_normalize_weights_rejects_bad_shapes():
+    with pytest.raises(InvalidWeightError):
+        normalize_weights([[0.5, 0.5]])
+    with pytest.raises(InvalidWeightError):
+        normalize_weights([0.5, 0.5], d=3)
+    with pytest.raises(InvalidWeightError):
+        normalize_weights([])
+    with pytest.raises(InvalidWeightError):
+        normalize_weights([np.nan, 0.5])
+
+
+def test_random_weight_vector_on_simplex(rng):
+    for d in (2, 3, 5):
+        w = random_weight_vector(d, rng)
+        assert w.shape == (d,)
+        assert np.all(w > 0)
+        assert w.sum() == pytest.approx(1.0)
+
+
+def test_linear_score_single_and_batch():
+    score = LinearScore([0.5, 0.5])
+    assert score(np.array([0.2, 0.4])) == pytest.approx(0.3)
+    np.testing.assert_allclose(
+        score(np.array([[0.2, 0.4], [1.0, 0.0]])), [0.3, 0.5]
+    )
+    assert score.d == 2
+
+
+def test_bruteforce_matches_manual():
+    matrix = np.array([[0.9, 0.9], [0.1, 0.1], [0.5, 0.5]])
+    ids, scores = top_k_bruteforce(matrix, np.array([0.5, 0.5]), 2)
+    np.testing.assert_array_equal(ids, [1, 2])
+    np.testing.assert_allclose(scores, [0.1, 0.5])
+
+
+def test_bruteforce_tie_break_by_id():
+    matrix = np.array([[0.5, 0.5], [0.5, 0.5], [0.4, 0.6]])
+    ids, _ = top_k_bruteforce(matrix, np.array([0.5, 0.5]), 3)
+    np.testing.assert_array_equal(ids, [0, 1, 2])
+
+
+def test_bruteforce_k_larger_than_n():
+    matrix = np.array([[0.1, 0.2]])
+    ids, scores = top_k_bruteforce(matrix, np.array([0.5, 0.5]), 10)
+    assert ids.shape == (1,)
+
+
+def test_bruteforce_empty_matrix():
+    ids, scores = top_k_bruteforce(np.empty((0, 2)), np.array([0.5, 0.5]), 3)
+    assert ids.shape == (0,)
+
+
+def test_bruteforce_rejects_bad_k():
+    with pytest.raises(InvalidQueryError):
+        top_k_bruteforce(np.ones((2, 2)), np.array([0.5, 0.5]), 0)

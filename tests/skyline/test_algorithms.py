@@ -1,0 +1,83 @@
+"""The three skyline algorithms: correctness, agreement, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.skyline import (
+    is_dominated,
+    skyline,
+    skyline_bnl,
+    skyline_bskytree,
+    skyline_sfs,
+)
+
+ALGORITHMS = [skyline_bnl, skyline_sfs, skyline_bskytree]
+
+
+def brute_skyline(points: np.ndarray) -> np.ndarray:
+    keep = [
+        i
+        for i in range(points.shape[0])
+        if not is_dominated(points[i], np.delete(points, i, axis=0))
+    ]
+    return np.asarray(keep, dtype=np.intp)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("d", [1, 2, 3, 4])
+def test_matches_bruteforce(algorithm, d, rng):
+    points = rng.random((120, d))
+    np.testing.assert_array_equal(algorithm(points), brute_skyline(points))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_empty_input(algorithm):
+    assert algorithm(np.empty((0, 3))).shape == (0,)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_single_point(algorithm):
+    np.testing.assert_array_equal(algorithm(np.array([[0.5, 0.5]])), [0])
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_all_duplicates_survive(algorithm):
+    """Identical tuples do not dominate each other (no strict attribute)."""
+    points = np.tile([0.3, 0.7], (5, 1))
+    np.testing.assert_array_equal(algorithm(points), np.arange(5))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_total_order_chain(algorithm):
+    """A strictly dominated chain keeps only its minimum."""
+    points = np.array([[i / 10, i / 10] for i in range(1, 6)])
+    np.testing.assert_array_equal(algorithm(points), [0])
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_anti_chain_all_kept(algorithm):
+    points = np.array([[0.1, 0.9], [0.3, 0.7], [0.5, 0.5], [0.7, 0.3]])
+    np.testing.assert_array_equal(algorithm(points), np.arange(4))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_equal_sums_incomparable(algorithm):
+    """Ties in the SFS sort key must not suppress incomparable tuples."""
+    points = np.array([[0.5, 0.5], [0.4, 0.6], [0.6, 0.4], [0.3, 0.7]])
+    np.testing.assert_array_equal(algorithm(points), np.arange(4))
+
+
+def test_large_agreement(rng):
+    points = rng.random((3000, 4))
+    a = skyline_sfs(points)
+    b = skyline_bskytree(points)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_dispatch_by_name(rng):
+    points = rng.random((50, 3))
+    np.testing.assert_array_equal(
+        skyline(points, "bnl"), skyline(points, "bskytree")
+    )
+    with pytest.raises(ValueError, match="unknown skyline"):
+        skyline(points, "quantum")

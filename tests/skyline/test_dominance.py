@@ -1,0 +1,70 @@
+"""Dominance primitives (Definition 2)."""
+
+import numpy as np
+
+from repro.skyline import (
+    dominance_matrix,
+    dominates,
+    dominates_any,
+    dominators_of,
+    is_dominated,
+)
+
+
+def test_dominates_strict_somewhere():
+    assert dominates([0.1, 0.2], [0.1, 0.3])
+    assert dominates([0.1, 0.2], [0.2, 0.3])
+    assert not dominates([0.1, 0.2], [0.1, 0.2])  # equal: no strict attr
+    assert not dominates([0.1, 0.4], [0.2, 0.3])  # incomparable
+    assert not dominates([0.2, 0.3], [0.1, 0.4])
+
+
+def test_is_dominated():
+    against = np.array([[0.5, 0.5], [0.2, 0.8]])
+    assert is_dominated(np.array([0.6, 0.6]), against)
+    assert not is_dominated(np.array([0.1, 0.1]), against)
+    assert not is_dominated(np.array([0.5, 0.5]), against)  # equal only
+    assert not is_dominated(np.array([0.6, 0.6]), np.empty((0, 2)))
+
+
+def test_dominates_any_mask():
+    points = np.array([[0.6, 0.6], [0.1, 0.1], [0.5, 0.5]])
+    against = np.array([[0.5, 0.5]])
+    np.testing.assert_array_equal(
+        dominates_any(points, against), [True, False, False]
+    )
+
+
+def test_dominates_any_empty_inputs():
+    assert dominates_any(np.empty((0, 2)), np.ones((3, 2))).shape == (0,)
+    np.testing.assert_array_equal(
+        dominates_any(np.ones((2, 2)), np.empty((0, 2))), [False, False]
+    )
+
+
+def test_dominance_matrix():
+    rows = np.array([[0.1, 0.1], [0.9, 0.9]])
+    cols = np.array([[0.2, 0.2], [0.05, 0.5]])
+    matrix = dominance_matrix(rows, cols)
+    np.testing.assert_array_equal(matrix, [[True, False], [False, False]])
+
+
+def test_dominance_matrix_empty():
+    assert dominance_matrix(np.empty((0, 2)), np.ones((2, 2))).shape == (0, 2)
+
+
+def test_dominators_of():
+    candidates = np.array([[0.1, 0.1], [0.3, 0.3], [0.2, 0.9]])
+    np.testing.assert_array_equal(
+        dominators_of(np.array([0.3, 0.3]), candidates), [0]
+    )
+    assert dominators_of(np.array([0.0, 0.0]), candidates).shape == (0,)
+
+
+def test_dominates_any_chunking_consistency(rng):
+    """Chunked mask equals the naive all-pairs computation."""
+    points = rng.random((150, 3))
+    against = rng.random((5000, 3))
+    mask = dominates_any(points, against)
+    naive = np.array([is_dominated(p, against) for p in points])
+    np.testing.assert_array_equal(mask, naive)

@@ -1,0 +1,89 @@
+"""Skyline-layer and convex-layer peeling invariants."""
+
+import numpy as np
+import pytest
+
+from repro.relation import top_k_bruteforce
+from repro.skyline import (
+    convex_layers,
+    dominates_any,
+    is_dominated,
+    skyline_layers,
+)
+
+
+def test_skyline_layers_partition(rng):
+    points = rng.random((300, 3))
+    layers, leftover = skyline_layers(points)
+    assert leftover.shape[0] == 0
+    all_ids = np.concatenate(layers)
+    assert all_ids.shape[0] == 300
+    assert np.unique(all_ids).shape[0] == 300
+
+
+def test_convex_layers_partition(rng):
+    points = rng.random((300, 3))
+    layers, leftover = convex_layers(points)
+    assert leftover.shape[0] == 0
+    all_ids = np.concatenate(layers)
+    assert np.unique(all_ids).shape[0] == 300
+
+
+def test_skyline_layer_internal_nondominance(rng):
+    points = rng.random((200, 3))
+    layers, _ = skyline_layers(points)
+    for layer in layers:
+        block = points[layer]
+        for i in range(block.shape[0]):
+            assert not is_dominated(block[i], np.delete(block, i, axis=0))
+
+
+def test_every_deeper_tuple_dominated_by_previous_layer(rng):
+    points = rng.random((200, 3))
+    layers, _ = skyline_layers(points)
+    for prev, layer in zip(layers, layers[1:]):
+        mask = dominates_any(points[layer], points[prev])
+        assert np.all(mask), "each tuple must have a dominator one layer up"
+
+
+def test_max_layers_bound(rng):
+    points = rng.random((300, 3))
+    layers, leftover = skyline_layers(points, max_layers=2)
+    assert len(layers) == 2
+    assert leftover.shape[0] == 300 - sum(l.shape[0] for l in layers)
+    full_layers, _ = skyline_layers(points)
+    np.testing.assert_array_equal(layers[0], full_layers[0])
+    np.testing.assert_array_equal(layers[1], full_layers[1])
+
+
+@pytest.mark.parametrize("peel", [skyline_layers, convex_layers])
+def test_rank_i_within_first_i_layers(peel, rng):
+    """The layer-index contract: the i-th best tuple is in the first i layers."""
+    points = rng.random((150, 3))
+    layers, _ = peel(points)
+    layer_of = np.empty(150, dtype=int)
+    for depth, layer in enumerate(layers):
+        layer_of[layer] = depth + 1
+    for _ in range(5):
+        w = rng.dirichlet(np.ones(3))
+        ids, _ = top_k_bruteforce(points, w, 20)
+        for rank, tid in enumerate(ids, start=1):
+            assert layer_of[tid] <= rank
+
+
+def test_empty_input():
+    layers, leftover = skyline_layers(np.empty((0, 3)))
+    assert layers == []
+    assert leftover.shape[0] == 0
+
+
+def test_convex_layers_duplicates():
+    points = np.tile([0.2, 0.8], (4, 1))
+    layers, leftover = convex_layers(points)
+    assert leftover.shape[0] == 0
+    assert sum(l.shape[0] for l in layers) == 4
+
+
+def test_unknown_algorithm_rejected(rng):
+    with pytest.raises(ValueError):
+        skyline_layers(rng.random((10, 2)), algorithm="nope")

@@ -1,0 +1,99 @@
+"""SQL-dialect parser."""
+
+import pytest
+
+from repro.exceptions import SQLParseError
+from repro.sql import parse_topk_query
+
+
+def test_paper_example1():
+    query = parse_topk_query(
+        "SELECT * FROM Hotel WHERE city = 'Washington DC' "
+        "ORDER BY 0.5*price + 0.5*distance STOP AFTER 5"
+    )
+    assert query.table == "Hotel"
+    assert query.weights == {"price": 0.5, "distance": 0.5}
+    assert query.k == 5
+    assert query.equals == {"city": "Washington DC"}
+
+
+def test_no_where_clause():
+    query = parse_topk_query(
+        "SELECT * FROM r ORDER BY 0.75*a + 0.25*b STOP AFTER 10"
+    )
+    assert query.equals == {}
+    assert query.k == 10
+
+
+def test_attribute_first_coefficient():
+    query = parse_topk_query("SELECT * FROM r ORDER BY a*2 + b*1 STOP AFTER 3")
+    assert query.weights == {"a": 2.0, "b": 1.0}
+
+
+def test_bare_attribute_weight_one():
+    query = parse_topk_query("SELECT * FROM r ORDER BY a + b STOP AFTER 3")
+    assert query.weights == {"a": 1.0, "b": 1.0}
+
+
+def test_case_insensitive_keywords():
+    query = parse_topk_query("select * from r order by a + b stop after 2;")
+    assert query.k == 2
+
+
+def test_multiple_where_conditions():
+    query = parse_topk_query(
+        "SELECT * FROM r WHERE city = 'NY' AND stars = '5' "
+        "ORDER BY a + b STOP AFTER 1"
+    )
+    assert query.equals == {"city": "NY", "stars": "5"}
+
+
+def test_projection_list():
+    query = parse_topk_query(
+        "SELECT name, price FROM r ORDER BY a + b STOP AFTER 3"
+    )
+    assert query.projection == ["name", "price"]
+    star = parse_topk_query("SELECT * FROM r ORDER BY a STOP AFTER 3")
+    assert star.projection is None
+
+
+def test_numeric_predicates():
+    query = parse_topk_query(
+        "SELECT * FROM r WHERE price <= 0.5 AND stars > 3 AND city = 'NY' "
+        "ORDER BY a + b STOP AFTER 2"
+    )
+    assert query.equals == {"city": "NY"}
+    assert [(p.attribute, p.op, p.value) for p in query.numeric] == [
+        ("price", "<=", 0.5),
+        ("stars", ">", 3.0),
+    ]
+
+
+def test_explain_flag():
+    query = parse_topk_query("EXPLAIN SELECT * FROM r ORDER BY a STOP AFTER 1")
+    assert query.explain
+    plain = parse_topk_query("SELECT * FROM r ORDER BY a STOP AFTER 1")
+    assert not plain.explain
+
+
+def test_duplicate_projection_rejected():
+    with pytest.raises(SQLParseError, match="duplicate"):
+        parse_topk_query("SELECT a, a FROM r ORDER BY a STOP AFTER 1")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "SELECT * FROM r ORDER BY a",
+        "SELECT * FROM r STOP AFTER 3",
+        "SELECT * FROM r ORDER BY a STOP AFTER 0",
+        "SELECT * FROM r ORDER BY a - b STOP AFTER 1",
+        "SELECT * FROM r ORDER BY 0*a + b STOP AFTER 1",
+        "SELECT * FROM r ORDER BY a + a STOP AFTER 1",
+        "SELECT * FROM r WHERE city = NY ORDER BY a STOP AFTER 1",
+        "DROP TABLE r",
+    ],
+)
+def test_malformed_rejected(bad):
+    with pytest.raises(SQLParseError):
+        parse_topk_query(bad)

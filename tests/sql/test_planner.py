@@ -1,0 +1,117 @@
+"""Database execution of top-k statements."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ScanIndex
+from repro.data.hotels import HOTEL_NAMES, synthetic_hotels, toy_hotels
+from repro.exceptions import SchemaError, SQLParseError
+from repro.relation import top_k_bruteforce
+from repro.sql import Database
+
+
+@pytest.fixture()
+def database():
+    db = Database()
+    db.register("hotel", toy_hotels())
+    return db
+
+
+def test_execute_on_toy(database):
+    answer = database.execute(
+        "SELECT * FROM hotel ORDER BY 0.5*price + 0.5*distance STOP AFTER 3"
+    )
+    assert [HOTEL_NAMES[i] for i in answer.ids] == ["a", "b", "f"]
+    assert answer.cost >= 3
+    assert answer.algorithm == "DL+"
+
+
+def test_weights_affect_result(database):
+    price_heavy = database.execute(
+        "SELECT * FROM hotel ORDER BY 0.9*price + 0.1*distance STOP AFTER 1"
+    )
+    distance_heavy = database.execute(
+        "SELECT * FROM hotel ORDER BY 0.1*price + 0.9*distance STOP AFTER 1"
+    )
+    assert HOTEL_NAMES[price_heavy.ids[0]] == "a"
+    assert HOTEL_NAMES[distance_heavy.ids[0]] == "c"
+
+
+def test_where_predicate_partitions():
+    relation, cities = synthetic_hotels(300, seed=5, city_count=2)
+    labels = np.where(cities == 0, "NY", "DC")
+    db = Database()
+    db.register("hotel", relation, labels={"city": labels})
+    answer = db.execute(
+        "SELECT * FROM hotel WHERE city = 'NY' "
+        "ORDER BY 0.5*price + 0.5*distance STOP AFTER 5"
+    )
+    assert all(labels[i] == "NY" for i in answer.ids)
+    # Scores must match brute force over the partition.
+    selection = np.nonzero(labels == "NY")[0]
+    _, ref = top_k_bruteforce(
+        relation.matrix[selection], np.array([0.5, 0.5]), 5
+    )
+    np.testing.assert_allclose(answer.scores, ref, atol=1e-12)
+
+
+def test_index_cache_reused(database):
+    database.execute("SELECT * FROM hotel ORDER BY price + distance STOP AFTER 2")
+    cache_size = len(database._index_cache)
+    database.execute("SELECT * FROM hotel ORDER BY 2*price + distance STOP AFTER 4")
+    assert len(database._index_cache) == cache_size
+
+
+def test_unknown_table(database):
+    with pytest.raises(SQLParseError, match="unknown table"):
+        database.execute("SELECT * FROM nope ORDER BY price + distance STOP AFTER 1")
+
+
+def test_missing_attribute_weight_rejected_without_subspace():
+    db = Database(subspace=False)
+    db.register("hotel", toy_hotels())
+    with pytest.raises(SQLParseError, match="missing"):
+        db.execute("SELECT * FROM hotel ORDER BY price STOP AFTER 1")
+
+
+def test_partial_order_by_runs_as_subspace_query(database):
+    answer = database.execute("SELECT * FROM hotel ORDER BY price STOP AFTER 1")
+    # Minimum price in the toy data is hotel a.
+    assert HOTEL_NAMES[answer.ids[0]] == "a"
+
+
+def test_unknown_label_column(database):
+    with pytest.raises(SQLParseError, match="unknown label"):
+        database.execute(
+            "SELECT * FROM hotel WHERE city = 'NY' "
+            "ORDER BY price + distance STOP AFTER 1"
+        )
+
+
+def test_empty_selection_rejected():
+    relation, _ = synthetic_hotels(50, seed=1)
+    db = Database()
+    db.register("hotel", relation, labels={"city": np.array(["A"] * 50)})
+    with pytest.raises(SQLParseError, match="no tuples"):
+        db.execute(
+            "SELECT * FROM hotel WHERE city = 'B' "
+            "ORDER BY price + distance STOP AFTER 1"
+        )
+
+
+def test_label_validation():
+    db = Database()
+    with pytest.raises(SchemaError, match="label column"):
+        db.register("h", toy_hotels(), labels={"city": np.array(["x"])})
+    with pytest.raises(SchemaError, match="clashes"):
+        db.register("h", toy_hotels(), labels={"price": np.array(["x"] * 11)})
+
+
+def test_custom_index_class():
+    db = Database(index_class=ScanIndex)
+    db.register("hotel", toy_hotels())
+    answer = db.execute(
+        "SELECT * FROM hotel ORDER BY price + distance STOP AFTER 2"
+    )
+    assert answer.algorithm == "SCAN"
+    assert answer.cost == 11

@@ -1,0 +1,121 @@
+"""Planner extensions: projections, numeric predicates, EXPLAIN."""
+
+import numpy as np
+import pytest
+
+from repro.data.hotels import HOTEL_NAMES, toy_hotels
+from repro.data import generate
+from repro.exceptions import SchemaError, SQLParseError
+from repro.sql import Database
+
+
+@pytest.fixture()
+def database():
+    db = Database()
+    db.register("hotel", toy_hotels())
+    return db
+
+
+def test_projection_returns_selected_columns(database):
+    answer = database.execute(
+        "SELECT distance FROM hotel ORDER BY 0.5*price + 0.5*distance "
+        "STOP AFTER 3"
+    )
+    assert answer.columns == ("distance",)
+    assert answer.rows.shape == (3, 1)
+    relation = toy_hotels()
+    np.testing.assert_allclose(
+        answer.rows[:, 0], relation.matrix[answer.ids, 1]
+    )
+
+
+def test_star_returns_all_columns(database):
+    answer = database.execute(
+        "SELECT * FROM hotel ORDER BY price + distance STOP AFTER 2"
+    )
+    assert answer.columns == ("price", "distance")
+    assert answer.rows.shape == (2, 2)
+
+
+def test_unknown_projection_column(database):
+    with pytest.raises(SchemaError):
+        database.execute(
+            "SELECT stars FROM hotel ORDER BY price + distance STOP AFTER 1"
+        )
+
+
+def test_numeric_predicate_filters(database):
+    # Only hotels with price <= 0.3 qualify: a, b, d, e, f, h, i.
+    answer = database.execute(
+        "SELECT * FROM hotel WHERE price <= 0.3 "
+        "ORDER BY 0.5*price + 0.5*distance STOP AFTER 20"
+    )
+    names = {HOTEL_NAMES[i] for i in answer.ids}
+    assert names == {"a", "b", "d", "e", "f", "h", "i"}
+
+
+def test_numeric_predicates_combine(database):
+    answer = database.execute(
+        "SELECT * FROM hotel WHERE price <= 0.3 AND distance < 0.6 "
+        "ORDER BY price + distance STOP AFTER 20"
+    )
+    names = {HOTEL_NAMES[i] for i in answer.ids}
+    assert names == {"f", "b"}
+
+
+def test_numeric_and_label_predicates_together():
+    relation = generate("IND", 200, 2, seed=1)
+    labels = np.array(["x"] * 100 + ["y"] * 100)
+    db = Database()
+    db.register("r", relation, labels={"group": labels})
+    answer = db.execute(
+        "SELECT * FROM r WHERE group = 'y' AND a0 <= 0.5 "
+        "ORDER BY a0 + a1 STOP AFTER 5"
+    )
+    assert np.all(answer.ids >= 100)
+    assert np.all(relation.matrix[answer.ids, 0] <= 0.5)
+
+
+def test_numeric_predicate_caches_separately(database):
+    database.execute(
+        "SELECT * FROM hotel WHERE price <= 0.3 ORDER BY price + distance "
+        "STOP AFTER 1"
+    )
+    database.execute(
+        "SELECT * FROM hotel WHERE price <= 0.5 ORDER BY price + distance "
+        "STOP AFTER 1"
+    )
+    assert len(database._index_cache) == 2
+    database.execute(
+        "SELECT * FROM hotel WHERE price <= 0.3 ORDER BY 2*price + distance "
+        "STOP AFTER 2"
+    )
+    assert len(database._index_cache) == 2  # reused
+
+
+def test_explain_statement_runs_and_attaches_plan(database):
+    answer = database.execute(
+        "EXPLAIN SELECT * FROM hotel WHERE price <= 0.5 "
+        "ORDER BY price + distance STOP AFTER 3"
+    )
+    assert "TopK(k=3" in answer.plan
+    assert "index: DL+" in answer.plan
+    assert "price <= 0.5" in answer.plan
+    assert "cost bounds" in answer.plan
+    assert len(answer.ids) == 3  # EXPLAIN still executes
+
+
+def test_explain_method_does_not_require_execution(database):
+    plan = database.explain(
+        "SELECT price FROM hotel ORDER BY price + distance STOP AFTER 2"
+    )
+    assert "project: price" in plan
+    assert "over 11 of 11 tuples" in plan
+
+
+def test_empty_numeric_selection_rejected(database):
+    with pytest.raises(SQLParseError, match="no tuples"):
+        database.execute(
+            "SELECT * FROM hotel WHERE price <= 0.0 "
+            "ORDER BY price + distance STOP AFTER 1"
+        )

@@ -1,0 +1,69 @@
+"""Subspace top-k embedding."""
+
+import numpy as np
+import pytest
+
+from repro.core import DLIndex
+from repro.data import generate
+from repro.exceptions import InvalidWeightError
+from repro.relation import Schema, top_k_bruteforce
+from repro.sql.subspace import embed_subspace_weights, subspace_scores
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return Schema(("a", "b", "c", "d"))
+
+
+def test_embedding_shape_and_normalization(schema):
+    w = embed_subspace_weights(schema, {"a": 1.0, "c": 3.0})
+    assert w.shape == (4,)
+    assert w.sum() == pytest.approx(1.0)
+    assert np.all(w > 0)
+    assert w[2] == pytest.approx(3 * w[0], rel=1e-6)
+    assert w[1] < 1e-8 and w[3] < 1e-8
+
+
+def test_embedding_validation(schema):
+    with pytest.raises(InvalidWeightError):
+        embed_subspace_weights(schema, {})
+    with pytest.raises(InvalidWeightError):
+        embed_subspace_weights(schema, {"a": 0.0})
+    with pytest.raises(InvalidWeightError):
+        embed_subspace_weights(schema, {"a": 1.0}, epsilon=0.0)
+
+
+def test_subspace_query_matches_subspace_bruteforce(schema):
+    """Embedded queries rank like the true 2-attribute ranking."""
+    relation = generate("IND", 400, 4, seed=3)
+    index = DLIndex(relation).build()
+    subspace = {"a0": 0.6, "a2": 0.4}
+    w = embed_subspace_weights(relation.schema, subspace)
+    result = index.query(w, 10)
+    true_scores = subspace_scores(relation.matrix, relation.schema, subspace)
+    order = np.lexsort((np.arange(relation.n), true_scores))[:10]
+    # Real-valued data: no ties, the embedded ranking is exact.
+    np.testing.assert_array_equal(np.sort(result.ids), np.sort(order))
+
+
+def test_epsilon_breaks_ties_toward_better_ignored_attributes():
+    from repro.relation import Relation
+
+    matrix = np.array(
+        [
+            [0.5, 0.9],  # same price, far away
+            [0.5, 0.1],  # same price, close by
+        ]
+    )
+    relation = Relation(matrix, Schema(("price", "distance")))
+    index = DLIndex(relation).build()
+    w = embed_subspace_weights(relation.schema, {"price": 1.0})
+    result = index.query(w, 1)
+    assert int(result.ids[0]) == 1  # the tie resolves toward low distance
+
+
+def test_unknown_attribute_rejected(schema):
+    from repro.exceptions import SchemaError
+
+    with pytest.raises(SchemaError):
+        embed_subspace_weights(schema, {"nope": 1.0})

@@ -1,0 +1,48 @@
+"""Access counters and build stats."""
+
+from repro.stats import AccessCounter, BuildStats, QueryStats
+from repro.stats.counters import Stopwatch
+
+
+def test_counter_tallies():
+    counter = AccessCounter()
+    counter.count_real()
+    counter.count_real(3)
+    counter.count_pseudo(2)
+    counter.count_sorted_access(5)
+    assert counter.real == 4
+    assert counter.pseudo == 2
+    assert counter.sorted_accesses == 5
+    assert counter.total == 6
+
+
+def test_counter_merge_and_reset():
+    a = AccessCounter()
+    a.count_real(2)
+    b = AccessCounter()
+    b.count_pseudo(3)
+    b.count_sorted_access()
+    a.merge(b)
+    assert (a.real, a.pseudo, a.sorted_accesses) == (2, 3, 1)
+    a.reset()
+    assert a.total == 0
+
+
+def test_build_stats_describe():
+    stats = BuildStats(algorithm="DL", n=100, d=4, seconds=0.5, num_layers=3)
+    text = stats.describe()
+    assert "DL" in text and "n=100" in text and "layers=3" in text
+
+
+def test_query_stats_cost():
+    counter = AccessCounter()
+    counter.count_real(7)
+    counter.count_pseudo(2)
+    stats = QueryStats(algorithm="DL+", k=5, counter=counter)
+    assert stats.cost == 9
+
+
+def test_stopwatch_measures():
+    with Stopwatch() as timer:
+        sum(range(1000))
+    assert timer.seconds >= 0.0

@@ -1,0 +1,154 @@
+"""Block storage, buffer pool, and I/O cost replay."""
+
+import numpy as np
+import pytest
+
+from repro.core import DLIndex, DLPlusIndex
+from repro.data import generate
+from repro.exceptions import ReproError
+from repro.storage import (
+    BlockStore,
+    BufferPool,
+    IOCostModel,
+    layer_clustered_placement,
+    row_order_placement,
+)
+
+
+def test_row_order_placement():
+    np.testing.assert_array_equal(row_order_placement(4), [0, 1, 2, 3])
+
+
+def test_layer_clustered_placement_roundtrip():
+    order = layer_clustered_placement([[2, 0], [3, 1]], 4)
+    np.testing.assert_array_equal(order, [2, 0, 3, 1])
+
+
+def test_layer_clustered_placement_validation():
+    with pytest.raises(ReproError):
+        layer_clustered_placement([[0, 1]], 3)  # missing tuple 2
+    with pytest.raises(ReproError):
+        layer_clustered_placement([[0, 1], [1, 2]], 3)  # duplicate
+
+
+def test_block_store_pages():
+    store = BlockStore(np.array([3, 1, 0, 2]), page_capacity=2)
+    assert store.num_pages == 2
+    assert store.page_of(3) == 0 and store.page_of(1) == 0
+    assert store.page_of(0) == 1 and store.page_of(2) == 1
+    np.testing.assert_array_equal(store.pages_of([3, 0, 3]), [0, 1, 0])
+
+
+def test_block_store_validation():
+    with pytest.raises(ReproError):
+        BlockStore(np.array([0]), page_capacity=0)
+
+
+def test_buffer_pool_lru():
+    pool = BufferPool(2)
+    assert not pool.access(1)  # miss
+    assert not pool.access(2)  # miss
+    assert pool.access(1)      # hit
+    assert not pool.access(3)  # miss, evicts 2 (LRU)
+    assert not pool.access(2)  # miss again
+    assert pool.hits == 1
+    assert pool.misses == 4
+    assert pool.evictions == 2
+    assert pool.resident == 2
+
+
+def test_buffer_pool_reset_and_clear():
+    pool = BufferPool(4)
+    pool.access(1)
+    pool.reset_counters()
+    assert pool.misses == 0 and pool.resident == 1
+    pool.clear()
+    assert pool.resident == 0
+
+
+def test_buffer_pool_validation():
+    with pytest.raises(ReproError):
+        BufferPool(0)
+
+
+@pytest.fixture(scope="module")
+def indexed_relation():
+    relation = generate("ANT", 600, 3, seed=17)
+    index = DLIndex(relation).build()
+    return relation, index
+
+
+def test_layer_clustering_beats_row_order(indexed_relation):
+    """The paper's §VI-A remark: layer-clustered pages fault less."""
+    relation, index = indexed_relation
+    sublayer_sequence = [
+        sublayer
+        for sublayers in index.blueprint.fine_layers
+        for sublayer in sublayers
+    ]
+    clustered = BlockStore(
+        layer_clustered_placement(sublayer_sequence, relation.n), page_capacity=32
+    )
+    heap_file = BlockStore(row_order_placement(relation.n), page_capacity=32)
+
+    rng = np.random.default_rng(5)
+    faults_clustered = faults_heap = 0
+    for _ in range(10):
+        raw = rng.dirichlet(np.ones(3))
+        w = np.clip(raw, 1e-6, None)
+        faults_clustered += IOCostModel(index, clustered).run_query(w, 10).page_faults
+        faults_heap += IOCostModel(index, heap_file).run_query(w, 10).page_faults
+    assert faults_clustered < faults_heap
+
+
+def test_io_report_fields(indexed_relation):
+    relation, index = indexed_relation
+    store = BlockStore(row_order_placement(relation.n), page_capacity=16)
+    report = IOCostModel(index, store).run_query(np.ones(3) / 3, 5)
+    assert report.tuples_accessed >= 5
+    assert 1 <= report.pages_touched <= report.tuples_accessed
+    assert report.page_faults >= report.pages_touched - 16
+    assert 0 < report.fault_rate <= 1.0
+
+
+def test_warm_buffer_reduces_faults(indexed_relation):
+    relation, index = indexed_relation
+    store = BlockStore(row_order_placement(relation.n), page_capacity=16)
+    model = IOCostModel(index, store, buffer_capacity=64)
+    w = np.ones(3) / 3
+    cold = model.run_query(w, 10, cold=True)
+    warm = model.run_query(w, 10, cold=False)
+    assert warm.page_faults <= cold.page_faults
+    assert warm.buffer_hits >= cold.buffer_hits
+
+
+def test_trace_matches_cost(indexed_relation):
+    """The recorded trace length equals the reported real-access count."""
+    relation, index = indexed_relation
+    store = BlockStore(row_order_placement(relation.n), page_capacity=16)
+    model = IOCostModel(index, store)
+    w = np.ones(3) / 3
+    report = model.run_query(w, 10)
+    assert report.tuples_accessed == index.query(w, 10).counter.real
+
+
+def test_trace_excludes_pseudo_tuples():
+    """Zero-layer pseudo accesses never enter the I/O trace (not on disk)."""
+    relation = generate("ANT", 400, 3, seed=19)
+    index = DLPlusIndex(relation, zero_layer="clusters").build()
+    store = BlockStore(row_order_placement(relation.n), page_capacity=16)
+    model = IOCostModel(index, store)
+    trace = model._trace(np.ones(3) / 3, 10)
+    assert all(0 <= t < relation.n for t in trace)
+    result = index.query(np.ones(3) / 3, 10)
+    assert len(trace) == result.counter.real
+
+
+def test_fallback_trace_for_bulk_indexes():
+    from repro.baselines import OnionIndex
+
+    relation = generate("IND", 200, 2, seed=3)
+    index = OnionIndex(relation).build()
+    store = BlockStore(row_order_placement(relation.n), page_capacity=16)
+    report = IOCostModel(index, store).run_query(np.array([0.5, 0.5]), 5)
+    assert report.tuples_accessed == 5  # falls back to result ids
