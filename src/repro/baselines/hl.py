@@ -51,7 +51,7 @@ class HLIndex(TopKIndex):
             SortedLists(matrix[layer], ids=layer) for layer in self.layers
         ]
         self.build_stats.num_layers = len(self.layers)
-        self.build_stats.layer_sizes = [int(l.shape[0]) for l in self.layers]
+        self.build_stats.layer_sizes = [int(layer.shape[0]) for layer in self.layers]
 
     def _check_capacity(self, k: int) -> None:
         if not self._complete and k > len(self.layers):

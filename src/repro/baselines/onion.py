@@ -34,7 +34,7 @@ class OnionIndex(TopKIndex):
         self.layers, leftover = convex_layers(self.relation.matrix, self.max_layers)
         self._complete = leftover.shape[0] == 0
         self.build_stats.num_layers = len(self.layers)
-        self.build_stats.layer_sizes = [int(l.shape[0]) for l in self.layers]
+        self.build_stats.layer_sizes = [int(layer.shape[0]) for layer in self.layers]
 
     def _query(
         self, weights: np.ndarray, k: int, counter: AccessCounter

@@ -107,23 +107,30 @@ def run_sweep(
     """
     index_kwargs = index_kwargs or {}
     sweep = SweepResult(parameter=parameter, values=list(values))
-    built: dict[tuple[str, int], TopKIndex] = {}
+    # Cache entries hold a strong reference to their workload: keying by
+    # ``id(workload)`` alone is unsound once the workload is garbage
+    # collected (CPython reuses ids, so a later fresh workload could
+    # silently inherit an index built on different data).  The stored
+    # workload keeps the id alive and doubles as an identity check.
+    built: dict[tuple[str, int], tuple[Workload, TopKIndex]] = {}
     max_k = max(k_for(v) for v in values)
     for name, index_class in algorithms.items():
         cells: list[CellResult] = []
         for value in values:
             workload = workload_for(value)
             cache_key = (name, id(workload))
-            if cache_key not in built:
+            entry = built.get(cache_key)
+            if entry is None or entry[0] is not workload:
                 if index_for is not None:
-                    built[cache_key] = index_for(name, workload, max_k)
+                    index = index_for(name, workload, max_k)
                 else:
-                    built[cache_key] = build_index(
+                    index = build_index(
                         index_class,
                         workload,
                         max_k=max_k,
                         **index_kwargs.get(name, {}),
                     )
-            cells.append(measure_cost(built[cache_key], workload, k_for(value)))
+                built[cache_key] = (workload, index)
+            cells.append(measure_cost(built[cache_key][1], workload, k_for(value)))
         sweep.series[name] = cells
     return sweep

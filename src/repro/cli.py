@@ -10,6 +10,7 @@ Examples::
     repro-topk sql --data data.npz "SELECT * FROM r ORDER BY a0 + a1 STOP AFTER 5"
     repro-topk bench --experiment fig10
     repro-topk compare --distribution ANT --n 5000 --d 4 --k 10
+    repro-topk serve-bench --n 20000 --queries 256 --distinct 16
 """
 
 from __future__ import annotations
@@ -40,6 +41,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "advise": _cmd_advise,
         "sql": _cmd_sql,
+        "serve-bench": _cmd_serve_bench,
     }[args.command]
     return handler(args)
 
@@ -91,6 +93,34 @@ def _build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--data", required=True, help="relation .npz path")
     sql.add_argument("--table", default="r", help="table name used in the statement")
     sql.add_argument("statement", help="SELECT ... ORDER BY ... STOP AFTER k")
+
+    serve = commands.add_parser(
+        "serve-bench",
+        help="benchmark the batched/cached serving engine vs one-at-a-time",
+    )
+    serve.add_argument("--distribution", default="IND", help="IND|ANT|COR|CLU")
+    serve.add_argument("--n", type=int, default=20000)
+    serve.add_argument("--d", type=int, default=4)
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--algorithm", default="DL+", choices=sorted(ALGORITHMS))
+    serve.add_argument(
+        "--queries", type=int, default=256, help="total queries in the workload"
+    )
+    serve.add_argument(
+        "--distinct",
+        type=int,
+        default=16,
+        help="distinct weight vectors (repeats model weight-vector locality)",
+    )
+    serve.add_argument("--batch-size", type=int, default=64)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="thread-pool width for the engine (0 = batched, single thread)",
+    )
+    serve.add_argument("--cache-size", type=int, default=4096)
+    serve.add_argument("--seed", type=int, default=0)
 
     compare = commands.add_parser(
         "compare", help="compare all algorithms on one workload"
@@ -242,6 +272,82 @@ def _cmd_sql(args: argparse.Namespace) -> int:
         cells.extend(f"{value:.4f}" for value in row)
         print("  ".join(cells))
     print(f"-- {answer.algorithm}, {answer.cost} tuples evaluated")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.data import generate as generate_relation
+    from repro.serving import QueryEngine
+
+    if args.queries < 1 or args.distinct < 1:
+        print("serve-bench needs --queries >= 1 and --distinct >= 1")
+        return 1
+    rng = np.random.default_rng(args.seed)
+    relation = generate_relation(args.distribution, args.n, args.d, seed=args.seed)
+    distinct = [random_weight_vector(args.d, rng) for _ in range(args.distinct)]
+    # Repeated weight vectors model the weight-vector locality of real
+    # workloads (same preferences recur across users); shuffle so repeats
+    # are interleaved rather than back-to-back.
+    sequence = [distinct[int(i)] for i in rng.integers(0, args.distinct, args.queries)]
+
+    index = ALGORITHMS[args.algorithm](relation).build()
+    print(
+        f"serve-bench: {args.algorithm} over {args.distribution} "
+        f"n={args.n} d={args.d} k={args.k}; {args.queries} queries, "
+        f"{args.distinct} distinct weight vectors "
+        f"(built in {index.build_stats.seconds:.2f}s)"
+    )
+
+    # Baseline: one query at a time, no cache, no batching.
+    start = time.perf_counter()
+    baseline_cost = 0
+    for w in sequence:
+        baseline_cost += index.query(w, args.k).cost
+    baseline_seconds = time.perf_counter() - start
+    baseline_qps = args.queries / baseline_seconds if baseline_seconds > 0 else 0.0
+
+    # Engine: batched (or thread-pooled) with the result cache.
+    engine = QueryEngine(index, cache_size=args.cache_size)
+    start = time.perf_counter()
+    if args.workers > 0:
+        engine.query_many(
+            [(w, args.k) for w in sequence], max_workers=args.workers
+        )
+    else:
+        for lo in range(0, args.queries, args.batch_size):
+            engine.query_batch(
+                np.vstack(sequence[lo : lo + args.batch_size]), args.k
+            )
+    engine_seconds = time.perf_counter() - start
+    engine_qps = args.queries / engine_seconds if engine_seconds > 0 else 0.0
+
+    stats = engine.stats()
+    speedup = engine_qps / baseline_qps if baseline_qps > 0 else float("inf")
+    print(f"{'':>24} {'baseline':>12} {'engine':>12}")
+    print(f"{'wall time (s)':>24} {baseline_seconds:>12.4f} {engine_seconds:>12.4f}")
+    print(f"{'throughput (q/s)':>24} {baseline_qps:>12.1f} {engine_qps:>12.1f}")
+    print(
+        f"{'mean cost (tuples)':>24} {baseline_cost / args.queries:>12.1f} "
+        f"{stats['mean_cost']:>12.1f}"
+    )
+    print(f"speedup: {speedup:.2f}x")
+    print()
+    print("engine metrics:")
+    for key in (
+        "queries",
+        "cache_hits",
+        "cache_misses",
+        "hit_rate",
+        "mean_cost",
+        "latency_ms_mean",
+        "latency_ms_p50",
+        "latency_ms_p95",
+        "latency_ms_p99",
+        "max_queue_depth",
+    ):
+        print(f"  {key:>18}: {stats[key]:.4f}")
     return 0
 
 

@@ -50,6 +50,10 @@ class TopKIndex(ABC):
         self.relation = relation
         self.build_stats = BuildStats(algorithm=self.name, n=relation.n, d=relation.d)
         self._built = False
+        #: Monotone structure version: bumped by every (re)build, so result
+        #: caches keyed on it (see :mod:`repro.serving`) never serve answers
+        #: computed against a previous incarnation of the index.
+        self.version = 0
 
     def build(self) -> "TopKIndex":
         """Construct the index; returns self for chaining."""
@@ -57,7 +61,14 @@ class TopKIndex(ABC):
             self._build()
         self.build_stats.seconds = timer.seconds
         self._built = True
+        self.version = getattr(self, "version", 0) + 1
         return self
+
+    def serve(self, **engine_kwargs) -> "repro.serving.QueryEngine":  # noqa: F821
+        """A caching/batching :class:`~repro.serving.QueryEngine` over this index."""
+        from repro.serving import QueryEngine
+
+        return QueryEngine(self, **engine_kwargs)
 
     def query(
         self,

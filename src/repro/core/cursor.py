@@ -17,6 +17,7 @@ import heapq
 
 import numpy as np
 
+from repro.core.query import seed_scores
 from repro.core.structure import LayerStructure
 from repro.exceptions import IndexCapacityError, InvalidQueryError
 from repro.relation import normalize_weights
@@ -47,10 +48,11 @@ class TopKCursor:
         # A just-emitted node whose gate relaxation was deferred (mirrors
         # Algorithm 2's early exit — the caller may never ask for more).
         self._deferred: int | None = None
-        for node in structure.seeds(self.weights):
+        seed_ids, scores = seed_scores(structure, self.weights)
+        for pos, node in enumerate(seed_ids):
             node = int(node)
             if not self._enqueued[node]:
-                self._access(node)
+                self._access(node, float(scores[pos]))
 
     @property
     def emitted(self) -> int:
@@ -59,8 +61,20 @@ class TopKCursor:
 
     @property
     def exhausted(self) -> bool:
-        """True when no further tuple can be emitted."""
-        return not self._heap and self._deferred is None
+        """True when no further tuple can be emitted.
+
+        When the heap has drained but the last emission's gate relaxation
+        was deferred, that relaxation is resolved here — it may enqueue
+        further nodes, and only an empty heap afterwards means exhaustion.
+        The relaxation's accesses are counted as usual; they would have been
+        paid by the next ``fetch`` anyway.
+        """
+        if self._heap:
+            return False
+        if self._deferred is not None:
+            node, self._deferred = self._deferred, None
+            self._relax(node)
+        return not self._heap
 
     def fetch(self, m: int) -> tuple[np.ndarray, np.ndarray]:
         """The next ``m`` tuples ``(ids, scores)`` in ascending score order.
@@ -128,8 +142,9 @@ class TopKCursor:
             if not self._enqueued[child] and self._remaining_forall[child] == 0:
                 self._access(child)
 
-    def _access(self, node: int) -> None:
-        score = float(self.structure.values[node] @ self.weights)
+    def _access(self, node: int, score: float | None = None) -> None:
+        if score is None:
+            score = float(self.structure.values[node] @ self.weights)
         if node < self.structure.n_real:
             self.counter.count_real()
         else:

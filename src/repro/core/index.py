@@ -24,6 +24,14 @@ from repro.stats import AccessCounter
 class DLIndex(TopKIndex):
     """Dual-resolution layer index (the paper's DL).
 
+    Once built, ``self.structure`` is a frozen
+    :class:`~repro.core.structure.LayerStructure` that is never mutated by
+    queries — any number of threads may traverse it concurrently as long as
+    each query keeps its own :class:`~repro.stats.AccessCounter` and heap
+    (which :func:`~repro.core.query.process_top_k` and
+    :class:`~repro.core.cursor.TopKCursor` do).  The serving engine
+    (:mod:`repro.serving`) relies on this contract.
+
     Parameters
     ----------
     relation:
@@ -81,6 +89,14 @@ class DLIndex(TopKIndex):
         self, weights: np.ndarray, k: int, counter: AccessCounter
     ) -> tuple[np.ndarray, np.ndarray]:
         return process_top_k(self.structure, weights, k, counter)
+
+    def cursor(self, weights: np.ndarray) -> "TopKCursor":
+        """A resumable paging cursor over this index for one weight vector."""
+        from repro.core.cursor import TopKCursor
+
+        if not self._built:
+            self.build()
+        return TopKCursor(self.structure, weights)
 
 
 class DLPlusIndex(DLIndex):

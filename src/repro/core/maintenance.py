@@ -21,6 +21,8 @@ skyline computation that dominates construction time.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.core.query import process_top_k
@@ -43,6 +45,10 @@ class DynamicDualLayerIndex:
             raise InvalidQueryError(f"dimensionality must be >= 1, got {d}")
         self.d = d
         self.fine_sublayers = fine_sublayers
+        #: Monotone structure version: bumped by every insert/delete, so a
+        #: serving layer keying cached answers by version can never return
+        #: a stale result (see :mod:`repro.serving`).
+        self.version = 0
         self._points: list[np.ndarray] = []
         self._alive: list[bool] = []
         #: layer index per live point id; -1 for deleted.
@@ -50,6 +56,18 @@ class DynamicDualLayerIndex:
         self._layers: list[list[int]] = []
         self._structure = None
         self._id_map: np.ndarray | None = None
+        # Serializes the lazy structure rebuild so concurrent readers (the
+        # serving engine's thread pool) never observe a half-built graph.
+        self._rebuild_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_rebuild_lock"]  # locks don't pickle
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._rebuild_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Mutations
@@ -69,6 +87,7 @@ class DynamicDualLayerIndex:
         self._place(point_id, layer)
         self._cascade_demotions(layer, [point_id])
         self._structure = None
+        self.version += 1
         return point_id
 
     def delete(self, point_id: int) -> None:
@@ -81,6 +100,7 @@ class DynamicDualLayerIndex:
         self._cascade_promotions(layer)
         self._trim_empty_layers()
         self._structure = None
+        self.version += 1
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -101,20 +121,33 @@ class DynamicDualLayerIndex:
             raise InvalidQueryError(f"no live tuple with id {point_id}")
         return self._points[point_id]
 
-    def query(self, weights: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Top-k ``(ids, scores)``; rebuilds the gate structure if stale."""
+    def query(
+        self,
+        weights: np.ndarray,
+        k: int,
+        counter: AccessCounter | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-k ``(ids, scores)``; rebuilds the gate structure if stale.
+
+        ``counter`` optionally receives the Definition 9 cost accounting
+        (the serving engine passes one per query).
+        """
         if self.n == 0:
             raise EmptyRelationError("query on an empty dynamic index")
-        if self._structure is None:
-            self._rebuild_structure()
-        counter = AccessCounter()
+        with self._rebuild_lock:
+            if self._structure is None:
+                self._rebuild_structure()
+            # Capture a consistent (structure, id_map) snapshot; concurrent
+            # mutations replace both references rather than mutating them.
+            structure, id_map = self._structure, self._id_map
+        counter = counter if counter is not None else AccessCounter()
         from repro.relation import normalize_weights
 
         w = normalize_weights(weights, self.d)
         local_ids, scores = process_top_k(
-            self._structure, w, min(k, self.n), counter
+            structure, w, min(k, self.n), counter
         )
-        return self._id_map[local_ids], scores
+        return id_map[local_ids], scores
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -24,18 +24,46 @@ from repro.core.structure import LayerStructure
 from repro.stats import AccessCounter
 
 
+def seed_scores(
+    structure: LayerStructure, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(seed_ids, scores)`` for a query's entry nodes, scored in one matmul.
+
+    This is the single scoring path shared by :func:`process_top_k`,
+    :class:`~repro.core.cursor.TopKCursor`, and the batched serving engine
+    (:mod:`repro.serving`): because all of them obtain seed scores from this
+    helper, their answers agree bitwise — a batched query is byte-identical
+    to its sequential counterpart.
+    """
+    if structure.seed_selector is None:
+        seeds, block = structure.seed_block()  # static seeds: shared block
+        return seeds, block @ weights
+    seeds = np.asarray(structure.seeds(weights), dtype=np.intp)
+    if seeds.shape[0] > 1:
+        # Selectors may in principle repeat ids; dedupe preserving order.
+        _, first = np.unique(seeds, return_index=True)
+        if first.shape[0] != seeds.shape[0]:
+            seeds = seeds[np.sort(first)]
+    return seeds, structure.values[seeds] @ weights
+
+
 def process_top_k(
     structure: LayerStructure,
     weights: np.ndarray,
     k: int,
     counter: AccessCounter,
     fetch_real=None,
+    seeds: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """``(ids, scores)`` of the top-k real tuples, ascending by score.
 
     ``fetch_real(node) -> values`` overrides where *real* tuple values come
     from (disk-resident execution reads them through a buffered heap file);
-    pseudo-tuples always score from the in-memory structure.
+    pseudo-tuples always score from the in-memory structure.  ``seeds``
+    optionally supplies a precomputed :func:`seed_scores` result (the batch
+    serving engine computes it once per deduplicated weight vector); it is
+    ignored when ``fetch_real`` is given, since real seed values must then
+    come from storage.
     """
     if not structure.complete and k > structure.num_coarse_layers:
         raise IndexCapacityError(
@@ -52,28 +80,37 @@ def process_top_k(
     heap: list[tuple[float, int]] = []
 
     # Optional fine-grained trace hook (the storage I/O replay uses it).
+    # The hook is additive: Definition 9 cost is always counted through
+    # ``count_real`` and the hook merely observes the access order, so an
+    # instrumented run reports the same cost as a plain one.
     trace_hook = getattr(counter, "count_real_tuple", None)
 
-    def access(node: int) -> None:
+    def access(node: int, score: float | None = None) -> None:
         """Score a node and enqueue it (counts toward Definition 9 cost)."""
-        if fetch_real is not None and node < n_real:
-            score = float(fetch_real(node) @ weights)
-        else:
-            score = float(values[node] @ weights)
+        if score is None:
+            if fetch_real is not None and node < n_real:
+                score = float(fetch_real(node) @ weights)
+            else:
+                score = float(values[node] @ weights)
         if node < n_real:
+            counter.count_real()
             if trace_hook is not None:
                 trace_hook(node)
-            else:
-                counter.count_real()
         else:
             counter.count_pseudo()
         enqueued[node] = True
         heapq.heappush(heap, (score, node))
 
-    for node in structure.seeds(weights):
+    if fetch_real is not None:
+        seed_ids, precomputed = structure.seeds(weights), None
+    else:
+        seed_ids, precomputed = seeds if seeds is not None else seed_scores(
+            structure, weights
+        )
+    for pos, node in enumerate(seed_ids):
         node = int(node)
         if not enqueued[node]:
-            access(node)
+            access(node, None if precomputed is None else float(precomputed[pos]))
 
     answer_ids: list[int] = []
     answer_scores: list[float] = []

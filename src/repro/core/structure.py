@@ -132,7 +132,19 @@ class StructureBuilder:
 
 
 class LayerStructure:
-    """Frozen gated layer graph consumed by the Algorithm 2 engine."""
+    """Frozen gated layer graph consumed by the Algorithm 2 engine.
+
+    Thread-safety contract: instances are immutable after
+    :meth:`StructureBuilder.freeze` — the engine and every consumer treat
+    all arrays and the seed selector as read-only, and per-query traversal
+    state (gate counters, heap, enqueued flags, access counters) is always
+    copied or freshly allocated per query.  A single structure may therefore
+    be traversed by many threads concurrently without locking; the serving
+    layer's thread pool (:mod:`repro.serving`) depends on this.  Seed
+    selectors installed via ``seed_selector`` must likewise be stateless
+    (both shipped selectors — static seeds and the 2-D weight-range binary
+    search — are).
+    """
 
     def __init__(
         self,
@@ -162,6 +174,10 @@ class LayerStructure:
         self.fine_of = fine_of
         self.num_coarse_layers = num_coarse_layers
         self.complete = complete
+        # Lazily extracted ``values[static_seeds]`` block shared by every
+        # query (see :meth:`seed_block`); benign to race on — all writers
+        # compute the identical array.
+        self._seed_values: np.ndarray | None = None
 
     @property
     def n_nodes(self) -> int:
@@ -182,6 +198,15 @@ class LayerStructure:
         if self.seed_selector is not None:
             return np.asarray(self.seed_selector(weights), dtype=np.intp)
         return self.static_seeds
+
+    def seed_block(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(static_seeds, values[static_seeds])`` with the value block
+        extracted once and reused by every query — the per-query seed
+        scoring then costs a single matrix-vector product.  Only valid for
+        static-seed structures (``seed_selector is None``)."""
+        if self._seed_values is None:
+            self._seed_values = self.values[self.static_seeds]
+        return self.static_seeds, self._seed_values
 
     def edge_counts(self) -> dict[str, int]:
         """Diagnostics: number of ∀- and ∃-edges in the graph."""

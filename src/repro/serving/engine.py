@@ -1,0 +1,206 @@
+"""The batched, cached, concurrent query-serving engine.
+
+:class:`QueryEngine` fronts any built index — a static
+:class:`~repro.core.base.TopKIndex` (DL/DL+/DG/DG+/baselines) or a mutable
+:class:`~repro.core.maintenance.DynamicDualLayerIndex` — and serves query
+traffic the way a deployed system would:
+
+* **result caching** — answers are memoized in an LRU keyed by
+  ``(quantized weights, k, structure version)`` (see
+  :mod:`repro.serving.cache`); a hit returns the stored answer with *zero*
+  tuple evaluations and the version key guarantees freshness across
+  inserts/deletes and rebuilds;
+* **batching** — :meth:`query_batch` normalizes the whole weight matrix up
+  front, shares the structure's precomputed seed block
+  (:meth:`~repro.core.structure.LayerStructure.seed_block`) so each query's
+  seed scoring is one matrix-vector product, and deduplicates repeated
+  weight vectors through the cache.  Batched answers are byte-identical to
+  sequential :func:`~repro.core.query.process_top_k` calls because both run
+  the exact same scoring path;
+* **concurrency** — :meth:`query_many` fans queries out over a thread pool.
+  The frozen :class:`~repro.core.structure.LayerStructure` is read-only by
+  contract and every query owns its
+  :class:`~repro.stats.AccessCounter`/heap, so no locking is needed on the
+  traversal itself (the cache and metrics registry carry their own locks);
+* **metrics** — every query is tracked in a
+  :class:`~repro.serving.metrics.MetricsRegistry` (latency percentiles,
+  Definition 9 cost, hit rate, queue depth), exportable as a flat dict and
+  rendered by the ``repro-topk serve-bench`` CLI.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.base import TopKIndex, TopKResult
+from repro.core.query import process_top_k
+from repro.exceptions import InvalidQueryError, InvalidWeightError
+from repro.relation import normalize_weights
+from repro.serving.cache import ResultCache
+from repro.serving.metrics import MetricsRegistry, QueryRecord
+from repro.stats import AccessCounter
+
+
+class QueryEngine:
+    """Serve top-k queries against one index with caching and batching.
+
+    Parameters
+    ----------
+    index:
+        A :class:`~repro.core.base.TopKIndex` (built automatically if not
+        yet built) or any object exposing ``query(weights, k, counter=...)``
+        plus ``d``/``n``/``version`` attributes (duck-typed; the dynamic
+        maintenance index qualifies).
+    cache_size:
+        LRU capacity in entries; ``0`` disables result caching.
+    quantize_decimals:
+        Weight-vector rounding used for cache keys (see
+        :class:`~repro.serving.cache.ResultCache`).
+    latency_window:
+        Sliding-window size for latency percentiles.
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        cache_size: int = 1024,
+        quantize_decimals: int = 12,
+        latency_window: int = 4096,
+    ) -> None:
+        if isinstance(index, TopKIndex) and not index._built:
+            index.build()
+        self.index = index
+        self.cache = ResultCache(cache_size, decimals=quantize_decimals)
+        self.metrics = MetricsRegistry(latency_window=latency_window)
+        self._seen_version = self.version
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """The fronted index's structure version (0 for unversioned indexes)."""
+        return int(getattr(self.index, "version", 0))
+
+    @property
+    def d(self) -> int:
+        """Dimensionality of the fronted index."""
+        relation = getattr(self.index, "relation", None)
+        return relation.d if relation is not None else self.index.d
+
+    @property
+    def n(self) -> int:
+        """Current tuple population of the fronted index."""
+        relation = getattr(self.index, "relation", None)
+        return relation.n if relation is not None else self.index.n
+
+    def stats(self) -> dict[str, float]:
+        """Merged metrics + cache snapshot."""
+        snapshot = self.metrics.as_dict()
+        for key, value in self.cache.stats().items():
+            snapshot[f"cache_{key}"] = float(value)
+        snapshot["throughput_qps"] = self.metrics.throughput()
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Serving paths
+    # ------------------------------------------------------------------ #
+
+    def query(self, weights: np.ndarray, k: int) -> TopKResult:
+        """Serve one top-k query through the cache."""
+        w = normalize_weights(weights, self.d)
+        self._validate_k(k)
+        with self.metrics.track() as record:
+            return self._serve(w, k, record)
+
+    def query_batch(self, weights_matrix: np.ndarray, k: int) -> list[TopKResult]:
+        """Serve one query per row of ``weights_matrix``, amortizing overhead.
+
+        The whole matrix is validated and normalized up front; repeated
+        weight vectors are computed once and answered from the cache; seed
+        scoring reuses the structure's shared seed block.  Results are
+        byte-identical to issuing the queries one at a time.
+        """
+        matrix = np.asarray(weights_matrix, dtype=np.float64)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        if matrix.ndim != 2:
+            raise InvalidWeightError(
+                f"weight matrix must be 2-D, got shape {matrix.shape}"
+            )
+        self._validate_k(k)
+        d = self.d
+        normalized = [normalize_weights(matrix[row], d) for row in range(matrix.shape[0])]
+        results: list[TopKResult] = []
+        for w in normalized:
+            with self.metrics.track() as record:
+                record.batched = True
+                results.append(self._serve(w, k, record))
+        return results
+
+    def query_many(
+        self,
+        queries,
+        *,
+        max_workers: int | None = None,
+    ) -> list[TopKResult]:
+        """Serve ``(weights, k)`` pairs concurrently on a thread pool.
+
+        Safe because the frozen structure is read-only and all per-query
+        traversal state is private; results are returned in input order.
+        """
+        items = list(queries)
+        if not items:
+            return []
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(self.query, w, int(k)) for w, k in items]
+            return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _validate_k(self, k: int) -> None:
+        if k < 1:
+            raise InvalidQueryError(f"retrieval size k must be >= 1, got {k}")
+
+    def _serve(self, w: np.ndarray, k: int, record: QueryRecord) -> TopKResult:
+        """Core cached path: ``w`` is already normalized."""
+        version = self.version
+        if version != self._seen_version:
+            # A mutation/rebuild happened since we last looked: old-version
+            # entries are unreachable by key; free them eagerly.
+            self.cache.prune(version)
+            self._seen_version = version
+        effective_k = min(int(k), self.n)
+        key = self.cache.make_key(w, effective_k, version)
+        cached = self.cache.get(key)
+        if cached is not None:
+            record.hit = True
+            record.cost = 0
+            return TopKResult(ids=cached[0], scores=cached[1], counter=AccessCounter())
+        counter = AccessCounter()
+        ids, scores = self._execute(w, effective_k, counter)
+        self.cache.put(key, ids, scores)
+        record.cost = counter.total
+        return TopKResult(ids=ids, scores=scores, counter=counter)
+
+    def _execute(
+        self, w: np.ndarray, k: int, counter: AccessCounter
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Run one uncached query on the fronted index."""
+        structure = getattr(self.index, "structure", None)
+        if isinstance(self.index, TopKIndex):
+            if structure is not None:
+                # Gated layer index: traverse the frozen structure directly
+                # (skips re-validation; exact same path as process_top_k).
+                return process_top_k(structure, w, k, counter)
+            result = self.index.query(w, k, counter=counter)
+            return result.ids, result.scores
+        # Duck-typed mutable index (DynamicDualLayerIndex): returns ids
+        # remapped to insertion-order ids.
+        return self.index.query(w, k, counter=counter)

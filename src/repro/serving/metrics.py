@@ -1,0 +1,125 @@
+"""Serving metrics: latency, Definition 9 cost, cache hits, queue depth.
+
+A thread-safe registry shared by every query path of the
+:class:`~repro.serving.engine.QueryEngine`.  Each query is tracked through
+the :meth:`MetricsRegistry.track` context manager, which measures wall-clock
+latency and maintains the in-flight queue-depth gauge; the engine fills in
+the cost and cache outcome on the yielded record.  :meth:`as_dict` exports a
+flat snapshot for reporting (the ``serve-bench`` CLI renders it).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.stats import LatencyWindow
+
+
+class QueryRecord:
+    """Mutable per-query record the engine fills in while serving."""
+
+    __slots__ = ("hit", "cost", "batched")
+
+    def __init__(self) -> None:
+        #: True when the answer came from the result cache.
+        self.hit = False
+        #: Definition 9 cost (tuples evaluated); 0 for cache hits.
+        self.cost = 0
+        #: True when the query arrived through ``query_batch``.
+        self.batched = False
+
+
+class MetricsRegistry:
+    """Aggregates per-query serving metrics; safe for concurrent writers."""
+
+    def __init__(self, *, latency_window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self.queries = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batched_queries = 0
+        self.total_cost = 0
+        self.max_cost = 0
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+        self.started_at = time.perf_counter()
+        self._latency = LatencyWindow(latency_window)
+
+    @contextmanager
+    def track(self):
+        """Track one query: latency, queue depth, and the engine's record."""
+        with self._lock:
+            self.queue_depth += 1
+            if self.queue_depth > self.max_queue_depth:
+                self.max_queue_depth = self.queue_depth
+        record = QueryRecord()
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.queue_depth -= 1
+                self.queries += 1
+                if record.hit:
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
+                if record.batched:
+                    self.batched_queries += 1
+                self.total_cost += record.cost
+                if record.cost > self.max_cost:
+                    self.max_cost = record.cost
+                self._latency.record(elapsed)
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit fraction over all served queries (0 when idle)."""
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+    @property
+    def mean_cost(self) -> float:
+        """Mean Definition 9 cost per query (cache hits count as 0)."""
+        return self.total_cost / self.queries if self.queries else 0.0
+
+    def throughput(self) -> float:
+        """Served queries per second since the registry was created."""
+        elapsed = time.perf_counter() - self.started_at
+        return self.queries / elapsed if elapsed > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat snapshot of every gauge and summary statistic."""
+        with self._lock:
+            latency = self._latency.summary(scale=1e3)
+            return {
+                "queries": float(self.queries),
+                "batched_queries": float(self.batched_queries),
+                "cache_hits": float(self.cache_hits),
+                "cache_misses": float(self.cache_misses),
+                "hit_rate": self.hit_rate,
+                "total_cost": float(self.total_cost),
+                "mean_cost": self.mean_cost,
+                "max_cost": float(self.max_cost),
+                "latency_ms_mean": latency["mean"],
+                "latency_ms_p50": latency["p50"],
+                "latency_ms_p95": latency["p95"],
+                "latency_ms_p99": latency["p99"],
+                "latency_ms_max": latency["max"],
+                "queue_depth": float(self.queue_depth),
+                "max_queue_depth": float(self.max_queue_depth),
+            }
+
+    def reset(self) -> None:
+        """Zero every counter and restart the clock (for benchmark phases)."""
+        with self._lock:
+            self.queries = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.batched_queries = 0
+            self.total_cost = 0
+            self.max_cost = 0
+            self.max_queue_depth = self.queue_depth
+            self.started_at = time.perf_counter()
+            self._latency = LatencyWindow(self._latency._samples.maxlen or 4096)

@@ -8,6 +8,14 @@ very different machinery (graph traversal, TA over sorted lists, plain scans)
 are compared on exactly the same footing.
 """
 
-from repro.stats.counters import AccessCounter, BuildStats, QueryStats
+from repro.stats.counters import AccessCounter, BuildStats, QueryStats, Stopwatch
+from repro.stats.latency import LatencyWindow, percentile
 
-__all__ = ["AccessCounter", "BuildStats", "QueryStats"]
+__all__ = [
+    "AccessCounter",
+    "BuildStats",
+    "LatencyWindow",
+    "QueryStats",
+    "Stopwatch",
+    "percentile",
+]

@@ -86,9 +86,11 @@ class _TraceRecorder(AccessCounter):
     """Counter capturing per-tuple access order.
 
     The gated-graph engine (DL/DL+/DG/DG+) calls ``count_real_tuple`` once
-    per scored tuple, in access order.  Engines that score in bulk
-    (ScanIndex, Onion, the list engines) don't report an order, so the
-    model falls back to the result ids.
+    per scored tuple, in access order, *in addition to* the normal
+    ``count_real`` accounting — the hook only observes order and must not
+    count, or the Definition 9 cost would be double-reported.  Engines that
+    score in bulk (ScanIndex, Onion, the list engines) don't report an
+    order, so the model falls back to the result ids.
     """
 
     __slots__ = ("trace",)
@@ -99,4 +101,3 @@ class _TraceRecorder(AccessCounter):
 
     def count_real_tuple(self, tuple_id: int) -> None:
         self.trace.append(int(tuple_id))
-        self.count_real()

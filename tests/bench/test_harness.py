@@ -96,3 +96,57 @@ def test_format_build_table(workload):
     text = format_build_table("builds", [index.build_stats])
     assert "DL" in text
     assert "seconds" in text
+
+
+def test_run_sweep_holds_workload_references():
+    """Regression: the index cache was keyed by ``id(workload)`` without a
+    strong reference, so a garbage-collected workload's id could be reused
+    by a fresh one and a sweep cell silently measured an index built on
+    different data.  The fix stores the workload in the cache entry; every
+    workload built for must therefore stay alive for the whole sweep."""
+    import gc
+    import weakref
+
+    refs: list[weakref.ref] = []
+
+    def workload_for(value):
+        gc.collect()
+        # Every previously returned workload must still be strongly
+        # referenced by the sweep's cache (the old code dropped them,
+        # letting CPython reuse their ids).
+        assert all(ref() is not None for ref in refs), (
+            "run_sweep dropped a cached workload reference"
+        )
+        fresh = Workload.make("IND", 80, 3, queries=2, seed=int(value))
+        refs.append(weakref.ref(fresh))
+        return fresh
+
+    run_sweep(
+        "n",
+        [1, 2, 3, 4],
+        {"SCAN": ScanIndex},
+        workload_for=workload_for,
+        k_for=lambda value: 3,
+    )
+    assert len(refs) == 4
+
+
+def test_run_sweep_fresh_workloads_get_their_own_indexes():
+    """With fresh-per-call workloads each sweep cell must be measured on an
+    index built from *its own* data (distinct n per value makes a stale
+    index observable: SCAN's cost is exactly n)."""
+    sizes = {1: 60, 2: 90, 3: 120}
+
+    def workload_for(value):
+        return Workload.make("IND", sizes[value], 3, queries=2, seed=7)
+
+    sweep = run_sweep(
+        "n",
+        [1, 2, 3],
+        {"SCAN": ScanIndex},
+        workload_for=workload_for,
+        k_for=lambda value: 5,
+    )
+    for value, cell in zip([1, 2, 3], sweep.series["SCAN"]):
+        assert cell.n == sizes[value]
+        assert cell.mean_cost == float(sizes[value])

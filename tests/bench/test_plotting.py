@@ -1,6 +1,5 @@
 """ASCII chart rendering."""
 
-import pytest
 
 from repro.bench.harness import CellResult, SweepResult
 from repro.bench.plotting import ascii_series_chart
@@ -38,7 +37,7 @@ def test_chart_contains_all_groups_and_bars():
 
 def test_log_bars_ordered_by_cost():
     text = ascii_series_chart("demo", make_sweep(), log=True)
-    lines = [l for l in text.splitlines() if "|" in l]
+    lines = [line for line in text.splitlines() if "|" in line]
     dg_bar = lines[0].split("|")[1].split()[0]
     dl_bar = lines[1].split("|")[1].split()[0]
     assert len(dg_bar) > len(dl_bar)

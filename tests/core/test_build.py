@@ -101,4 +101,4 @@ def test_empty_input():
 def test_duplicates_all_placed():
     points = np.tile([0.4, 0.6], (6, 1))
     blueprint = build_dual_layer(points)
-    assert sum(l.shape[0] for l in blueprint.coarse_layers) == 6
+    assert sum(layer.shape[0] for layer in blueprint.coarse_layers) == 6

@@ -94,3 +94,69 @@ def test_invalid_fetch_size(relation):
     cursor = TopKCursor(index.structure, np.ones(3) / 3)
     with pytest.raises(InvalidQueryError):
         cursor.fetch(0)
+
+
+def test_fetch_exactly_to_bounded_capacity_does_not_raise(relation):
+    """Paging up to emitted + m == num_coarse_layers is within the bounded
+    index's guarantee and must not raise; one past it must."""
+    structure = build_dual_layer(relation.matrix, max_layers=4).structure
+    w = np.ones(3) / 3
+    cursor = TopKCursor(structure, w)
+    first, _ = cursor.fetch(2)
+    second, _ = cursor.fetch(2)  # lands exactly on the capacity boundary
+    assert first.shape[0] == 2 and second.shape[0] == 2
+    assert cursor.emitted == structure.num_coarse_layers
+    with pytest.raises(IndexCapacityError):
+        cursor.fetch(1)
+    # One shot straight to the boundary works too.
+    flat = TopKCursor(structure, w)
+    ids, _ = flat.fetch(structure.num_coarse_layers)
+    assert ids.shape[0] == structure.num_coarse_layers
+
+
+@pytest.mark.parametrize("index_class", [DLIndex, DLPlusIndex])
+def test_interleaved_fetch_one_matches_flat_query(relation, index_class):
+    """k calls of fetch(1) emit exactly the sequence of one top-k query."""
+    from repro.core.query import process_top_k
+    from repro.stats import AccessCounter
+
+    index = index_class(relation).build()
+    w = np.array([0.3, 0.45, 0.25])
+    w = w / w.sum()
+    k = 25
+    ref_ids, ref_scores = process_top_k(index.structure, w, k, AccessCounter())
+    cursor = TopKCursor(index.structure, w)
+    got_ids, got_scores = [], []
+    for _ in range(k):
+        ids, scores = cursor.fetch(1)
+        assert ids.shape[0] == 1
+        got_ids.append(int(ids[0]))
+        got_scores.append(float(scores[0]))
+    np.testing.assert_array_equal(np.asarray(got_ids, dtype=np.intp), ref_ids)
+    np.testing.assert_array_equal(np.asarray(got_scores), ref_scores)
+
+
+def test_exhausted_with_deferred_relax_pending():
+    """Draining the heap with the last emission's relax deferred must still
+    report exhaustion correctly (regression: `exhausted` used to stay False
+    forever once the heap emptied with a pending deferred relax)."""
+    points = np.array([[0.1, 0.9], [0.9, 0.1], [0.5, 0.5], [0.8, 0.8]])
+    structure = build_dual_layer(points).structure
+    cursor = TopKCursor(structure, np.array([0.5, 0.5]))
+    ids, _ = cursor.fetch(points.shape[0])  # exact fetch defers the last relax
+    assert ids.shape[0] == points.shape[0]
+    assert cursor.exhausted
+    more, _ = cursor.fetch(3)
+    assert more.shape[0] == 0
+
+
+def test_exhausted_stays_false_while_deferred_relax_can_open_nodes(relation):
+    """exhausted must account for nodes a deferred relaxation still opens."""
+    index = DLIndex(relation).build()
+    cursor = TopKCursor(index.structure, np.ones(3) / 3)
+    emitted = 0
+    while not cursor.exhausted:
+        ids, _ = cursor.fetch(1)
+        assert ids.shape[0] == 1, "exhausted said more was available"
+        emitted += 1
+    assert emitted == relation.n

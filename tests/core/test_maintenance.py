@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.maintenance import DynamicDualLayerIndex
-from repro.data import generate
 from repro.exceptions import EmptyRelationError, InvalidQueryError
 from repro.relation import top_k_bruteforce
 from repro.skyline import skyline_layers
@@ -124,6 +123,47 @@ def test_duplicates_share_layer():
     index.insert(np.array([0.4, 0.4]))
     index.insert(np.array([0.4, 0.4]))
     assert [len(layer) for layer in index.layers()] == [2]
+
+
+def test_version_bumped_by_every_mutation(rng):
+    """The structure version is the serving cache's staleness guard: every
+    insert and delete must advance it, queries must not."""
+    index = DynamicDualLayerIndex(d=2)
+    assert index.version == 0
+    ids = [index.insert(row) for row in rng.random((5, 2))]
+    assert index.version == 5
+    index.query(np.array([0.5, 0.5]), 2)
+    assert index.version == 5
+    index.delete(ids[0])
+    assert index.version == 6
+
+
+def test_query_accepts_external_counter(rng):
+    index = DynamicDualLayerIndex(d=2)
+    for row in rng.random((30, 2)):
+        index.insert(row)
+    from repro.stats import AccessCounter
+
+    counter = AccessCounter()
+    got_ids, _ = index.query(np.array([0.5, 0.5]), 5, counter=counter)
+    assert counter.total >= got_ids.shape[0]
+
+
+def test_dynamic_index_pickles(rng):
+    """The rebuild lock must not leak into pickles (it is not picklable)."""
+    import pickle
+
+    index = DynamicDualLayerIndex(d=2)
+    for row in rng.random((20, 2)):
+        index.insert(row)
+    index.query(np.array([0.5, 0.5]), 3)
+    clone = pickle.loads(pickle.dumps(index))
+    assert clone.version == index.version
+    got, _ = clone.query(np.array([0.5, 0.5]), 3)
+    ref, _ = index.query(np.array([0.5, 0.5]), 3)
+    np.testing.assert_array_equal(got, ref)
+    clone.insert(np.array([0.01, 0.01]))  # lock restored, mutations work
+    assert clone.version == index.version + 1
 
 
 def test_dg_mode_dynamic(rng):

@@ -78,3 +78,53 @@ def test_empty_structure():
     structure = build_dual_layer(np.empty((0, 2))).structure
     ids, scores = process_top_k(structure, np.array([0.5, 0.5]), 0, AccessCounter())
     assert ids.shape == (0,)
+
+
+class _TracingCounter(AccessCounter):
+    """A counter with a pure trace hook that records but never counts."""
+
+    __slots__ = ("trace",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.trace: list[int] = []
+
+    def count_real_tuple(self, tuple_id: int) -> None:
+        self.trace.append(int(tuple_id))
+
+
+def test_trace_hook_is_additive(rng):
+    """A count_real_tuple hook observes accesses; it must not replace the
+    Definition 9 accounting (regression: the hook used to be called
+    *instead of* count_real, under-reporting cost)."""
+    relation = generate("ANT", 180, 3, seed=11)
+    structure = build_dual_layer(relation.matrix).structure
+    for _ in range(5):
+        w = rng.dirichlet(np.ones(3))
+        plain = AccessCounter()
+        ids_plain, scores_plain = process_top_k(structure, w, 10, plain)
+        traced = _TracingCounter()
+        ids_traced, scores_traced = process_top_k(structure, w, 10, traced)
+        assert traced.real == plain.real
+        assert traced.pseudo == plain.pseudo
+        assert traced.total == plain.total
+        np.testing.assert_array_equal(ids_traced, ids_plain)
+        np.testing.assert_array_equal(scores_traced, scores_plain)
+        # The trace saw exactly one event per counted real access.
+        assert len(traced.trace) == traced.real
+
+
+def test_trace_recorder_does_not_double_count(rng):
+    """The storage replay's recorder traces *and* relies on the engine's
+    counting — its cost must equal a plain counter's, not double it."""
+    from repro.storage.iocost import _TraceRecorder
+
+    relation = generate("IND", 150, 2, seed=12)
+    structure = build_dual_layer(relation.matrix).structure
+    w = np.array([0.4, 0.6])
+    plain = AccessCounter()
+    process_top_k(structure, w, 8, plain)
+    recorder = _TraceRecorder()
+    process_top_k(structure, w, 8, recorder)
+    assert recorder.real == plain.real == len(recorder.trace)
+    assert recorder.total == plain.total

@@ -1,7 +1,6 @@
 """§V zero layers: weight-range chain (2-D) and clustered pseudo-tuples."""
 
 import numpy as np
-import pytest
 
 from repro.core.build import build_dual_layer
 from repro.core.structure import StructureBuilder

@@ -1,7 +1,6 @@
 """Convex-combination dominance (the ∃-dominance witness test)."""
 
 import numpy as np
-import pytest
 
 from repro.geometry import convex_combination_dominates
 from repro.geometry.feasibility import dominating_combination

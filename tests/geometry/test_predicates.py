@@ -1,7 +1,6 @@
 """Filtered-exact orientation predicates."""
 
 import numpy as np
-import pytest
 
 from repro.geometry.predicates import (
     _orientation_exact,

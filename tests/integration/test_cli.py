@@ -1,6 +1,5 @@
 """End-to-end CLI: generate → build → query, plus compare."""
 
-import numpy as np
 
 from repro.cli import main
 

@@ -6,7 +6,6 @@ single tuples, n < d, and adversarial weights.
 """
 
 import numpy as np
-import pytest
 
 from repro import ALGORITHMS
 from repro.relation import Relation, Schema, top_k_bruteforce

@@ -2,7 +2,6 @@
 
 import importlib.util
 import py_compile
-import sys
 from pathlib import Path
 
 import pytest

@@ -1,6 +1,5 @@
 """Property-based tests: SQL parser round-trips for generated statements."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

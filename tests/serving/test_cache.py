@@ -1,0 +1,92 @@
+"""Result cache: LRU behavior, quantized keys, version pruning."""
+
+import numpy as np
+import pytest
+
+from repro.serving import ResultCache
+
+
+def entry(n: int):
+    return np.arange(n, dtype=np.intp), np.linspace(0.0, 1.0, n)
+
+
+def test_hit_returns_copies():
+    cache = ResultCache(4)
+    key = cache.make_key(np.array([0.5, 0.5]), 3, 0)
+    ids, scores = entry(3)
+    cache.put(key, ids, scores)
+    got_ids, got_scores = cache.get(key)
+    np.testing.assert_array_equal(got_ids, ids)
+    np.testing.assert_array_equal(got_scores, scores)
+    got_ids[0] = 999  # mutating the returned arrays must not poison the cache
+    again_ids, _ = cache.get(key)
+    assert again_ids[0] == 0
+    assert cache.hits == 2 and cache.misses == 0
+
+
+def test_miss_counts():
+    cache = ResultCache(4)
+    assert cache.get(cache.make_key(np.array([0.5, 0.5]), 3, 0)) is None
+    assert cache.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(2)
+    keys = [cache.make_key(np.array([w, 1 - w]), 3, 0) for w in (0.2, 0.4, 0.6)]
+    cache.put(keys[0], *entry(3))
+    cache.put(keys[1], *entry(3))
+    assert cache.get(keys[0]) is not None  # refresh key 0 → key 1 becomes LRU
+    cache.put(keys[2], *entry(3))
+    assert cache.get(keys[1]) is None
+    assert cache.get(keys[0]) is not None
+    assert cache.get(keys[2]) is not None
+    assert cache.evictions == 1
+
+
+def test_quantization_merges_nearby_vectors():
+    cache = ResultCache(4, decimals=6)
+    a = cache.make_key(np.array([0.5, 0.5]), 3, 0)
+    b = cache.make_key(np.array([0.5 + 1e-9, 0.5 - 1e-9]), 3, 0)
+    c = cache.make_key(np.array([0.5 + 1e-3, 0.5 - 1e-3]), 3, 0)
+    assert a == b
+    assert a != c
+
+
+def test_negative_zero_folded():
+    cache = ResultCache(4)
+    a = cache.make_key(np.array([1e-15, 1.0]), 3, 0)
+    b = cache.make_key(np.array([-1e-15, 1.0]), 3, 0)
+    assert a == b  # both quantize to (0.0, 1.0); -0.0 must not split the key
+
+
+def test_keys_distinguish_k_and_version():
+    cache = ResultCache(8)
+    w = np.array([0.3, 0.7])
+    assert cache.make_key(w, 3, 0) != cache.make_key(w, 4, 0)
+    assert cache.make_key(w, 3, 0) != cache.make_key(w, 3, 1)
+
+
+def test_prune_drops_other_versions():
+    cache = ResultCache(8)
+    w = np.array([0.3, 0.7])
+    for version in (0, 0, 1, 2):
+        cache.put(cache.make_key(w, 3 + version, version), *entry(3))
+    dropped = cache.prune(2)
+    assert dropped == 2
+    assert len(cache) == 1
+    assert cache.get(cache.make_key(w, 5, 2)) is not None
+
+
+def test_zero_capacity_disables_caching():
+    cache = ResultCache(0)
+    key = cache.make_key(np.array([0.5, 0.5]), 3, 0)
+    cache.put(key, *entry(3))
+    assert cache.get(key) is None
+    assert len(cache) == 0
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        ResultCache(-1)
+    with pytest.raises(ValueError):
+        ResultCache(4, decimals=0)

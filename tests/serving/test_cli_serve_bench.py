@@ -1,0 +1,48 @@
+"""The serve-bench CLI subcommand (scaled down for test speed)."""
+
+from repro.cli import main
+
+
+def test_serve_bench_reports_speedup_and_metrics(capsys):
+    code = main(
+        [
+            "serve-bench",
+            "--n", "1500",
+            "--d", "3",
+            "--k", "5",
+            "--queries", "64",
+            "--distinct", "4",
+            "--algorithm", "DL+",
+            "--seed", "1",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "throughput (q/s)" in out
+    assert "speedup:" in out
+    assert "hit_rate" in out
+    assert "latency_ms_p95" in out
+    assert "max_queue_depth" in out
+
+
+def test_serve_bench_threaded_path(capsys):
+    code = main(
+        [
+            "serve-bench",
+            "--n", "800",
+            "--d", "2",
+            "--k", "5",
+            "--queries", "32",
+            "--distinct", "4",
+            "--workers", "2",
+            "--algorithm", "DL",
+            "--seed", "2",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "speedup:" in out
+
+
+def test_serve_bench_rejects_bad_arguments(capsys):
+    assert main(["serve-bench", "--queries", "0"]) == 1

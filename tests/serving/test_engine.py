@@ -1,0 +1,184 @@
+"""QueryEngine: batch byte-identity, caching, invalidation, concurrency."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ScanIndex
+from repro.core import DLIndex, DLPlusIndex
+from repro.core.maintenance import DynamicDualLayerIndex
+from repro.core.query import process_top_k
+from repro.data import generate
+from repro.exceptions import InvalidQueryError, InvalidWeightError
+from repro.relation import normalize_weights, top_k_bruteforce
+from repro.serving import QueryEngine
+from repro.stats import AccessCounter
+
+
+def random_weights(rng, d: int, count: int) -> np.ndarray:
+    return np.clip(rng.dirichlet(np.ones(d), size=count), 1e-9, None)
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT"])
+@pytest.mark.parametrize("d", [2, 4])
+@pytest.mark.parametrize("index_class", [DLIndex, DLPlusIndex])
+def test_query_batch_byte_identical_to_sequential(distribution, d, index_class):
+    """Acceptance: batched answers equal sequential process_top_k answers
+    byte for byte — across distributions, dimensionalities, both index
+    variants (static seeds and the 2-D weight-range selector), and varying
+    k.  (4 dist/d cells x 2 index classes x 80 queries = 640 queries.)"""
+    rng = np.random.default_rng(d * 101 + (1 if distribution == "IND" else 2))
+    relation = generate(distribution, 300, d, seed=17)
+    index = index_class(relation).build()
+    engine = QueryEngine(index, cache_size=256)
+
+    count = 80
+    weights = random_weights(rng, d, count)
+    ks = rng.integers(1, 26, size=count)
+    # Inject exact repeats so the batch exercises the cache-hit path too.
+    weights[count // 2] = weights[0]
+    ks[count // 2] = ks[0]
+
+    for k in np.unique(ks):
+        rows = np.nonzero(ks == k)[0]
+        results = engine.query_batch(weights[rows], int(k))
+        for row, result in zip(rows, results):
+            w = normalize_weights(weights[row], d)
+            counter = AccessCounter()
+            ref_ids, ref_scores = process_top_k(index.structure, w, int(k), counter)
+            assert result.ids.tobytes() == ref_ids.tobytes()
+            assert result.scores.tobytes() == ref_scores.tobytes()
+            assert result.ids.dtype == ref_ids.dtype
+            assert result.scores.dtype == ref_scores.dtype
+
+
+def test_cache_hit_costs_zero_evaluations():
+    relation = generate("IND", 250, 3, seed=5)
+    engine = QueryEngine(DLPlusIndex(relation).build())
+    w = np.array([0.2, 0.3, 0.5])
+    first = engine.query(w, 10)
+    assert first.counter.total > 0
+    second = engine.query(w, 10)
+    assert second.counter.total == 0  # acceptance: zero tuple evaluations
+    np.testing.assert_array_equal(second.ids, first.ids)
+    np.testing.assert_array_equal(second.scores, first.scores)
+    assert engine.metrics.cache_hits == 1
+    assert engine.metrics.as_dict()["hit_rate"] == 0.5
+
+
+def test_cache_disabled_always_recomputes():
+    relation = generate("IND", 200, 3, seed=6)
+    engine = QueryEngine(DLIndex(relation).build(), cache_size=0)
+    w = np.ones(3) / 3
+    assert engine.query(w, 5).counter.total > 0
+    assert engine.query(w, 5).counter.total > 0
+    assert engine.metrics.cache_hits == 0
+
+
+def test_mutation_invalidates_cache_entries():
+    """Acceptance: an insert/delete through the maintenance index must
+    invalidate affected cached answers (version keying + eager prune)."""
+    rng = np.random.default_rng(2)
+    dynamic = DynamicDualLayerIndex(d=2)
+    for row in rng.random((60, 2)):
+        dynamic.insert(row)
+    engine = QueryEngine(dynamic, cache_size=64)
+    w = np.array([0.5, 0.5])
+
+    before = engine.query(w, 5)
+    assert engine.query(w, 5).counter.total == 0  # cached
+
+    dominator = dynamic.insert(np.array([1e-4, 1e-4]))
+    after_insert = engine.query(w, 5)
+    assert after_insert.counter.total > 0  # stale entry not served
+    assert int(after_insert.ids[0]) == dominator
+    assert len(engine.cache) == 1  # old-version entries pruned eagerly
+
+    dynamic.delete(dominator)
+    after_delete = engine.query(w, 5)
+    assert after_delete.counter.total > 0
+    np.testing.assert_array_equal(after_delete.ids, before.ids)
+    np.testing.assert_array_equal(after_delete.scores, before.scores)
+
+
+def test_rebuild_invalidates_static_index_cache():
+    relation = generate("IND", 150, 2, seed=9)
+    index = DLIndex(relation).build()
+    engine = QueryEngine(index)
+    w = np.array([0.5, 0.5])
+    engine.query(w, 5)
+    assert engine.query(w, 5).counter.total == 0
+    index.build()  # rebuild bumps the version
+    assert engine.query(w, 5).counter.total > 0
+
+
+def test_query_many_matches_sequential_and_tracks_depth():
+    rng = np.random.default_rng(11)
+    relation = generate("ANT", 250, 3, seed=13)
+    index = DLPlusIndex(relation).build()
+    sequential = QueryEngine(index, cache_size=0)
+    threaded = QueryEngine(index, cache_size=0)
+    queries = [(w, int(k)) for w, k in zip(
+        random_weights(rng, 3, 40), rng.integers(1, 15, size=40)
+    )]
+    expected = [sequential.query(w, k) for w, k in queries]
+    got = threaded.query_many(queries, max_workers=4)
+    for a, b in zip(got, expected):
+        assert a.ids.tobytes() == b.ids.tobytes()
+        assert a.scores.tobytes() == b.scores.tobytes()
+        assert a.counter.total == b.counter.total  # private per-query state
+    assert threaded.metrics.queries == 40
+    assert threaded.metrics.max_queue_depth >= 1
+    assert threaded.query_many([]) == []
+
+
+def test_engine_fronts_non_gated_indexes():
+    relation = generate("IND", 120, 3, seed=21)
+    engine = QueryEngine(ScanIndex(relation).build())
+    w = np.ones(3) / 3
+    result = engine.query(w, 5)
+    _, ref_scores = top_k_bruteforce(relation.matrix, w, 5)
+    np.testing.assert_allclose(result.scores, ref_scores, atol=1e-12)
+    assert result.counter.total == relation.n
+    assert engine.query(w, 5).counter.total == 0  # cached
+
+
+def test_engine_builds_unbuilt_index():
+    relation = generate("IND", 100, 2, seed=23)
+    index = DLIndex(relation)
+    engine = QueryEngine(index)
+    assert index._built
+    assert engine.version == 1
+    result = engine.query(np.array([0.6, 0.4]), 3)
+    assert result.ids.shape[0] == 3
+
+
+def test_k_clamped_and_validated():
+    relation = generate("IND", 50, 2, seed=25)
+    engine = QueryEngine(DLIndex(relation).build())
+    result = engine.query(np.array([0.5, 0.5]), 500)
+    assert result.ids.shape[0] == 50
+    with pytest.raises(InvalidQueryError):
+        engine.query(np.array([0.5, 0.5]), 0)
+    with pytest.raises(InvalidWeightError):
+        engine.query(np.array([0.5, -0.5]), 3)
+    with pytest.raises(InvalidWeightError):
+        engine.query_batch(np.ones((2, 2, 2)), 3)
+
+
+def test_serve_helper_on_index():
+    relation = generate("IND", 80, 2, seed=27)
+    engine = DLIndex(relation).serve(cache_size=8)
+    assert isinstance(engine, QueryEngine)
+    assert engine.query(np.array([0.5, 0.5]), 3).ids.shape[0] == 3
+
+
+def test_stats_snapshot_merges_cache_and_metrics():
+    relation = generate("IND", 100, 2, seed=29)
+    engine = QueryEngine(DLIndex(relation).build())
+    engine.query(np.array([0.5, 0.5]), 3)
+    engine.query(np.array([0.5, 0.5]), 3)
+    stats = engine.stats()
+    assert stats["cache_entries"] == 1.0
+    assert stats["cache_hits"] == 1.0
+    assert stats["queries"] == 2.0
+    assert stats["throughput_qps"] > 0.0

@@ -1,0 +1,97 @@
+"""Metrics registry: counters, latency summary, queue depth."""
+
+import pytest
+
+from repro.serving import MetricsRegistry
+from repro.stats import LatencyWindow, percentile
+
+
+def test_track_records_hits_misses_and_cost():
+    registry = MetricsRegistry()
+    with registry.track() as record:
+        record.cost = 40
+    with registry.track() as record:
+        record.hit = True
+        record.cost = 0
+    assert registry.queries == 2
+    assert registry.cache_hits == 1 and registry.cache_misses == 1
+    assert registry.hit_rate == 0.5
+    assert registry.total_cost == 40 and registry.max_cost == 40
+    assert registry.mean_cost == 20.0
+
+
+def test_queue_depth_gauge():
+    registry = MetricsRegistry()
+    with registry.track():
+        with registry.track():
+            assert registry.queue_depth == 2
+    assert registry.queue_depth == 0
+    assert registry.max_queue_depth == 2
+
+
+def test_as_dict_exposes_all_series():
+    registry = MetricsRegistry()
+    with registry.track() as record:
+        record.cost = 10
+        record.batched = True
+    snapshot = registry.as_dict()
+    for key in (
+        "queries",
+        "batched_queries",
+        "cache_hits",
+        "cache_misses",
+        "hit_rate",
+        "mean_cost",
+        "latency_ms_mean",
+        "latency_ms_p50",
+        "latency_ms_p95",
+        "latency_ms_p99",
+        "queue_depth",
+        "max_queue_depth",
+    ):
+        assert key in snapshot
+    assert snapshot["queries"] == 1.0
+    assert snapshot["batched_queries"] == 1.0
+    assert snapshot["latency_ms_mean"] > 0.0
+
+
+def test_failed_query_still_tracked():
+    registry = MetricsRegistry()
+    with pytest.raises(RuntimeError):
+        with registry.track():
+            raise RuntimeError("query blew up")
+    assert registry.queries == 1
+    assert registry.queue_depth == 0
+
+
+def test_reset():
+    registry = MetricsRegistry()
+    with registry.track() as record:
+        record.cost = 5
+    registry.reset()
+    assert registry.queries == 0
+    assert registry.as_dict()["total_cost"] == 0.0
+
+
+def test_percentile_interpolation():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == 2.5
+    assert percentile([], 50) == 0.0
+    assert percentile([7.0], 95) == 7.0
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+
+
+def test_latency_window_bounds_samples():
+    window = LatencyWindow(window=4)
+    for sample in (1.0, 2.0, 3.0, 4.0, 5.0):
+        window.record(sample)
+    assert window.count == 5  # lifetime count keeps growing
+    summary = window.summary(scale=1.0)
+    assert summary["max"] == 5.0
+    assert summary["p50"] == 3.5  # windowed: [2, 3, 4, 5]
+    assert window.mean == 3.0  # lifetime mean over all 5 samples
+    with pytest.raises(ValueError):
+        LatencyWindow(window=0)

@@ -50,7 +50,7 @@ def test_max_layers_bound(rng):
     points = rng.random((300, 3))
     layers, leftover = skyline_layers(points, max_layers=2)
     assert len(layers) == 2
-    assert leftover.shape[0] == 300 - sum(l.shape[0] for l in layers)
+    assert leftover.shape[0] == 300 - sum(layer.shape[0] for layer in layers)
     full_layers, _ = skyline_layers(points)
     np.testing.assert_array_equal(layers[0], full_layers[0])
     np.testing.assert_array_equal(layers[1], full_layers[1])
@@ -81,7 +81,7 @@ def test_convex_layers_duplicates():
     points = np.tile([0.2, 0.8], (4, 1))
     layers, leftover = convex_layers(points)
     assert leftover.shape[0] == 0
-    assert sum(l.shape[0] for l in layers) == 4
+    assert sum(layer.shape[0] for layer in layers) == 4
 
 
 def test_unknown_algorithm_rejected(rng):

@@ -6,7 +6,7 @@ import pytest
 from repro.core import DLIndex
 from repro.data import generate
 from repro.exceptions import InvalidWeightError
-from repro.relation import Schema, top_k_bruteforce
+from repro.relation import Schema
 from repro.sql.subspace import embed_subspace_weights, subspace_scores
 
 
