@@ -10,17 +10,26 @@ cells, mirroring how a deployed index serves many queries.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.base import TopKIndex
 from repro.bench.workload import Workload
+from repro.stats.latency import percentile
 
 
 @dataclass
 class CellResult:
-    """Mean/min/max query cost of one (algorithm, workload, k) cell."""
+    """Mean/min/max query cost of one (algorithm, workload, k) cell.
+
+    Alongside the Definition 9 cost, each cell records per-query wall-clock
+    (``mean_ms`` / ``p95_ms``, in milliseconds) measured on the same query
+    stream, so cost figures and latency can be reported from one sweep.
+    The latency fields default to 0.0 to stay compatible with cells
+    produced before they existed (pickled sweeps, figure scripts).
+    """
 
     algorithm: str
     distribution: str
@@ -32,6 +41,8 @@ class CellResult:
     max_cost: int
     mean_real: float
     mean_pseudo: float
+    mean_ms: float = 0.0
+    p95_ms: float = 0.0
 
 
 @dataclass
@@ -66,12 +77,19 @@ def build_index(
 
 
 def measure_cost(index: TopKIndex, workload: Workload, k: int) -> CellResult:
-    """Average the Definition 9 cost of ``index`` over the workload queries."""
+    """Average the Definition 9 cost of ``index`` over the workload queries.
+
+    Also times every query, so each cell carries wall-clock latency (mean
+    and p95) from the exact stream that produced its cost numbers.
+    """
     costs: list[int] = []
     reals: list[int] = []
     pseudos: list[int] = []
+    latencies_ms: list[float] = []
     for weights in workload.weights:
+        start = time.perf_counter()
         result = index.query(weights, k)
+        latencies_ms.append((time.perf_counter() - start) * 1e3)
         costs.append(result.cost)
         reals.append(result.counter.real)
         pseudos.append(result.counter.pseudo)
@@ -86,6 +104,8 @@ def measure_cost(index: TopKIndex, workload: Workload, k: int) -> CellResult:
         max_cost=int(np.max(costs)),
         mean_real=float(np.mean(reals)),
         mean_pseudo=float(np.mean(pseudos)),
+        mean_ms=float(np.mean(latencies_ms)),
+        p95_ms=percentile(latencies_ms, 95.0),
     )
 
 

@@ -1,0 +1,198 @@
+"""Wall-clock benchmark: build time and per-query latency, kernel vs kernel.
+
+The cost-model sweeps (:mod:`repro.bench.harness`) count tuple evaluations;
+this suite measures *time*: how long an index takes to build and how fast
+queries run through the two Algorithm 2 kernels —
+:func:`~repro.core.query.process_top_k_reference` (the per-node traversal,
+the "before") and :func:`~repro.core.query.process_top_k` (the vectorized
+CSR kernel, the "after").  Both kernels are timed on the identical frozen
+structure and weight stream, so the reported speedup isolates the kernel.
+
+Every timed query is also checked for bitwise agreement between the kernels
+(ids, scores, Definition 9 counts) — a benchmark run doubles as an
+end-to-end equivalence pass, and a run that produced wrong answers can
+never report a (meaningless) speedup.
+
+Latency aggregation reuses :func:`repro.stats.latency.percentile`; each
+(weights, kernel) pair is timed ``repeats`` times and the best run is kept
+(standard practice to strip scheduler noise from microbenchmarks).
+
+The default grid is the acceptance grid — IND/ANT × d ∈ {2, 4} ×
+n ∈ {10k, 100k} — and the CLI (``repro-topk perf-bench``) scales every
+axis down for smoke runs (CI uses n=2000).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.bench.workload import Workload
+from repro.core.query import process_top_k, process_top_k_reference
+from repro.stats import AccessCounter
+from repro.stats.latency import percentile
+
+#: The acceptance grid (matches the committed BENCH_query.json).
+DEFAULT_DISTRIBUTIONS = ("IND", "ANT")
+DEFAULT_DIMS = (2, 4)
+DEFAULT_SIZES = (10_000, 100_000)
+
+KERNELS = {
+    "reference": process_top_k_reference,
+    "csr": process_top_k,
+}
+
+
+@dataclass
+class KernelTiming:
+    """Latency summary of one kernel over one cell's query stream (ms)."""
+
+    p50_ms: float
+    p95_ms: float
+    mean_ms: float
+
+
+@dataclass
+class WallclockCell:
+    """One (distribution, d, n) cell of the wall-clock grid."""
+
+    distribution: str
+    d: int
+    n: int
+    k: int
+    build_seconds: float
+    mean_cost: float
+    kernels: dict[str, KernelTiming] = field(default_factory=dict)
+
+    @property
+    def speedup_p50(self) -> float:
+        """Median-latency ratio reference/csr (>1 means CSR is faster)."""
+        ref = self.kernels["reference"].p50_ms
+        csr = self.kernels["csr"].p50_ms
+        return ref / csr if csr > 0 else float("inf")
+
+
+def _time_kernel(kernel, structure, weights, k: int, repeats: int) -> list[float]:
+    """Best-of-``repeats`` latency (ms) of ``kernel`` per weight vector."""
+    latencies: list[float] = []
+    for w in weights:
+        best = float("inf")
+        for _ in range(repeats):
+            counter = AccessCounter()
+            start = time.perf_counter()
+            kernel(structure, w, k, counter)
+            best = min(best, time.perf_counter() - start)
+        latencies.append(best * 1e3)
+    return latencies
+
+
+def _check_equivalence(structure, weights, k: int) -> float:
+    """Assert both kernels agree bitwise; returns the mean Definition 9 cost."""
+    costs: list[int] = []
+    for w in weights:
+        c_ref, c_csr = AccessCounter(), AccessCounter()
+        ids_ref, scores_ref = process_top_k_reference(structure, w, k, c_ref)
+        ids_csr, scores_csr = process_top_k(structure, w, k, c_csr)
+        if not (
+            np.array_equal(ids_ref, ids_csr)
+            and scores_ref.tobytes() == scores_csr.tobytes()
+            and (c_ref.real, c_ref.pseudo) == (c_csr.real, c_csr.pseudo)
+        ):
+            raise AssertionError(
+                "kernel mismatch: CSR and reference disagree for weights "
+                f"{w.tolist()} (k={k})"
+            )
+        costs.append(c_csr.total)
+    return float(np.mean(costs))
+
+
+def run_wallclock(
+    *,
+    distributions=DEFAULT_DISTRIBUTIONS,
+    dims=DEFAULT_DIMS,
+    sizes=DEFAULT_SIZES,
+    k: int = 10,
+    queries: int = 32,
+    repeats: int = 3,
+    seed: int = 20120401,
+    algorithm: str = "DL+",
+    progress=None,
+) -> dict:
+    """Run the grid; returns the JSON-serializable report.
+
+    ``progress`` is an optional ``callable(str)`` fed one line per cell
+    (the CLI passes ``print``).
+    """
+    from repro import ALGORITHMS
+
+    index_class = ALGORITHMS[algorithm]
+    cells: list[WallclockCell] = []
+    for distribution in distributions:
+        for d in dims:
+            for n in sizes:
+                workload = Workload.make(distribution, n, d, queries, seed)
+                start = time.perf_counter()
+                try:
+                    index = index_class(workload.relation, max_layers=k).build()
+                except TypeError:  # algorithm without a max_layers knob
+                    index = index_class(workload.relation).build()
+                build_seconds = time.perf_counter() - start
+                structure = getattr(index, "structure", None)
+                if structure is None:
+                    raise ValueError(
+                        f"{algorithm} is not a gated layer index; perf-bench "
+                        "times the Algorithm 2 kernels and needs a frozen "
+                        "structure (use DL/DL+/DG/DG+)"
+                    )
+                mean_cost = _check_equivalence(structure, workload.weights, k)
+                cell = WallclockCell(
+                    distribution=distribution,
+                    d=d,
+                    n=n,
+                    k=k,
+                    build_seconds=round(build_seconds, 3),
+                    mean_cost=round(mean_cost, 2),
+                )
+                for name, kernel in KERNELS.items():
+                    # One untimed pass warms caches (seed block, indptr
+                    # lists, gate-state template) so neither kernel pays
+                    # one-time costs inside its timings.
+                    _time_kernel(kernel, structure, workload.weights[:1], k, 1)
+                    latencies = _time_kernel(
+                        kernel, structure, workload.weights, k, repeats
+                    )
+                    cell.kernels[name] = KernelTiming(
+                        p50_ms=round(percentile(latencies, 50.0), 4),
+                        p95_ms=round(percentile(latencies, 95.0), 4),
+                        mean_ms=round(float(np.mean(latencies)), 4),
+                    )
+                cells.append(cell)
+                if progress is not None:
+                    progress(
+                        f"{distribution} d={d} n={n}: build {build_seconds:.1f}s, "
+                        f"ref p50 {cell.kernels['reference'].p50_ms:.3f}ms, "
+                        f"csr p50 {cell.kernels['csr'].p50_ms:.3f}ms "
+                        f"({cell.speedup_p50:.2f}x)"
+                    )
+    return {
+        "suite": "wallclock",
+        "algorithm": algorithm,
+        "k": k,
+        "queries": queries,
+        "repeats": repeats,
+        "seed": seed,
+        "cells": [
+            {**asdict(cell), "speedup_p50": round(cell.speedup_p50, 2)}
+            for cell in cells
+        ],
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write the report as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -11,6 +11,7 @@ Examples::
     repro-topk bench --experiment fig10
     repro-topk compare --distribution ANT --n 5000 --d 4 --k 10
     repro-topk serve-bench --n 20000 --queries 256 --distinct 16
+    repro-topk perf-bench --sizes 10000,100000 --out BENCH_query.json
 """
 
 from __future__ import annotations
@@ -42,6 +43,7 @@ def main(argv: list[str] | None = None) -> int:
         "advise": _cmd_advise,
         "sql": _cmd_sql,
         "serve-bench": _cmd_serve_bench,
+        "perf-bench": _cmd_perf_bench,
     }[args.command]
     return handler(args)
 
@@ -121,6 +123,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--cache-size", type=int, default=4096)
     serve.add_argument("--seed", type=int, default=0)
+
+    perf = commands.add_parser(
+        "perf-bench",
+        help="time index build + per-query latency, CSR kernel vs reference",
+    )
+    perf.add_argument(
+        "--distributions", default="IND,ANT", help="comma-separated, e.g. IND,ANT"
+    )
+    perf.add_argument("--dims", default="2,4", help="comma-separated dimensionalities")
+    perf.add_argument(
+        "--sizes", default="10000,100000", help="comma-separated cardinalities"
+    )
+    perf.add_argument("--k", type=int, default=10)
+    perf.add_argument(
+        "--queries", type=int, default=32, help="weight vectors timed per cell"
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=3, help="best-of repeats per (query, kernel)"
+    )
+    perf.add_argument("--algorithm", default="DL+", choices=sorted(ALGORITHMS))
+    perf.add_argument("--seed", type=int, default=20120401)
+    perf.add_argument(
+        "--out", default="BENCH_query.json", help="output JSON report path"
+    )
 
     compare = commands.add_parser(
         "compare", help="compare all algorithms on one workload"
@@ -348,6 +374,25 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         "max_queue_depth",
     ):
         print(f"  {key:>18}: {stats[key]:.4f}")
+    return 0
+
+
+def _cmd_perf_bench(args: argparse.Namespace) -> int:
+    from repro.bench.wallclock import run_wallclock, write_report
+
+    report = run_wallclock(
+        distributions=tuple(s for s in args.distributions.split(",") if s),
+        dims=tuple(int(s) for s in args.dims.split(",") if s),
+        sizes=tuple(int(s) for s in args.sizes.split(",") if s),
+        k=args.k,
+        queries=args.queries,
+        repeats=args.repeats,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        progress=print,
+    )
+    write_report(report, args.out)
+    print(f"wrote {len(report['cells'])} cells to {args.out}")
     return 0
 
 

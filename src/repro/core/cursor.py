@@ -17,7 +17,7 @@ import heapq
 
 import numpy as np
 
-from repro.core.query import seed_scores
+from repro.core.query import relax_gates, score_node, score_rows, seed_scores
 from repro.core.structure import LayerStructure
 from repro.exceptions import IndexCapacityError, InvalidQueryError
 from repro.relation import normalize_weights
@@ -123,28 +123,35 @@ class TopKCursor:
             yield int(ids[0]), float(scores[0])
 
     def _relax(self, node: int) -> None:
-        """Open the gates ``node``'s pop unlocks."""
-        structure = self.structure
-        for child in structure.forall_children[node]:
-            child = int(child)
-            self._remaining_forall[child] -= 1
-            if (
-                not self._enqueued[child]
-                and self._remaining_forall[child] == 0
-                and self._exists_open[child]
-            ):
-                self._access(child)
-        for child in structure.exists_children[node]:
-            child = int(child)
-            if self._exists_open[child]:
-                continue
-            self._exists_open[child] = True
-            if not self._enqueued[child] and self._remaining_forall[child] == 0:
-                self._access(child)
+        """Open the gates ``node``'s pop unlocks (vectorized CSR relax).
+
+        Shares :func:`~repro.core.query.relax_gates` with the batch kernel,
+        so the cursor's access order, scores, and Definition 9 accounting
+        stay bitwise identical to a one-shot :func:`process_top_k` run at
+        the same depth.
+        """
+        opened = relax_gates(
+            self.structure,
+            node,
+            self._remaining_forall,
+            self._exists_open,
+            self._enqueued,
+        )
+        if opened is None:
+            return
+        self._enqueued[opened] = True
+        n_real = self.structure.n_real
+        scores = score_rows(self.structure.values, opened, self.weights)
+        for child, score in zip(opened.tolist(), scores.tolist()):
+            if child < n_real:
+                self.counter.count_real()
+            else:
+                self.counter.count_pseudo()
+            heapq.heappush(self._heap, (score, child))
 
     def _access(self, node: int, score: float | None = None) -> None:
         if score is None:
-            score = float(self.structure.values[node] @ self.weights)
+            score = score_node(self.structure.values, node, self.weights)
         if node < self.structure.n_real:
             self.counter.count_real()
         else:

@@ -106,6 +106,15 @@ def assign_covering_facets(
         if chosen is None:
             chosen = _lp_support(prev_points, target + tol)
         if chosen is None:
+            # Boundary-degenerate targets (domain-clamped coordinates at
+            # large anti-correlated scale) can make HiGHS call a
+            # geometrically guaranteed cover infeasible.  Solve for the
+            # least-violating combination instead and accept it within the
+            # same slack the ray paths already tolerate (_BARY_TOL).
+            chosen = _lp_min_violation_support(
+                prev_points, target + tol, max_violation=_BARY_TOL
+            )
+        if chosen is None:
             raise IndexConstructionError(
                 "∃-dominance coverage violated: no convex combination of "
                 f"the previous sublayer dominates target {target.tolist()}"
@@ -204,4 +213,38 @@ def _lp_support(prev_points: np.ndarray, bound: np.ndarray) -> np.ndarray | None
     support = np.nonzero(result.x > 1e-9)[0].astype(np.intp)
     if support.shape[0] == 0:
         support = np.asarray([int(np.argmax(result.x))], dtype=np.intp)
+    return support
+
+
+def _lp_min_violation_support(
+    prev_points: np.ndarray, bound: np.ndarray, max_violation: float
+) -> np.ndarray | None:
+    """Support of the least-violating convex combination, if tiny enough.
+
+    Minimizes ``s`` subject to ``Pᵀλ ≤ bound + s·1, Σλ = 1, λ ≥ 0,
+    s ≥ 0`` — always feasible — and returns the support only when the
+    optimal violation is at most ``max_violation``.  A violation at
+    numerical-noise scale means the cover exists geometrically and only
+    the strict-feasibility LP tripped on solver tolerance; anything larger
+    is a genuine coverage failure and stays an error.
+    """
+    m, d = prev_points.shape
+    # Variables: lambda (m) then s (1).
+    c = np.zeros(m + 1)
+    c[m] = 1.0
+    a_ub = np.hstack([prev_points.T, -np.ones((d, 1))])
+    result = linprog(
+        c=c,
+        A_ub=a_ub,
+        b_ub=bound,
+        A_eq=np.hstack([np.ones((1, m)), np.zeros((1, 1))]),
+        b_eq=np.ones(1),
+        bounds=[(0.0, 1.0)] * m + [(0.0, None)],
+        method="highs",
+    )
+    if result.status != 0 or result.x[m] > max_violation:
+        return None
+    support = np.nonzero(result.x[:m] > 1e-9)[0].astype(np.intp)
+    if support.shape[0] == 0:
+        support = np.asarray([int(np.argmax(result.x[:m]))], dtype=np.intp)
     return support

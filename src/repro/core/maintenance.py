@@ -17,6 +17,20 @@ The maintained partition always equals the from-scratch skyline peel
 (asserted in the tests).  The gated structure (fine sublayers, ∀/∃ edges)
 is rebuilt lazily from the partition on the next query — skipping the
 skyline computation that dominates construction time.
+
+CSR splicing
+------------
+When the index runs without fine sublayers (DG mode: coarse layers and
+∀-gates only), the common insert — a tuple that lands in its layer without
+demoting anyone — is applied to the frozen CSR structure *incrementally*
+instead of dropping it: the new node's value row, layer level, ∀-parent
+count and child slice are appended, and one ``np.insert`` pass splices the
+node into each dominator's child slice (its local id is always the maximum,
+so every splice point is a slice end and CSR ordering is preserved).  The
+patched structure is array-equal to a from-scratch rebuild (asserted in
+tests) at O(nodes + edges) copy cost, skipping the dominance wiring
+entirely.  Inserts that cascade demotions, deletions, and fine-sublayer
+indexes still take the lazy-rebuild path.
 """
 
 from __future__ import annotations
@@ -26,9 +40,9 @@ import threading
 import numpy as np
 
 from repro.core.query import process_top_k
-from repro.core.structure import StructureBuilder
+from repro.core.structure import LayerStructure, StructureBuilder
 from repro.exceptions import EmptyRelationError, InvalidQueryError
-from repro.skyline.dominance import dominates_any
+from repro.skyline.dominance import dominance_matrix, dominates_any, dominators_of
 from repro.stats import AccessCounter
 
 
@@ -56,6 +70,9 @@ class DynamicDualLayerIndex:
         self._layers: list[list[int]] = []
         self._structure = None
         self._id_map: np.ndarray | None = None
+        #: How many inserts were applied by splicing the CSR structure
+        #: in place of a lazy rebuild (diagnostics; see module docstring).
+        self.patched_inserts = 0
         # Serializes the lazy structure rebuild so concurrent readers (the
         # serving engine's thread pool) never observe a half-built graph.
         self._rebuild_lock = threading.Lock()
@@ -85,8 +102,16 @@ class DynamicDualLayerIndex:
         self._alive.append(True)
         layer = self._first_non_dominating_layer(values)
         self._place(point_id, layer)
-        self._cascade_demotions(layer, [point_id])
-        self._structure = None
+        demoted = self._cascade_demotions(layer, [point_id])
+        with self._rebuild_lock:
+            structure, id_map = self._structure, self._id_map
+            if structure is not None and not demoted and self._patchable(structure):
+                self._structure, self._id_map = self._splice_insert(
+                    structure, id_map, point_id, values, layer
+                )
+                self.patched_inserts += 1
+            else:
+                self._structure = None
         self.version += 1
         return point_id
 
@@ -177,8 +202,13 @@ class DynamicDualLayerIndex:
         self._layers[layer].append(point_id)
         self._layer_of[point_id] = layer
 
-    def _cascade_demotions(self, layer: int, arrivals: list[int]) -> None:
-        """Arriving tuples push the members they dominate one layer down."""
+    def _cascade_demotions(self, layer: int, arrivals: list[int]) -> bool:
+        """Arriving tuples push the members they dominate one layer down.
+
+        Returns True when at least one incumbent moved (the CSR splice
+        fast path only applies to demotion-free inserts).
+        """
+        any_demoted = False
         while arrivals and layer + 1 <= len(self._layers):
             incumbents = [i for i in self._layers[layer] if i not in arrivals]
             if not incumbents:
@@ -189,11 +219,13 @@ class DynamicDualLayerIndex:
             demoted = [i for i, out in zip(incumbents, demoted_mask) if out]
             if not demoted:
                 break
+            any_demoted = True
             for i in demoted:
                 self._layers[layer].remove(i)
                 self._place_into(i, layer + 1)
             layer += 1
             arrivals = demoted
+        return any_demoted
 
     def _place_into(self, point_id: int, layer: int) -> None:
         while layer >= len(self._layers):
@@ -227,6 +259,108 @@ class DynamicDualLayerIndex:
     def _trim_empty_layers(self) -> None:
         while self._layers and not self._layers[-1]:
             self._layers.pop()
+
+    def _patchable(self, structure: LayerStructure) -> bool:
+        """True when an insert may splice ``structure``'s CSR arrays.
+
+        The splice covers the coarse-only (DG-mode) graph: no fine
+        sublayers to re-peel, no ∃-edges, static layer-0 seeds, no
+        pseudo-tuples.  (The rebuild path never produces a selector or
+        pseudo nodes here; the checks are defensive.)
+        """
+        return (
+            not self.fine_sublayers
+            and structure.seed_selector is None
+            and structure.n_pseudo == 0
+        )
+
+    def _splice_insert(
+        self,
+        structure: LayerStructure,
+        id_map: np.ndarray,
+        point_id: int,
+        values: np.ndarray,
+        layer: int,
+    ) -> tuple[LayerStructure, np.ndarray]:
+        """Splice a demotion-free insert into the frozen CSR structure.
+
+        Produces a new :class:`LayerStructure` that is array-equal to a
+        from-scratch rebuild of the updated partition (the old structure
+        object is left untouched for concurrent readers).  The new tuple's
+        insertion-order id exceeds every live id, so its local id is the
+        append position ``n`` and every CSR splice lands at a slice end:
+
+        * its ∀-parents are its dominators in layer ``L-1`` — one
+          ``np.insert`` pass appends node ``n`` to each dominator's child
+          slice (``n`` is the largest id, so slice ordering is preserved);
+        * its ∀-children are the layer ``L+1`` members it dominates — their
+          parent counts increment and its own child slice lands at the end
+          of the index array;
+        * placement, seeds (for a layer-0 insert) and the value matrix
+          extend by one row.
+        """
+        n_old = structure.n_real
+        new_node = n_old
+        matrix = structure.values
+
+        def layer_locals(members: list[int]) -> np.ndarray:
+            # Live point ids -> local node ids (positions in the sorted id
+            # map; monotone, so sorted ids map to sorted locals).
+            return np.searchsorted(id_map, np.asarray(sorted(members)))
+
+        if layer > 0:
+            prev_local = layer_locals(self._layers[layer - 1])
+            parents = prev_local[dominators_of(values, matrix[prev_local])]
+        else:
+            parents = np.empty(0, dtype=np.intp)
+        if layer + 1 < len(self._layers):
+            next_local = layer_locals(self._layers[layer + 1])
+            dominated = dominance_matrix(values[None, :], matrix[next_local])[0]
+            children = next_local[dominated].astype(np.intp)
+        else:
+            children = np.empty(0, dtype=np.intp)
+
+        forall_count = np.append(structure.forall_parent_count, parents.shape[0])
+        forall_count[children] += 1
+
+        # Splice node n into each parent's child slice (at the slice end),
+        # then append n's own child slice; indptr entries after a parent
+        # shift by the number of earlier splices.
+        indptr = structure.forall_indptr
+        indices = np.insert(structure.forall_indices, indptr[parents + 1], new_node)
+        indices = np.concatenate([indices, children])
+        shifted = indptr + np.cumsum(np.bincount(parents + 1, minlength=n_old + 1))
+        forall_indptr = np.append(shifted, shifted[-1] + children.shape[0]).astype(
+            np.intp
+        )
+
+        exists_indptr = np.append(
+            structure.exists_indptr, structure.exists_indptr[-1]
+        ).astype(np.intp)
+
+        static_seeds = (
+            np.append(structure.static_seeds, new_node).astype(np.intp)
+            if layer == 0
+            else structure.static_seeds
+        )
+
+        patched = LayerStructure(
+            values=np.vstack([matrix, values[None, :]]),
+            n_real=n_old + 1,
+            forall_parent_count=forall_count,
+            forall_indptr=forall_indptr,
+            forall_indices=indices.astype(np.intp),
+            exists_gated=np.append(structure.exists_gated, False),
+            exists_indptr=exists_indptr,
+            exists_indices=structure.exists_indices,
+            static_seeds=static_seeds,
+            seed_selector=None,
+            coarse_levels=np.append(structure.coarse_levels, layer),
+            fine_levels=np.append(structure.fine_levels, 0),
+            num_coarse_layers=len(self._layers),
+            complete=True,
+        )
+        return patched, np.append(id_map, point_id)
 
     def _rebuild_structure(self) -> None:
         """Rebuild the gated structure from the maintained partition.

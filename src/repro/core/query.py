@@ -11,6 +11,45 @@ maintain: every ∀-parent and at least one member of each ∃-parent facet
 scores strictly (weakly, for duplicate-tolerant gates) below the gated node
 under every positive weight vector, so a node's gates are always fully open
 by the time its score could be the queue minimum.
+
+Two kernels implement the identical algorithm:
+
+* :func:`process_top_k` — the production kernel.  On each pop it slices the
+  structure's CSR child arrays, relaxes all gates of the popped node with
+  numpy ops, and scores every newly opened child in one batched product
+  before pushing them.
+* :func:`process_top_k_reference` — the original per-node traversal, kept
+  as the equivalence oracle: one Python iteration and one score per child.
+
+Both kernels must return **bitwise identical** ids, scores, and Definition 9
+access counts (the property tests assert this).  That only holds if scoring
+arithmetic is independent of batch size, which BLAS matmul does **not**
+guarantee (``A @ w`` row results differ in the last ulp from ``A[i] @ w``
+under OpenBLAS).  All child scoring therefore goes through
+:func:`score_rows` / :func:`score_node` — ``einsum`` contractions whose
+per-row reduction order depends only on ``d``, never on how many rows are
+scored together.
+
+Gate-state encoding
+-------------------
+The vectorized kernel tracks all per-query gate state in **one** integer
+per node instead of a counter array plus two boolean arrays:
+
+``state[v] = remaining ∀-parents + (n_nodes + 1) * (∃-gate still closed)``
+
+* popping a ∀-parent decrements ``state`` by 1;
+* popping the first ∃-parent subtracts the ``n_nodes + 1`` offset (later
+  ∃-parents see ``state < offset`` and are skipped — "any parent" semantics);
+* a node is accessed exactly when its state reaches 0 — both gates open —
+  and is then stamped with the sentinel ``-1``, which no remaining
+  decrement can bring back to 0 (a non-enqueued node's ∀-component never
+  goes below zero, and enqueued nodes are excluded from ∃-subtraction).
+
+This halves the per-pop fancy-indexing work and turns per-query state
+setup into a single ``copy()`` of a cached template
+(:meth:`~repro.core.structure.LayerStructure.gate_state_template`).  The
+encoding only changes *bookkeeping*; scoring arithmetic and access order
+are untouched, so bitwise equivalence with the reference kernel holds.
 """
 
 from __future__ import annotations
@@ -23,6 +62,35 @@ from repro.exceptions import IndexCapacityError
 from repro.core.structure import LayerStructure
 from repro.stats import AccessCounter
 
+try:
+    # Bind the C entry point ``np.einsum`` dispatches to when ``optimize``
+    # is off — the same contraction routine, minus ~2µs of Python wrapper
+    # per call (the kernel makes one call per pop).
+    from numpy._core._multiarray_umath import c_einsum as _einsum
+except ImportError:  # pragma: no cover - numpy < 2 module layout
+    try:
+        from numpy.core._multiarray_umath import c_einsum as _einsum
+    except ImportError:
+        _einsum = np.einsum
+
+
+def score_rows(
+    values: np.ndarray, nodes: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Scores of ``values[nodes]`` under ``weights``, batch-size invariant.
+
+    ``einsum``'s per-row dot uses a reduction order that depends only on the
+    dimensionality, so ``score_rows(v, nodes, w)[i] ==
+    score_node(v, nodes[i], w)`` *bitwise* — the vectorized kernel and the
+    per-node reference kernel produce identical floats.
+    """
+    return _einsum("ij,j->i", values[nodes], weights)
+
+
+def score_node(values: np.ndarray, node: int, weights: np.ndarray) -> float:
+    """Single-node counterpart of :func:`score_rows` (same arithmetic)."""
+    return float(_einsum("j,j->", values[node], weights))
+
 
 def seed_scores(
     structure: LayerStructure, weights: np.ndarray
@@ -30,21 +98,72 @@ def seed_scores(
     """``(seed_ids, scores)`` for a query's entry nodes, scored in one matmul.
 
     This is the single scoring path shared by :func:`process_top_k`,
+    :func:`process_top_k_reference`,
     :class:`~repro.core.cursor.TopKCursor`, and the batched serving engine
     (:mod:`repro.serving`): because all of them obtain seed scores from this
     helper, their answers agree bitwise — a batched query is byte-identical
     to its sequential counterpart.
+
+    Seeds use the same ``einsum`` contraction as child scoring, not BLAS
+    gemv: identical value rows must receive identical scores no matter
+    which path scored them, or the heap's (score, id) order — and hence the
+    ascending-score output guarantee — breaks on duplicate tuples (gemv
+    rows can differ from the per-row dot in the last ulp).
     """
     if structure.seed_selector is None:
         seeds, block = structure.seed_block()  # static seeds: shared block
-        return seeds, block @ weights
+        return seeds, _einsum("ij,j->i", block, weights)
     seeds = np.asarray(structure.seeds(weights), dtype=np.intp)
     if seeds.shape[0] > 1:
         # Selectors may in principle repeat ids; dedupe preserving order.
         _, first = np.unique(seeds, return_index=True)
         if first.shape[0] != seeds.shape[0]:
             seeds = seeds[np.sort(first)]
-    return seeds, structure.values[seeds] @ weights
+    return seeds, _einsum("ij,j->i", structure.values[seeds], weights)
+
+
+def relax_gates(
+    structure: LayerStructure,
+    node: int,
+    remaining_forall: np.ndarray,
+    exists_open: np.ndarray,
+    enqueued: np.ndarray,
+) -> np.ndarray | None:
+    """Vectorized gate relaxation for one popped ``node``.
+
+    Decrements the ∀-counters of the node's ∀-children, opens the ∃-gates of
+    its ∃-children, and returns the ids of nodes whose **both** gates just
+    opened (∀-children first, then ∃-children — the access order of the
+    reference kernel), or ``None`` when nothing opened.  Mutates the three
+    per-query state arrays in place.  :class:`~repro.core.cursor.TopKCursor`
+    shares this helper; :func:`process_top_k` inlines the same logic to keep
+    the hot loop free of function-call overhead.
+    """
+    f_indptr = structure.forall_indptr
+    start, end = f_indptr[node], f_indptr[node + 1]
+    opened_f = opened_e = None
+    if start != end:
+        children = structure.forall_indices[start:end]
+        count = remaining_forall[children] - 1
+        remaining_forall[children] = count
+        opened = children[(count == 0) & exists_open[children] & ~enqueued[children]]
+        if opened.shape[0]:
+            opened_f = opened
+    e_indptr = structure.exists_indptr
+    start, end = e_indptr[node], e_indptr[node + 1]
+    if start != end:
+        children = structure.exists_indices[start:end]
+        newly = children[~exists_open[children]]
+        if newly.shape[0]:
+            exists_open[newly] = True
+            opened = newly[(remaining_forall[newly] == 0) & ~enqueued[newly]]
+            if opened.shape[0]:
+                opened_e = opened
+    if opened_f is None:
+        return opened_e
+    if opened_e is None:
+        return opened_f
+    return np.concatenate((opened_f, opened_e))
 
 
 def process_top_k(
@@ -56,6 +175,12 @@ def process_top_k(
     seeds: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """``(ids, scores)`` of the top-k real tuples, ascending by score.
+
+    The vectorized CSR kernel: per pop, both child ranges are O(1) slices of
+    the flat adjacency arrays, gate state updates are whole-slice numpy ops,
+    and every newly opened child is scored in a single batched product
+    before being pushed.  Results, heap order, and the Definition 9 access
+    count are bitwise identical to :func:`process_top_k_reference`.
 
     ``fetch_real(node) -> values`` overrides where *real* tuple values come
     from (disk-resident execution reads them through a buffered heap file);
@@ -73,16 +198,172 @@ def process_top_k(
 
     values = structure.values
     n_real = structure.n_real
+    f_indptr, e_indptr = structure.csr_indptr_lists()
+    f_indices = structure.forall_indices
+    e_indices = structure.exists_indices
+    # Fused per-node gate state (see the module docstring): remaining
+    # ∀-parents plus ``exists_offset`` while the ∃-gate is closed; 0 means
+    # ready, the sentinel -1 means already enqueued.
+    state = structure.gate_state_template().copy()
+    exists_offset = structure.n_nodes + 1
+
+    heap: list[tuple[float, int]] = []
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    # Optional fine-grained trace hook (the storage I/O replay uses it).
+    # The hook is additive: Definition 9 cost is always counted through
+    # ``count_real`` and the hook merely observes the access order, so an
+    # instrumented run reports the same cost as a plain one.
+    trace_hook = getattr(counter, "count_real_tuple", None)
+    count_real = counter.count_real
+    count_pseudo = counter.count_pseudo
+
+    def access_batch(opened: np.ndarray) -> None:
+        """Score and enqueue just-opened nodes (counts toward Definition 9)."""
+        state[opened] = -1
+        if fetch_real is None:
+            scores = _einsum("ij,j->i", values[opened], weights)
+            if trace_hook is None:
+                real = 0
+                for child, score in zip(opened.tolist(), scores.tolist()):
+                    if child < n_real:
+                        real += 1
+                    heappush(heap, (score, child))
+                count_real(real)
+                count_pseudo(opened.shape[0] - real)
+            else:
+                for child, score in zip(opened.tolist(), scores.tolist()):
+                    if child < n_real:
+                        count_real()
+                        trace_hook(child)
+                    else:
+                        count_pseudo()
+                    heappush(heap, (score, child))
+        else:
+            for child in opened.tolist():
+                if child < n_real:
+                    score = float(fetch_real(child) @ weights)
+                    count_real()
+                    if trace_hook is not None:
+                        trace_hook(child)
+                else:
+                    score = score_node(values, child, weights)
+                    count_pseudo()
+                heappush(heap, (score, child))
+
+    if fetch_real is not None:
+        seed_ids, precomputed = structure.seeds(weights), None
+        for node in seed_ids.tolist():
+            if state[node] >= 0:  # not yet enqueued
+                access_batch(np.asarray([node], dtype=np.intp))
+    else:
+        seed_ids, precomputed = seeds if seeds is not None else seed_scores(
+            structure, weights
+        )
+        # Seeds are unique (static seeds by construction, selector seeds
+        # deduplicated in seed_scores), so the whole block enqueues in one
+        # shot; heapify over an O(n log n) push loop.  The heap holds the
+        # same (score, node) set either way, and pops from equal heaps
+        # yield the identical sequence.
+        state[seed_ids] = -1
+        if trace_hook is None:
+            real = 0
+            for node, score in zip(seed_ids.tolist(), precomputed.tolist()):
+                if node < n_real:
+                    real += 1
+                heap.append((score, node))
+            count_real(real)
+            count_pseudo(seed_ids.shape[0] - real)
+        else:
+            for node, score in zip(seed_ids.tolist(), precomputed.tolist()):
+                if node < n_real:
+                    count_real()
+                    trace_hook(node)
+                else:
+                    count_pseudo()
+                heap.append((score, node))
+        heapq.heapify(heap)
+
+    answer_ids: list[int] = []
+    answer_scores: list[float] = []
+    while heap and len(answer_ids) < k:
+        score, node = heappop(heap)
+        if node < n_real:
+            answer_ids.append(node)
+            answer_scores.append(score)
+            if len(answer_ids) >= k:
+                break  # done — don't pay for relaxing the last answer's children
+        # Relax children gates on the fused state encoding; access every
+        # node whose gates both opened — ∀-children first, then ∃-children,
+        # matching the reference kernel's access order.
+        start, end = f_indptr[node], f_indptr[node + 1]
+        opened_f = opened_e = None
+        if start != end:
+            children = f_indices[start:end]
+            count = state[children] - 1
+            state[children] = count
+            opened = children[count == 0]
+            if opened.shape[0]:
+                opened_f = opened
+        start, end = e_indptr[node], e_indptr[node + 1]
+        if start != end:
+            children = e_indices[start:end]
+            count = state[children]
+            gated = count >= exists_offset
+            if gated.any():
+                newly = children[gated]
+                count = count[gated] - exists_offset
+                state[newly] = count
+                opened = newly[count == 0]
+                if opened.shape[0]:
+                    opened_e = opened
+        if opened_f is not None:
+            if opened_e is not None:
+                access_batch(np.concatenate((opened_f, opened_e)))
+            else:
+                access_batch(opened_f)
+        elif opened_e is not None:
+            access_batch(opened_e)
+
+    return (
+        np.asarray(answer_ids, dtype=np.intp),
+        np.asarray(answer_scores, dtype=np.float64),
+    )
+
+
+def process_top_k_reference(
+    structure: LayerStructure,
+    weights: np.ndarray,
+    k: int,
+    counter: AccessCounter,
+    fetch_real=None,
+    seeds: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The per-node reference kernel — Algorithm 2, one child at a time.
+
+    This is the pre-CSR traversal retained verbatim as the equivalence
+    oracle for :func:`process_top_k`: same signature, same gate semantics,
+    same scoring arithmetic (:func:`score_node`), walking the CSR adjacency
+    through the per-node :class:`~repro.core.structure.CSRAdjacency` view.
+    The property suite asserts both kernels agree bitwise on ids, scores,
+    and real/pseudo access counts; benchmarks use it as the wall-clock
+    "before" baseline.
+    """
+    if not structure.complete and k > structure.num_coarse_layers:
+        raise IndexCapacityError(
+            f"index was built with only {structure.num_coarse_layers} coarse "
+            f"layers; top-{k} requires at least k layers"
+        )
+
+    values = structure.values
+    n_real = structure.n_real
     remaining_forall = structure.forall_parent_count.copy()
     exists_open = ~structure.exists_gated
     enqueued = np.zeros(structure.n_nodes, dtype=bool)
 
     heap: list[tuple[float, int]] = []
 
-    # Optional fine-grained trace hook (the storage I/O replay uses it).
-    # The hook is additive: Definition 9 cost is always counted through
-    # ``count_real`` and the hook merely observes the access order, so an
-    # instrumented run reports the same cost as a plain one.
     trace_hook = getattr(counter, "count_real_tuple", None)
 
     def access(node: int, score: float | None = None) -> None:
@@ -91,7 +372,7 @@ def process_top_k(
             if fetch_real is not None and node < n_real:
                 score = float(fetch_real(node) @ weights)
             else:
-                score = float(values[node] @ weights)
+                score = score_node(values, node, weights)
         if node < n_real:
             counter.count_real()
             if trace_hook is not None:
@@ -112,6 +393,8 @@ def process_top_k(
         if not enqueued[node]:
             access(node, None if precomputed is None else float(precomputed[pos]))
 
+    forall_children = structure.forall_children
+    exists_children = structure.exists_children
     answer_ids: list[int] = []
     answer_scores: list[float] = []
     while heap and len(answer_ids) < k:
@@ -122,7 +405,7 @@ def process_top_k(
             if len(answer_ids) >= k:
                 break  # done — don't pay for relaxing the last answer's children
         # Relax children gates; access every node whose gates both opened.
-        for child in structure.forall_children[node]:
+        for child in forall_children[node]:
             child = int(child)
             remaining_forall[child] -= 1
             if (
@@ -131,7 +414,7 @@ def process_top_k(
                 and exists_open[child]
             ):
                 access(child)
-        for child in structure.exists_children[node]:
+        for child in exists_children[node]:
             child = int(child)
             if exists_open[child]:
                 continue

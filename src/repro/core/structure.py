@@ -18,15 +18,114 @@ and DG+:
 
 Construction code appends edges through :class:`StructureBuilder`; the
 frozen :class:`LayerStructure` is what the query engine consumes.
+
+Memory layout
+-------------
+Child adjacency is stored in **CSR form**: ``forall_indices[forall_indptr
+[p]:forall_indptr[p + 1]]`` are the ∀-children of node ``p`` (likewise
+``exists_*`` for ∃-children), both ``np.intp``.  The traversal hot path
+(:func:`repro.core.query.process_top_k`) slices these flat arrays directly
+— one bounds lookup and one view per pop instead of a Python list of
+per-node arrays — and relaxes whole child slices with numpy ops.  Layer
+placement is likewise array-backed (``coarse_levels`` / ``fine_levels``,
+``-1`` for unplaced nodes); :class:`LayerLevelMap` keeps the historical
+dict-style access (``structure.coarse_of[node]`` / ``.get(node)``) working
+on top of the arrays.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
+from itertools import chain
 
 import numpy as np
 
 from repro.exceptions import IndexConstructionError
+
+
+class CSRAdjacency:
+    """Read-only per-node view over a CSR ``(indptr, indices)`` pair.
+
+    Supports the per-node access pattern of the pre-CSR representation —
+    ``adjacency[node]`` returns the node's child ids as an ``np.intp``
+    array (a zero-copy slice of the flat index array) — so callers written
+    against ``list[np.ndarray]`` adjacency keep working unchanged.
+    """
+
+    __slots__ = ("indptr", "indices")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self.indptr = indptr
+        self.indices = indices
+
+    def __getitem__(self, node: int) -> np.ndarray:
+        if node < 0:  # forbid python negative indexing: node ids are >= 0
+            raise IndexError(f"node id must be >= 0, got {node}")
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def __len__(self) -> int:
+        return self.indptr.shape[0] - 1
+
+    def __iter__(self):
+        for node in range(len(self)):
+            yield self[node]
+
+
+class LayerLevelMap:
+    """Dict-compatible view over an array of per-node layer levels.
+
+    ``levels[node] == -1`` encodes "not placed" and maps to the dict
+    behaviours existing callers rely on: ``map[node]`` raises ``KeyError``,
+    ``map.get(node)`` returns the default, ``node in map`` is False.
+    """
+
+    __slots__ = ("levels",)
+
+    def __init__(self, levels: np.ndarray) -> None:
+        self.levels = levels
+
+    def __getitem__(self, node: int) -> int:
+        if 0 <= node < self.levels.shape[0]:
+            level = self.levels[node]
+            if level >= 0:
+                return int(level)
+        raise KeyError(node)
+
+    def get(self, node: int, default=None):
+        if 0 <= node < self.levels.shape[0]:
+            level = self.levels[node]
+            if level >= 0:
+                return int(level)
+        return default
+
+    def __contains__(self, node) -> bool:
+        return self.get(node) is not None
+
+    def __len__(self) -> int:
+        return int(np.count_nonzero(self.levels >= 0))
+
+    def __iter__(self):
+        return iter(np.nonzero(self.levels >= 0)[0].tolist())
+
+    def items(self):
+        for node in self:
+            yield node, int(self.levels[node])
+
+
+def _lists_to_csr(
+    children: list[list[int]], n_nodes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-node child lists into a CSR ``(indptr, indices)`` pair."""
+    indptr = np.zeros(n_nodes + 1, dtype=np.intp)
+    if n_nodes:
+        np.cumsum(
+            np.fromiter((len(c) for c in children), dtype=np.intp, count=n_nodes),
+            out=indptr[1:],
+        )
+    indices = np.fromiter(
+        chain.from_iterable(children), dtype=np.intp, count=int(indptr[-1])
+    )
+    return indptr, indices
 
 
 class StructureBuilder:
@@ -101,31 +200,44 @@ class StructureBuilder:
             )
         # Every materialized non-seed node must have at least one gate,
         # otherwise it could never be reached by the traversal.
-        seeds = set(self.static_seeds)
-        for node in materialized:
-            node = int(node)
-            if node in seeds or self.seed_selector is not None:
-                continue
-            if forall_count[node] == 0 and not exists_gated[node]:
-                raise IndexConstructionError(
-                    f"node {node} is unreachable: no gates and not a seed"
-                )
+        if self.seed_selector is None and materialized.shape[0]:
+            gateless = (forall_count[materialized] == 0) & ~exists_gated[materialized]
+            if np.any(gateless):
+                seeds = set(self.static_seeds)
+                unreachable = [
+                    int(node)
+                    for node in materialized[gateless]
+                    if int(node) not in seeds
+                ]
+                if unreachable:
+                    raise IndexConstructionError(
+                        f"node {unreachable[0]} is unreachable: "
+                        "no gates and not a seed"
+                    )
+
+        forall_indptr, forall_indices = _lists_to_csr(forall_children, n_nodes)
+        exists_indptr, exists_indices = _lists_to_csr(exists_children, n_nodes)
+
+        coarse_levels = np.full(n_nodes, -1, dtype=np.int64)
+        fine_levels = np.full(n_nodes, -1, dtype=np.int64)
+        for node, coarse in self.coarse_of.items():
+            coarse_levels[node] = coarse
+        for node, fine in self.fine_of.items():
+            fine_levels[node] = fine
 
         return LayerStructure(
             values=values,
             n_real=self.n_real,
             forall_parent_count=forall_count,
-            forall_children=[
-                np.asarray(children, dtype=np.intp) for children in forall_children
-            ],
+            forall_indptr=forall_indptr,
+            forall_indices=forall_indices,
             exists_gated=exists_gated,
-            exists_children=[
-                np.asarray(children, dtype=np.intp) for children in exists_children
-            ],
-            static_seeds=np.asarray(sorted(seeds), dtype=np.intp),
+            exists_indptr=exists_indptr,
+            exists_indices=exists_indices,
+            static_seeds=np.asarray(sorted(set(self.static_seeds)), dtype=np.intp),
             seed_selector=self.seed_selector,
-            coarse_of=dict(self.coarse_of),
-            fine_of=dict(self.fine_of),
+            coarse_levels=coarse_levels,
+            fine_levels=fine_levels,
             num_coarse_layers=self.num_coarse_layers,
             complete=self.complete,
         )
@@ -144,6 +256,12 @@ class LayerStructure:
     selectors installed via ``seed_selector`` must likewise be stateless
     (both shipped selectors — static seeds and the 2-D weight-range binary
     search — are).
+
+    Adjacency is CSR (see the module docstring): ``forall_indptr`` /
+    ``forall_indices`` and ``exists_indptr`` / ``exists_indices`` are the
+    flat layout the vectorized kernel slices; :attr:`forall_children` and
+    :attr:`exists_children` are per-node views over the same arrays for
+    callers that still walk one node at a time.
     """
 
     def __init__(
@@ -152,32 +270,55 @@ class LayerStructure:
         values: np.ndarray,
         n_real: int,
         forall_parent_count: np.ndarray,
-        forall_children: list[np.ndarray],
+        forall_indptr: np.ndarray,
+        forall_indices: np.ndarray,
         exists_gated: np.ndarray,
-        exists_children: list[np.ndarray],
+        exists_indptr: np.ndarray,
+        exists_indices: np.ndarray,
         static_seeds: np.ndarray,
         seed_selector: Callable[[np.ndarray], np.ndarray] | None,
-        coarse_of: dict[int, int],
-        fine_of: dict[int, int],
+        coarse_levels: np.ndarray,
+        fine_levels: np.ndarray,
         num_coarse_layers: int,
         complete: bool,
     ) -> None:
         self.values = values
         self.n_real = n_real
         self.forall_parent_count = forall_parent_count
-        self.forall_children = forall_children
+        self.forall_indptr = forall_indptr
+        self.forall_indices = forall_indices
         self.exists_gated = exists_gated
-        self.exists_children = exists_children
+        self.exists_indptr = exists_indptr
+        self.exists_indices = exists_indices
         self.static_seeds = static_seeds
         self.seed_selector = seed_selector
-        self.coarse_of = coarse_of
-        self.fine_of = fine_of
+        self.coarse_levels = coarse_levels
+        self.fine_levels = fine_levels
         self.num_coarse_layers = num_coarse_layers
         self.complete = complete
         # Lazily extracted ``values[static_seeds]`` block shared by every
         # query (see :meth:`seed_block`); benign to race on — all writers
         # compute the identical array.
         self._seed_values: np.ndarray | None = None
+        # Lazy Python-list copies of the CSR indptrs (see
+        # :meth:`csr_indptr_lists`); same benign-race caching contract.
+        self._indptr_lists: tuple[list[int], list[int]] | None = None
+        # Lazy fused gate-state template (see :meth:`gate_state_template`).
+        self._gate_state: np.ndarray | None = None
+
+    def __getstate__(self) -> dict:
+        """Drop the lazily derived caches; they rebuild on first use."""
+        state = self.__dict__.copy()
+        state["_seed_values"] = None
+        state["_indptr_lists"] = None
+        state["_gate_state"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state.setdefault("_seed_values", None)
+        state.setdefault("_indptr_lists", None)
+        state.setdefault("_gate_state", None)
+        self.__dict__.update(state)
 
     @property
     def n_nodes(self) -> int:
@@ -188,6 +329,26 @@ class LayerStructure:
     def n_pseudo(self) -> int:
         """Number of zero-layer pseudo-tuples."""
         return self.n_nodes - self.n_real
+
+    @property
+    def forall_children(self) -> CSRAdjacency:
+        """Per-node view of the ∀-child CSR arrays."""
+        return CSRAdjacency(self.forall_indptr, self.forall_indices)
+
+    @property
+    def exists_children(self) -> CSRAdjacency:
+        """Per-node view of the ∃-child CSR arrays."""
+        return CSRAdjacency(self.exists_indptr, self.exists_indices)
+
+    @property
+    def coarse_of(self) -> LayerLevelMap:
+        """Dict-compatible view over :attr:`coarse_levels`."""
+        return LayerLevelMap(self.coarse_levels)
+
+    @property
+    def fine_of(self) -> LayerLevelMap:
+        """Dict-compatible view over :attr:`fine_levels`."""
+        return LayerLevelMap(self.fine_levels)
 
     def is_pseudo(self, node: int) -> bool:
         """True for zero-layer nodes (never emitted as answers)."""
@@ -208,9 +369,49 @@ class LayerStructure:
             self._seed_values = self.values[self.static_seeds]
         return self.static_seeds, self._seed_values
 
+    def csr_indptr_lists(self) -> tuple[list[int], list[int]]:
+        """``(forall_indptr, exists_indptr)`` as cached Python lists.
+
+        The traversal does two bounds lookups per gate per pop; plain-list
+        indexing with Python ints is several times cheaper than numpy
+        scalar extraction, so the kernel reads bounds from these lists and
+        slices the flat index arrays with the resulting native ints.  Built
+        once per structure and shared by every query (excluded from pickles
+        and rebuilt on first use).
+        """
+        cached = self._indptr_lists
+        if cached is None:
+            cached = (self.forall_indptr.tolist(), self.exists_indptr.tolist())
+            self._indptr_lists = cached
+        return cached
+
+    def gate_state_template(self) -> np.ndarray:
+        """Initial per-node gate state fused into one integer array.
+
+        The vectorized kernel encodes all three per-query gate facts in a
+        single integer per node (see the :mod:`repro.core.query` docstring):
+
+        ``state[v] = forall_parent_count[v] + (n_nodes + 1) * exists_gated[v]``
+
+        A node is ready exactly when its state reaches 0; enqueueing stamps
+        the sentinel ``-1`` so it can never re-open.  Built once per
+        structure (``int32`` unless the node count forces 64-bit) and
+        ``copy()``-ed per query — one array copy instead of a counter copy
+        plus two boolean allocations.  Excluded from pickles and rebuilt on
+        first use.
+        """
+        cached = self._gate_state
+        if cached is None:
+            # Max state = parent count + offset <= 2 * n_nodes + 1.
+            dtype = np.int32 if self.n_nodes < 2**30 else np.int64
+            cached = self.forall_parent_count.astype(dtype)
+            cached[self.exists_gated] += self.n_nodes + 1
+            self._gate_state = cached
+        return cached
+
     def edge_counts(self) -> dict[str, int]:
-        """Diagnostics: number of ∀- and ∃-edges in the graph."""
+        """Diagnostics: number of ∀- and ∃-edges in the graph (O(1))."""
         return {
-            "forall_edges": int(sum(c.shape[0] for c in self.forall_children)),
-            "exists_edges": int(sum(c.shape[0] for c in self.exists_children)),
+            "forall_edges": int(self.forall_indptr[-1]),
+            "exists_edges": int(self.exists_indptr[-1]),
         }

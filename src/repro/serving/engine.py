@@ -35,7 +35,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.core.base import TopKIndex, TopKResult
-from repro.core.query import process_top_k
+from repro.core.query import process_top_k, process_top_k_reference
 from repro.exceptions import InvalidQueryError, InvalidWeightError
 from repro.relation import normalize_weights
 from repro.serving.cache import ResultCache
@@ -60,6 +60,15 @@ class QueryEngine:
         :class:`~repro.serving.cache.ResultCache`).
     latency_window:
         Sliding-window size for latency percentiles.
+    kernel:
+        ``"csr"`` (default) serves gated-structure queries through the
+        vectorized :func:`~repro.core.query.process_top_k`; ``"reference"``
+        routes them through the per-node
+        :func:`~repro.core.query.process_top_k_reference` oracle instead.
+        Both kernels return bitwise-identical answers, so this switch only
+        changes wall-clock behaviour — it exists for A/B latency
+        measurements (``repro-topk perf-bench``) and for ruling the
+        vectorized kernel in or out when debugging.
     """
 
     def __init__(
@@ -69,10 +78,19 @@ class QueryEngine:
         cache_size: int = 1024,
         quantize_decimals: int = 12,
         latency_window: int = 4096,
+        kernel: str = "csr",
     ) -> None:
+        if kernel not in ("csr", "reference"):
+            raise InvalidQueryError(
+                f"kernel must be 'csr' or 'reference', got {kernel!r}"
+            )
         if isinstance(index, TopKIndex) and not index._built:
             index.build()
         self.index = index
+        self.kernel = kernel
+        self._process = (
+            process_top_k if kernel == "csr" else process_top_k_reference
+        )
         self.cache = ResultCache(cache_size, decimals=quantize_decimals)
         self.metrics = MetricsRegistry(latency_window=latency_window)
         self._seen_version = self.version
@@ -197,8 +215,9 @@ class QueryEngine:
         if isinstance(self.index, TopKIndex):
             if structure is not None:
                 # Gated layer index: traverse the frozen structure directly
-                # (skips re-validation; exact same path as process_top_k).
-                return process_top_k(structure, w, k, counter)
+                # with the configured kernel (skips re-validation; bitwise
+                # the same answers either way).
+                return self._process(structure, w, k, counter)
             result = self.index.query(w, k, counter=counter)
             return result.ids, result.scores
         # Duck-typed mutable index (DynamicDualLayerIndex): returns ids

@@ -57,16 +57,23 @@ def dominates_any(points: np.ndarray, against: np.ndarray) -> np.ndarray:
 def dominance_matrix(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
     """Boolean matrix ``M[i, j]`` = row ``i`` of ``rows`` dominates row ``j`` of ``cols``.
 
-    Used to wire ∀-dominance edges between adjacent coarse layers; both
-    inputs are layer-sized, so the dense matrix stays small.
+    Used to wire ∀-dominance edges between adjacent coarse layers.  The
+    output matrix is dense ``(m, n)``, but the ``(m, n, d)`` broadcast
+    intermediates are built in :data:`_CHUNK`-row blocks of ``rows`` so
+    peak memory stays bounded even when two adjacent coarse layers are
+    large (anti-correlated data at scale).
     """
     rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
     cols = np.atleast_2d(np.asarray(cols, dtype=np.float64))
+    result = np.zeros((rows.shape[0], cols.shape[0]), dtype=bool)
     if rows.shape[0] == 0 or cols.shape[0] == 0:
-        return np.zeros((rows.shape[0], cols.shape[0]), dtype=bool)
-    leq = np.all(rows[:, None, :] <= cols[None, :, :], axis=2)
-    lt = np.any(rows[:, None, :] < cols[None, :, :], axis=2)
-    return leq & lt
+        return result
+    for start in range(0, rows.shape[0], _CHUNK):
+        block = rows[start : start + _CHUNK]
+        leq = np.all(block[:, None, :] <= cols[None, :, :], axis=2)
+        lt = np.any(block[:, None, :] < cols[None, :, :], axis=2)
+        result[start : start + _CHUNK] = leq & lt
+    return result
 
 
 def dominators_of(point: np.ndarray, candidates: np.ndarray) -> np.ndarray:

@@ -150,3 +150,32 @@ def test_run_sweep_fresh_workloads_get_their_own_indexes():
     for value, cell in zip([1, 2, 3], sweep.series["SCAN"]):
         assert cell.n == sizes[value]
         assert cell.mean_cost == float(sizes[value])
+
+
+def test_measure_cost_records_latency(workload):
+    """Cells carry wall-clock stats from the same stream as the cost."""
+    index = build_index(ScanIndex, workload)
+    cell = measure_cost(index, workload, 3)
+    assert cell.mean_ms > 0.0
+    assert cell.p95_ms > 0.0
+    assert cell.p95_ms >= cell.mean_ms * 0.5  # sane relationship, no units slip
+
+
+def test_cell_result_latency_defaults():
+    """Cells built without latency kwargs (pickled sweeps from before the
+    fields existed, figure scripts) default to zero."""
+    from repro.bench.harness import CellResult
+
+    cell = CellResult(
+        algorithm="scan",
+        distribution="IND",
+        n=10,
+        d=2,
+        k=1,
+        mean_cost=10.0,
+        min_cost=10,
+        max_cost=10,
+        mean_real=10.0,
+        mean_pseudo=0.0,
+    )
+    assert cell.mean_ms == 0.0 and cell.p95_ms == 0.0

@@ -1,0 +1,60 @@
+"""Wall-clock benchmark suite: smoke coverage at miniature scale."""
+
+import json
+
+from repro.bench.wallclock import (
+    KERNELS,
+    WallclockCell,
+    KernelTiming,
+    run_wallclock,
+    write_report,
+)
+
+
+def test_run_wallclock_smoke(tmp_path):
+    report = run_wallclock(
+        distributions=("IND",),
+        dims=(2,),
+        sizes=(500,),
+        k=5,
+        queries=4,
+        repeats=1,
+        seed=7,
+    )
+    assert report["suite"] == "wallclock"
+    assert len(report["cells"]) == 1
+    cell = report["cells"][0]
+    assert cell["distribution"] == "IND" and cell["n"] == 500
+    assert set(cell["kernels"]) == set(KERNELS)
+    for timing in cell["kernels"].values():
+        assert timing["p50_ms"] > 0
+        assert timing["p95_ms"] >= timing["p50_ms"]
+    assert cell["speedup_p50"] > 0
+    assert cell["mean_cost"] >= 5  # at least k tuples are evaluated
+
+    out = tmp_path / "BENCH_query.json"
+    write_report(report, str(out))
+    assert json.loads(out.read_text()) == report
+
+
+def test_wallclock_grid_covers_all_cells(tmp_path):
+    report = run_wallclock(
+        distributions=("IND", "ANT"),
+        dims=(2, 3),
+        sizes=(200,),
+        k=3,
+        queries=2,
+        repeats=1,
+        seed=11,
+    )
+    combos = {(c["distribution"], c["d"], c["n"]) for c in report["cells"]}
+    assert combos == {("IND", 2, 200), ("IND", 3, 200), ("ANT", 2, 200), ("ANT", 3, 200)}
+
+
+def test_speedup_property():
+    cell = WallclockCell(
+        distribution="IND", d=2, n=10, k=1, build_seconds=0.0, mean_cost=1.0
+    )
+    cell.kernels["reference"] = KernelTiming(p50_ms=2.0, p95_ms=3.0, mean_ms=2.0)
+    cell.kernels["csr"] = KernelTiming(p50_ms=0.5, p95_ms=1.0, mean_ms=0.6)
+    assert cell.speedup_p50 == 4.0

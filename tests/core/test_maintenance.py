@@ -175,3 +175,81 @@ def test_dg_mode_dynamic(rng):
     _, scores = index.query(w, 5)
     _, ref = top_k_bruteforce(matrix, w, 5)
     np.testing.assert_allclose(scores, ref, atol=1e-12)
+
+
+STRUCTURE_ARRAYS = [
+    "values",
+    "forall_parent_count",
+    "forall_indptr",
+    "forall_indices",
+    "exists_gated",
+    "exists_indptr",
+    "exists_indices",
+    "static_seeds",
+    "coarse_levels",
+    "fine_levels",
+]
+
+
+def force_rebuild(index: DynamicDualLayerIndex):
+    """Drop the cached structure and rebuild it from the partition."""
+    index._structure = None
+    with index._rebuild_lock:
+        index._rebuild_structure()
+    return index._structure
+
+
+def test_csr_splice_matches_rebuild(rng):
+    """Demotion-free DG-mode inserts patch the CSR arrays in place, and the
+    patched structure is array-for-array identical to a from-scratch
+    rebuild of the updated partition."""
+    index = DynamicDualLayerIndex(d=3, fine_sublayers=False)
+    for row in rng.random((120, 3)):
+        index.insert(row)
+    index.query(np.full(3, 1 / 3), 5)  # materialize the structure
+    verified = 0
+    for row in rng.random((120, 3)):
+        before = index.patched_inserts
+        index.insert(row)
+        if index.patched_inserts == before:
+            index.query(np.full(3, 1 / 3), 5)  # demoted: rebuild and go on
+            continue
+        spliced, id_map = index._structure, index._id_map.copy()
+        rebuilt = force_rebuild(index)
+        for name in STRUCTURE_ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(spliced, name), getattr(rebuilt, name), err_msg=name
+            )
+        assert spliced.n_real == rebuilt.n_real
+        assert spliced.num_coarse_layers == rebuilt.num_coarse_layers
+        np.testing.assert_array_equal(id_map, index._id_map)
+        verified += 1
+    assert verified > 0  # random uniform inserts must hit the fast path
+
+
+def test_csr_splice_queries_stay_correct(rng):
+    """Queries through a spliced structure match brute force exactly."""
+    index = DynamicDualLayerIndex(d=2, fine_sublayers=False)
+    for row in rng.random((60, 2)):
+        index.insert(row)
+    index.query(np.array([0.5, 0.5]), 5)
+    for row in rng.random((40, 2)):
+        index.insert(row)
+        matrix, _ = live_matrix(index)
+        w = rng.dirichlet(np.ones(2))
+        _, scores = index.query(w, 8)
+        _, ref = top_k_bruteforce(matrix, w, 8)
+        np.testing.assert_allclose(scores, ref, atol=1e-12)
+    assert index.patched_inserts > 0
+
+
+def test_splice_skipped_with_fine_sublayers(rng):
+    """Full dual-resolution mode always takes the lazy-rebuild path (the
+    fine sublayers of the target layer would need re-peeling)."""
+    index = DynamicDualLayerIndex(d=3, fine_sublayers=True)
+    for row in rng.random((80, 3)):
+        index.insert(row)
+    index.query(np.full(3, 1 / 3), 5)
+    for row in rng.random((20, 3)):
+        index.insert(row)
+    assert index.patched_inserts == 0

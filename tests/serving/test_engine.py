@@ -182,3 +182,22 @@ def test_stats_snapshot_merges_cache_and_metrics():
     assert stats["cache_hits"] == 1.0
     assert stats["queries"] == 2.0
     assert stats["throughput_qps"] > 0.0
+
+
+def test_engine_kernel_selector():
+    """The reference-kernel engine serves byte-identical answers to the
+    default CSR engine; an unknown kernel name is rejected."""
+    relation = generate("IND", 400, 3, seed=21)
+    index = DLPlusIndex(relation).build()
+    csr = QueryEngine(index, cache_size=0)
+    ref = QueryEngine(index, cache_size=0, kernel="reference")
+    rng = np.random.default_rng(22)
+    for _ in range(5):
+        w = rng.dirichlet(np.ones(3))
+        a = csr.query(w, 10)
+        b = ref.query(w, 10)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        assert a.scores.tobytes() == b.scores.tobytes()
+        assert a.cost == b.cost
+    with pytest.raises(InvalidQueryError):
+        QueryEngine(index, kernel="simd")

@@ -68,3 +68,17 @@ def test_dominates_any_chunking_consistency(rng):
     mask = dominates_any(points, against)
     naive = np.array([is_dominated(p, against) for p in points])
     np.testing.assert_array_equal(mask, naive)
+
+
+def test_dominance_matrix_chunking_consistency(rng, monkeypatch):
+    """Chunked matrix equals the one-shot dense broadcast."""
+    from repro.skyline import dominance
+
+    rows = rng.random((700, 3))
+    cols = rng.random((90, 3))
+    full = dominance_matrix(rows, cols)
+    monkeypatch.setattr(dominance, "_CHUNK", 64)  # force many blocks
+    chunked = dominance_matrix(rows, cols)
+    np.testing.assert_array_equal(full, chunked)
+    naive = np.array([[dominates(r, c) for c in cols] for r in rows])
+    np.testing.assert_array_equal(full, naive)
