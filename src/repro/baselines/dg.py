@@ -32,7 +32,8 @@ class DGPlusIndex(DLPlusIndex):
         relation: Relation,
         *,
         max_layers: int | None = None,
-        skyline_algorithm: str = "sfs",
+        skyline_algorithm: str = "blocked",
+        parallel: int | None = None,
         clusters: int | None = None,
         seed: int = 0,
     ) -> None:
@@ -42,6 +43,7 @@ class DGPlusIndex(DLPlusIndex):
             relation,
             max_layers=max_layers,
             skyline_algorithm=skyline_algorithm,
+            parallel=parallel,
             clusters=clusters,
             zero_layer="clusters",
             seed=seed,

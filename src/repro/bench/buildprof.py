@@ -1,0 +1,230 @@
+"""Build-pipeline benchmark: per-stage wall-clock, speedups, equality oracle.
+
+Times Algorithm 1 in its three incarnations on the same relation:
+
+* **reference** — the original per-node build
+  (:func:`repro.core.build_reference.build_dual_layer_reference`) in its
+  original configuration (iterated ``sfs`` coarse peel), the "before" and
+  the correctness oracle.  Shared primitives the pipeline also sped up
+  (batched EDS, the dominance kernels) still benefit the reference, so
+  the reported speedups are *lower bounds* on the improvement over the
+  true pre-pipeline code;
+* **sequential** — the vectorized staged pipeline
+  (:func:`repro.core.build.build_dual_layer`), in-process;
+* **parallel** — the same pipeline with ``parallel=N`` pool workers over a
+  shared points buffer.
+
+Every benchmarked configuration's sequential *and* parallel structures are
+asserted array-equal (CSR indptr/indices, levels, seeds — via
+:func:`repro.core.structure.layer_structures_equal`) to the reference
+structure before any timing is reported, the same oracle discipline the
+query-kernel benchmark (:mod:`repro.bench.wallclock`) applies: a run that
+produced a wrong structure can never report a speedup.
+
+Per-mode results carry the :data:`repro.core.build.BUILD_STAGES` breakdown
+(coarse peel, fine peel, EDS, ∀-gates, freeze).  ``cpu_count`` is recorded
+in the report because the parallel mode's wall-clock is only meaningful
+relative to the cores actually available — on a single-core host it can
+only match the sequential build plus pool overhead.
+
+The default grid is the acceptance cell (IND, d=4, n=100k, ``max_layers``
+10); the CLI (``repro-topk build-bench``) scales every axis down for smoke
+runs (CI uses n=5000).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.bench.workload import Workload
+from repro.core.build import BUILD_STAGES
+from repro.core.build_reference import build_dual_layer_reference
+from repro.core.structure import layer_structures_equal
+
+#: The acceptance grid (matches the committed BENCH_build.json).
+DEFAULT_DISTRIBUTIONS = ("IND",)
+DEFAULT_DIMS = (4,)
+DEFAULT_SIZES = (100_000,)
+
+#: Mode names in report order.
+MODES = ("reference", "sequential", "parallel")
+
+
+def _build_index(index_class, relation, *, max_layers, parallel, reference):
+    """Build one index through the requested pipeline; returns the index."""
+    kwargs = {"max_layers": max_layers, "parallel": parallel}
+    if reference:
+        # The baseline is the *seed* configuration: iterated sfs peel, not
+        # the blocked partition the index now defaults to — otherwise the
+        # "before" silently inherits the pipeline's peel speedup and the
+        # reported ratio understates the work.
+        kwargs["skyline_algorithm"] = "sfs"
+    index = index_class(relation, **kwargs)
+    if reference:
+        # Swap the construction hook on the instance: everything around it
+        # (zero layers, stats, freezing) runs the production code path.
+        # (Instance attributes don't bind, so the plain function is called
+        # exactly like the class-level staticmethod.)
+        index._build_dual_layer = build_dual_layer_reference
+    return index.build()
+
+
+def run_build_bench(
+    *,
+    distributions=DEFAULT_DISTRIBUTIONS,
+    dims=DEFAULT_DIMS,
+    sizes=DEFAULT_SIZES,
+    max_layers: int = 10,
+    parallel: int = 4,
+    seed: int = 20120401,
+    algorithms=("DL", "DL+"),
+    include_reference: bool = True,
+    progress=None,
+) -> dict:
+    """Run the grid; returns the JSON-serializable report.
+
+    ``progress`` is an optional ``callable(str)`` fed one line per
+    (algorithm, cell); the CLI passes ``print``.
+    """
+    from repro import ALGORITHMS
+
+    cells = []
+    for algorithm in algorithms:
+        index_class = ALGORITHMS[algorithm]
+        for distribution in distributions:
+            for d in dims:
+                for n in sizes:
+                    workload = Workload.make(distribution, n, d, 1, seed)
+                    relation = workload.relation
+                    modes: dict[str, dict] = {}
+                    structures: dict[str, object] = {}
+
+                    plan = [("sequential", None, False), ("parallel", parallel, False)]
+                    if include_reference:
+                        plan.insert(0, ("reference", None, True))
+                    for mode, workers, use_reference in plan:
+                        start = time.perf_counter()
+                        index = _build_index(
+                            index_class,
+                            relation,
+                            max_layers=max_layers,
+                            parallel=workers,
+                            reference=use_reference,
+                        )
+                        build_seconds = time.perf_counter() - start
+                        structures[mode] = index.structure
+                        entry = {
+                            "build_seconds": round(build_seconds, 3),
+                            "stage_seconds": {
+                                stage: round(seconds, 3)
+                                for stage, seconds in (
+                                    index.build_stats.stage_seconds or {}
+                                ).items()
+                            },
+                        }
+                        if mode == "parallel":
+                            entry["workers"] = workers
+                        modes[mode] = entry
+
+                    # Oracle: both pipeline structures must be array-equal
+                    # to each other and (when run) to the per-node build.
+                    oracle = structures.get("reference", structures["sequential"])
+                    arrays_equal = all(
+                        layer_structures_equal(oracle, structures[mode])
+                        for mode in structures
+                    )
+                    if not arrays_equal:
+                        raise AssertionError(
+                            f"build mismatch: pipeline structures disagree for "
+                            f"{algorithm} {distribution} d={d} n={n}"
+                        )
+
+                    cell = {
+                        "algorithm": algorithm,
+                        "distribution": distribution,
+                        "d": d,
+                        "n": n,
+                        "max_layers": max_layers,
+                        "modes": modes,
+                        "arrays_equal": arrays_equal,
+                    }
+                    base = modes.get("reference")
+                    if base is not None:
+                        for mode in ("sequential", "parallel"):
+                            ratio = (
+                                base["build_seconds"] / modes[mode]["build_seconds"]
+                                if modes[mode]["build_seconds"] > 0
+                                else float("inf")
+                            )
+                            cell[f"speedup_{mode}"] = round(ratio, 2)
+                    cells.append(cell)
+                    if progress is not None:
+                        parts = [
+                            f"{mode} {modes[mode]['build_seconds']:.1f}s"
+                            for mode in MODES
+                            if mode in modes
+                        ]
+                        suffix = (
+                            f" ({cell['speedup_sequential']:.2f}x seq, "
+                            f"{cell['speedup_parallel']:.2f}x par)"
+                            if base is not None
+                            else ""
+                        )
+                        progress(
+                            f"{algorithm} {distribution} d={d} n={n}: "
+                            + ", ".join(parts)
+                            + suffix
+                        )
+    return {
+        "suite": "build",
+        "max_layers": max_layers,
+        "parallel": parallel,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "stages": list(BUILD_STAGES),
+        "cells": cells,
+    }
+
+
+def validate_build_report(report: dict) -> None:
+    """Schema check for a build-bench report; raises ``ValueError`` on drift.
+
+    Used by CI after the smoke run and available to consumers that load a
+    committed ``BENCH_build.json``.
+    """
+    for key in ("suite", "max_layers", "parallel", "seed", "cpu_count", "cells"):
+        if key not in report:
+            raise ValueError(f"build report missing key {key!r}")
+    if report["suite"] != "build":
+        raise ValueError(f"unexpected suite {report['suite']!r}")
+    if not report["cells"]:
+        raise ValueError("build report has no cells")
+    for cell in report["cells"]:
+        for key in ("algorithm", "distribution", "d", "n", "modes", "arrays_equal"):
+            if key not in cell:
+                raise ValueError(f"build cell missing key {key!r}")
+        if cell["arrays_equal"] is not True:
+            raise ValueError(
+                f"cell {cell['algorithm']}/{cell['distribution']}/d={cell['d']}"
+                f"/n={cell['n']} is not array-equal"
+            )
+        if "sequential" not in cell["modes"] or "parallel" not in cell["modes"]:
+            raise ValueError("build cell must time sequential and parallel modes")
+        for mode, entry in cell["modes"].items():
+            if "build_seconds" not in entry:
+                raise ValueError(f"mode {mode!r} missing build_seconds")
+            if entry["build_seconds"] < 0:
+                raise ValueError(f"mode {mode!r} has negative build_seconds")
+            stages = entry.get("stage_seconds", {})
+            unknown = set(stages) - set(BUILD_STAGES)
+            if unknown:
+                raise ValueError(f"mode {mode!r} has unknown stages {unknown}")
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write the report as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -43,6 +43,11 @@ class CellResult:
     mean_pseudo: float
     mean_ms: float = 0.0
     p95_ms: float = 0.0
+    #: Total build wall-clock and its per-stage breakdown (see
+    #: repro.core.build.BUILD_STAGES); 0.0/empty for cells measured on
+    #: pre-built indexes or index types without the staged pipeline.
+    build_seconds: float = 0.0
+    build_stage_seconds: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -106,6 +111,10 @@ def measure_cost(index: TopKIndex, workload: Workload, k: int) -> CellResult:
         mean_pseudo=float(np.mean(pseudos)),
         mean_ms=float(np.mean(latencies_ms)),
         p95_ms=percentile(latencies_ms, 95.0),
+        build_seconds=float(index.build_stats.seconds),
+        build_stage_seconds=dict(
+            getattr(index.build_stats, "stage_seconds", {}) or {}
+        ),
     )
 
 

@@ -65,6 +65,10 @@ class WallclockCell:
     k: int
     build_seconds: float
     mean_cost: float
+    #: Per-pipeline-stage breakdown of build_seconds (empty when the index
+    #: type doesn't run the staged pipeline) — lets future runs see *which*
+    #: stage regressed, not just the total.
+    build_stage_seconds: dict[str, float] = field(default_factory=dict)
     kernels: dict[str, KernelTiming] = field(default_factory=dict)
 
     @property
@@ -155,6 +159,12 @@ def run_wallclock(
                     k=k,
                     build_seconds=round(build_seconds, 3),
                     mean_cost=round(mean_cost, 2),
+                    build_stage_seconds={
+                        stage: round(seconds, 3)
+                        for stage, seconds in getattr(
+                            index.build_stats, "stage_seconds", {}
+                        ).items()
+                    },
                 )
                 for name, kernel in KERNELS.items():
                     # One untimed pass warms caches (seed block, indptr

@@ -12,6 +12,7 @@ Examples::
     repro-topk compare --distribution ANT --n 5000 --d 4 --k 10
     repro-topk serve-bench --n 20000 --queries 256 --distinct 16
     repro-topk perf-bench --sizes 10000,100000 --out BENCH_query.json
+    repro-topk build-bench --sizes 100000 --parallel 4 --out BENCH_build.json
 """
 
 from __future__ import annotations
@@ -44,6 +45,7 @@ def main(argv: list[str] | None = None) -> int:
         "sql": _cmd_sql,
         "serve-bench": _cmd_serve_bench,
         "perf-bench": _cmd_perf_bench,
+        "build-bench": _cmd_build_bench,
     }[args.command]
     return handler(args)
 
@@ -146,6 +148,35 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--seed", type=int, default=20120401)
     perf.add_argument(
         "--out", default="BENCH_query.json", help="output JSON report path"
+    )
+
+    buildb = commands.add_parser(
+        "build-bench",
+        help="profile Algorithm 1: reference vs vectorized vs parallel build",
+    )
+    buildb.add_argument(
+        "--distributions", default="IND", help="comma-separated, e.g. IND,ANT"
+    )
+    buildb.add_argument("--dims", default="4", help="comma-separated dimensionalities")
+    buildb.add_argument(
+        "--sizes", default="100000", help="comma-separated cardinalities"
+    )
+    buildb.add_argument("--max-layers", type=int, default=10)
+    buildb.add_argument(
+        "--parallel", type=int, default=4, help="worker count for the parallel mode"
+    )
+    buildb.add_argument(
+        "--algorithms", default="DL,DL+", help="comma-separated index names"
+    )
+    buildb.add_argument(
+        "--skip-reference",
+        action="store_true",
+        help="skip the per-node oracle build (smoke runs still check "
+        "sequential vs parallel equality)",
+    )
+    buildb.add_argument("--seed", type=int, default=20120401)
+    buildb.add_argument(
+        "--out", default="BENCH_build.json", help="output JSON report path"
     )
 
     compare = commands.add_parser(
@@ -391,6 +422,30 @@ def _cmd_perf_bench(args: argparse.Namespace) -> int:
         algorithm=args.algorithm,
         progress=print,
     )
+    write_report(report, args.out)
+    print(f"wrote {len(report['cells'])} cells to {args.out}")
+    return 0
+
+
+def _cmd_build_bench(args: argparse.Namespace) -> int:
+    from repro.bench.buildprof import (
+        run_build_bench,
+        validate_build_report,
+        write_report,
+    )
+
+    report = run_build_bench(
+        distributions=tuple(s for s in args.distributions.split(",") if s),
+        dims=tuple(int(s) for s in args.dims.split(",") if s),
+        sizes=tuple(int(s) for s in args.sizes.split(",") if s),
+        max_layers=args.max_layers,
+        parallel=args.parallel,
+        seed=args.seed,
+        algorithms=tuple(s for s in args.algorithms.split(",") if s),
+        include_reference=not args.skip_reference,
+        progress=print,
+    )
+    validate_build_report(report)
     write_report(report, args.out)
     print(f"wrote {len(report['cells'])} cells to {args.out}")
     return 0

@@ -90,10 +90,28 @@ def assign_covering_facets(
         else None
     )
 
+    # Fast path 2 (batched): one (targets × facets) ray matrix resolves the
+    # exit facet for every target at once; only near-ties and misses drop to
+    # the per-target machinery below.  ``unique_members`` caches each facet's
+    # sorted member set so hit targets share one array per facet.
+    if ray_ready:
+        ray_hit, exit_facet = _batched_exit_facets(
+            target_points, normals, offsets, denom, mins, tol
+        )
+        unique_members: dict[int, np.ndarray] = {}
+
     assignments: list[np.ndarray] = []
     for t in range(n_targets):
         if single_parent[t] >= 0:
             assignments.append(np.asarray([single_parent[t]], dtype=np.intp))
+            continue
+        if ray_ready and ray_hit[t]:
+            facet_pos = int(exit_facet[t])
+            chosen = unique_members.get(facet_pos)
+            if chosen is None:
+                chosen = np.unique(equipped[facet_pos].members).astype(np.intp)
+                unique_members[facet_pos] = chosen
+            assignments.append(chosen)
             continue
         target = target_points[t]
         chosen = _exit_facet_members(
@@ -121,6 +139,50 @@ def assign_covering_facets(
             )
         assignments.append(np.asarray(chosen, dtype=np.intp))
     return assignments
+
+
+#: Target rows per block in :func:`_batched_exit_facets`; bounds the
+#: (block × facets) ray-matrix intermediates.
+_RAY_BLOCK = 2048
+
+
+def _batched_exit_facets(
+    target_points: np.ndarray,
+    normals: np.ndarray,
+    offsets: np.ndarray,
+    denom: np.ndarray,
+    facet_mins: np.ndarray,
+    tol: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized single-exit-facet resolution for a whole target batch.
+
+    Returns ``(hit, facet)``: ``hit[t]`` is True when target ``t``'s downward
+    ray exits through exactly one facet (no near-ties) whose componentwise
+    member minimum clears the same necessary condition
+    :func:`_exit_facet_members` checks — for those targets the assignment is
+    ``unique(members)`` of ``facet[t]``, byte-identical to the per-target
+    path.  Ties and misses stay ``hit = False`` and take the slow path.
+    """
+    n_targets = target_points.shape[0]
+    hit = np.zeros(n_targets, dtype=bool)
+    exit_facet = np.zeros(n_targets, dtype=np.intp)
+    mtol = max(tol, 1e-7)
+    for start in range(0, n_targets, _RAY_BLOCK):
+        block = target_points[start : start + _RAY_BLOCK]
+        s_matrix = (block @ normals.T + offsets[None, :]) / denom[None, :]
+        s_masked = np.where(s_matrix >= -tol, s_matrix, np.inf)
+        f_star = np.argmin(s_masked, axis=1)
+        rows = np.arange(block.shape[0])
+        s_star = s_masked[rows, f_star]
+        ties = np.count_nonzero(s_masked <= s_star[:, None] + 1e-9, axis=1)
+        ok = (
+            np.isfinite(s_star)
+            & (ties == 1)
+            & ~np.any(facet_mins[f_star] > block + mtol, axis=1)
+        )
+        hit[start : start + _RAY_BLOCK] = ok
+        exit_facet[start : start + _RAY_BLOCK] = f_star
+    return hit, exit_facet
 
 
 def _exit_facet_members(

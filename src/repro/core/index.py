@@ -41,32 +41,42 @@ class DLIndex(TopKIndex):
         ``k <= max_layers``.  Benchmarks use this to build exactly the
         layers a workload can reach.
     skyline_algorithm:
-        Coarse-layer skyline routine (``sfs`` default, ``bnl``,
-        ``bskytree``).
+        Coarse-layer skyline routine (``blocked`` default; ``sfs``, ``bnl``
+        and ``bskytree`` run the classic iterated peel — the partition is
+        identical either way).
+    parallel:
+        ``N > 1`` builds through the shared-memory worker pool (array-equal
+        to the sequential build); ``None``/``1`` builds in-process.
     """
 
     name = "DL"
     _fine_sublayers = True
+    #: Hook for tests/benchmarks to substitute a build implementation
+    #: (e.g. the per-node oracle in :mod:`repro.core.build_reference`).
+    _build_dual_layer = staticmethod(build_dual_layer)
 
     def __init__(
         self,
         relation: Relation,
         *,
         max_layers: int | None = None,
-        skyline_algorithm: str = "sfs",
+        skyline_algorithm: str = "blocked",
+        parallel: int | None = None,
     ) -> None:
         super().__init__(relation)
         self.max_layers = max_layers
         self.skyline_algorithm = skyline_algorithm
+        self.parallel = parallel
         self.structure = None
         self.blueprint = None
 
     def _build(self) -> None:
-        blueprint = build_dual_layer(
+        blueprint = self._build_dual_layer(
             self.relation.matrix,
             fine_sublayers=self._fine_sublayers,
             max_layers=self.max_layers,
             skyline_algorithm=self.skyline_algorithm,
+            parallel=self.parallel,
         )
         self.blueprint = blueprint
         self.structure = blueprint.structure
@@ -78,6 +88,12 @@ class DLIndex(TopKIndex):
         self.build_stats.layer_sizes = [
             int(layer.shape[0]) for layer in blueprint.coarse_layers
         ]
+        profile = getattr(blueprint, "profile", None)
+        if profile is not None:
+            self.build_stats.stage_seconds = {
+                stage: float(seconds)
+                for stage, seconds in profile.stage_seconds.items()
+            }
         counts = self.structure.edge_counts()
         self.build_stats.extra.update(counts)
         self.build_stats.extra["fine_sublayers"] = float(
@@ -123,13 +139,17 @@ class DLPlusIndex(DLIndex):
         relation: Relation,
         *,
         max_layers: int | None = None,
-        skyline_algorithm: str = "sfs",
+        skyline_algorithm: str = "blocked",
+        parallel: int | None = None,
         clusters: int | None = None,
         zero_layer: str = "auto",
         seed: int = 0,
     ) -> None:
         super().__init__(
-            relation, max_layers=max_layers, skyline_algorithm=skyline_algorithm
+            relation,
+            max_layers=max_layers,
+            skyline_algorithm=skyline_algorithm,
+            parallel=parallel,
         )
         if zero_layer not in ("auto", "chain", "clusters"):
             raise ValueError(f"unknown zero_layer mode {zero_layer!r}")
@@ -143,13 +163,14 @@ class DLPlusIndex(DLIndex):
     def _build(self) -> None:
         points = self.relation.matrix
         builder = StructureBuilder(points)
-        blueprint = build_dual_layer(
+        blueprint = self._build_dual_layer(
             points,
             fine_sublayers=self._fine_sublayers,
             max_layers=self.max_layers,
             skyline_algorithm=self.skyline_algorithm,
             builder=builder,
             freeze=False,
+            parallel=self.parallel,
         )
         if blueprint.coarse_layers:
             use_chain = self.zero_layer == "chain" or (

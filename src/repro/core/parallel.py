@@ -1,0 +1,75 @@
+"""Shared-memory worker pool for the parallel build (§IV at scale).
+
+The parallel pipeline in :mod:`repro.core.build` fans per-coarse-layer work
+out to a :class:`~concurrent.futures.ProcessPoolExecutor`.  Workers never
+receive the relation itself — the ``(n, d)`` points matrix is copied once
+into a :class:`multiprocessing.shared_memory.SharedMemory` segment and every
+task ships only node-id arrays; workers gather rows from the shared buffer.
+
+:class:`SharedPointsPool` owns both the segment and the executor and is used
+as a context manager so the segment is always unlinked, even on build
+failure.  Workers attach in the pool initializer; their re-registration of
+the segment lands in the resource tracker the pool's processes share with
+the parent (both fork and spawn pass the tracker down), where it is
+idempotent — the parent's single ``unlink`` on close retires the entry.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Worker-process global: (SharedMemory, ndarray view) after _attach_points.
+_WORKER_POINTS: tuple[shared_memory.SharedMemory, np.ndarray] | None = None
+
+
+def _attach_points(name: str, shape: tuple[int, ...], dtype_str: str) -> None:
+    """Pool initializer: map the parent's points segment read-only-by-convention."""
+    global _WORKER_POINTS
+    shm = shared_memory.SharedMemory(name=name)
+    view = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+    _WORKER_POINTS = (shm, view)
+
+
+def worker_points() -> np.ndarray:
+    """The shared points matrix, callable from inside worker tasks only."""
+    if _WORKER_POINTS is None:
+        raise RuntimeError("worker_points() called outside a SharedPointsPool worker")
+    return _WORKER_POINTS[1]
+
+
+class SharedPointsPool:
+    """A process pool whose workers all see one read-only points matrix.
+
+    >>> with SharedPointsPool(points, processes=4) as pool:
+    ...     fut = pool.submit(task_fn, node_ids)   # task gathers rows via
+    ...     fut.result()                           # worker_points()[node_ids]
+    """
+
+    def __init__(self, points: np.ndarray, processes: int) -> None:
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        self.processes = max(1, int(processes))
+        self._shm = shared_memory.SharedMemory(create=True, size=points.nbytes)
+        shared_view = np.ndarray(points.shape, dtype=points.dtype, buffer=self._shm.buf)
+        shared_view[:] = points
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.processes,
+            initializer=_attach_points,
+            initargs=(self._shm.name, points.shape, points.dtype.str),
+        )
+
+    def submit(self, fn, /, *args, **kwargs):
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        self._shm.close()
+        self._shm.unlink()
+
+    def __enter__(self) -> "SharedPointsPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

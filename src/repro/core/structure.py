@@ -36,11 +36,28 @@ on top of the arrays.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
-from itertools import chain
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import IndexConstructionError
+
+
+@dataclass(frozen=True)
+class BuilderFragment:
+    """Picklable slice of builder state produced by one parallel-build worker.
+
+    Each field mirrors one accumulation stream of :class:`StructureBuilder`
+    (``None`` means the worker produced nothing for that stream); the parent
+    process folds fragments back in with
+    :meth:`StructureBuilder.merge_fragment`.  Because ``freeze`` deduplicates
+    edges and emits canonical CSR, merge order cannot affect the frozen
+    structure.
+    """
+
+    placements: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+    forall_edges: tuple[np.ndarray, np.ndarray] | None = None
+    exists_edges: tuple[np.ndarray, np.ndarray] | None = None
 
 
 class CSRAdjacency:
@@ -112,38 +129,47 @@ class LayerLevelMap:
             yield node, int(self.levels[node])
 
 
-def _lists_to_csr(
-    children: list[list[int]], n_nodes: int
-) -> tuple[np.ndarray, np.ndarray]:
-    """Flatten per-node child lists into a CSR ``(indptr, indices)`` pair."""
-    indptr = np.zeros(n_nodes + 1, dtype=np.intp)
-    if n_nodes:
-        np.cumsum(
-            np.fromiter((len(c) for c in children), dtype=np.intp, count=n_nodes),
-            out=indptr[1:],
-        )
-    indices = np.fromiter(
-        chain.from_iterable(children), dtype=np.intp, count=int(indptr[-1])
-    )
-    return indptr, indices
-
-
 class StructureBuilder:
-    """Mutable accumulator for nodes and gates during index construction."""
+    """Mutable accumulator for nodes and gates during index construction.
+
+    Two ingestion granularities share one store:
+
+    * the scalar API (:meth:`place`, :meth:`add_forall_parents`,
+      :meth:`add_exists_parents`) used by the zero-layer decorators and the
+      per-node reference build;
+    * the bulk API (:meth:`place_many`, :meth:`add_forall_edges`,
+      :meth:`add_exists_edges`) used by the vectorized pipeline and by the
+      parallel build's fragment merge — whole arrays per call, no per-node
+      Python loop.
+
+    Everything is accumulated as ``(child, parent)`` edge chunks and
+    placement chunks; :meth:`freeze` deduplicates, validates, and emits the
+    **canonical** CSR layout: per-parent child runs sorted ascending.  The
+    canonical order makes the frozen structure independent of ingestion
+    order, which is what lets a parallel build's merged fragments compare
+    array-equal to the sequential build.
+    """
 
     def __init__(self, real_values: np.ndarray) -> None:
         self.real_values = np.atleast_2d(np.asarray(real_values, dtype=np.float64))
         self.n_real = self.real_values.shape[0]
         self.pseudo_values: list[np.ndarray] = []
-        self._forall_parents: dict[int, list[int]] = {}
-        self._exists_parents: dict[int, list[int]] = {}
-        self.coarse_of: dict[int, int] = {}
-        self.fine_of: dict[int, int] = {}
+        #: Edge chunks: pairs of equal-length (children, parents) arrays.
+        self._forall_chunks: list[tuple[np.ndarray, np.ndarray]] = []
+        self._exists_chunks: list[tuple[np.ndarray, np.ndarray]] = []
+        #: Placement chunks: (nodes, coarse_levels, fine_levels) arrays,
+        #: applied in order at freeze (last placement of a node wins).
+        self._placement_chunks: list[
+            tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = []
+        #: Scalar-place buffer, flushed into the chunk list lazily.
+        self._pending_nodes: list[int] = []
+        self._pending_coarse: list[int] = []
+        self._pending_fine: list[int] = []
         self.static_seeds: list[int] = []
         self.seed_selector: Callable[[np.ndarray], np.ndarray] | None = None
         self.num_coarse_layers = 0
         self.complete = True
-        self.materialized: list[int] = []
 
     def add_pseudo_node(self, value: np.ndarray) -> int:
         """Register a zero-layer pseudo-tuple; returns its node id."""
@@ -153,17 +179,147 @@ class StructureBuilder:
 
     def place(self, node: int, coarse: int, fine: int) -> None:
         """Record the (coarse, fine) layer of a node and mark it materialized."""
-        self.coarse_of[node] = coarse
-        self.fine_of[node] = fine
-        self.materialized.append(node)
+        self._pending_nodes.append(node)
+        self._pending_coarse.append(coarse)
+        self._pending_fine.append(fine)
+
+    def place_many(
+        self,
+        nodes: np.ndarray,
+        coarse: int | np.ndarray,
+        fine: int | np.ndarray,
+    ) -> None:
+        """Bulk :meth:`place`: one chunk of nodes with scalar or per-node levels."""
+        nodes = np.asarray(nodes, dtype=np.intp)
+        self._flush_pending()
+        self._placement_chunks.append(
+            (
+                nodes,
+                np.broadcast_to(np.asarray(coarse, dtype=np.int64), nodes.shape),
+                np.broadcast_to(np.asarray(fine, dtype=np.int64), nodes.shape),
+            )
+        )
+
+    def _flush_pending(self) -> None:
+        if self._pending_nodes:
+            self._placement_chunks.append(
+                (
+                    np.asarray(self._pending_nodes, dtype=np.intp),
+                    np.asarray(self._pending_coarse, dtype=np.int64),
+                    np.asarray(self._pending_fine, dtype=np.int64),
+                )
+            )
+            self._pending_nodes = []
+            self._pending_coarse = []
+            self._pending_fine = []
 
     def add_forall_parents(self, node: int, parents: Iterable[int]) -> None:
         """Attach ∀-parents (all must pop before ``node`` opens)."""
-        self._forall_parents.setdefault(node, []).extend(int(p) for p in parents)
+        parents = np.asarray(
+            [int(p) for p in parents] if not isinstance(parents, np.ndarray)
+            else parents,
+            dtype=np.intp,
+        )
+        if parents.shape[0]:
+            self._forall_chunks.append(
+                (np.full(parents.shape[0], node, dtype=np.intp), parents)
+            )
 
     def add_exists_parents(self, node: int, parents: Iterable[int]) -> None:
         """Attach ∃-parents (any popping opens ``node``'s ∃-gate)."""
-        self._exists_parents.setdefault(node, []).extend(int(p) for p in parents)
+        parents = np.asarray(
+            [int(p) for p in parents] if not isinstance(parents, np.ndarray)
+            else parents,
+            dtype=np.intp,
+        )
+        if parents.shape[0]:
+            self._exists_chunks.append(
+                (np.full(parents.shape[0], node, dtype=np.intp), parents)
+            )
+
+    def add_forall_edges(self, children: np.ndarray, parents: np.ndarray) -> None:
+        """Bulk ∀-edges: parallel ``(children, parents)`` id arrays."""
+        children = np.asarray(children, dtype=np.intp)
+        parents = np.asarray(parents, dtype=np.intp)
+        if children.shape[0] != parents.shape[0]:
+            raise IndexConstructionError(
+                f"edge arrays disagree: {children.shape[0]} children vs "
+                f"{parents.shape[0]} parents"
+            )
+        if children.shape[0]:
+            self._forall_chunks.append((children, parents))
+
+    def add_exists_edges(self, children: np.ndarray, parents: np.ndarray) -> None:
+        """Bulk ∃-edges: parallel ``(children, parents)`` id arrays."""
+        children = np.asarray(children, dtype=np.intp)
+        parents = np.asarray(parents, dtype=np.intp)
+        if children.shape[0] != parents.shape[0]:
+            raise IndexConstructionError(
+                f"edge arrays disagree: {children.shape[0]} children vs "
+                f"{parents.shape[0]} parents"
+            )
+        if children.shape[0]:
+            self._exists_chunks.append((children, parents))
+
+    def extract_fragment(self) -> "BuilderFragment":
+        """Snapshot this builder's accumulated state as one picklable fragment.
+
+        Used worker-side by the parallel build: the worker accumulates into
+        a throwaway builder, extracts the fragment, and ships it back for
+        :meth:`merge_fragment` in the parent.
+        """
+        self._flush_pending()
+
+        def _concat(
+            chunks: list[tuple[np.ndarray, ...]],
+        ) -> tuple[np.ndarray, ...] | None:
+            if not chunks:
+                return None
+            return tuple(
+                np.concatenate([chunk[i] for chunk in chunks])
+                for i in range(len(chunks[0]))
+            )
+
+        return BuilderFragment(
+            placements=_concat(self._placement_chunks),
+            forall_edges=_concat(self._forall_chunks),
+            exists_edges=_concat(self._exists_chunks),
+        )
+
+    def merge_fragment(self, fragment: "BuilderFragment") -> None:
+        """Fold a worker-local fragment (parallel build) into this builder."""
+        if fragment.placements is not None:
+            self._flush_pending()
+            self._placement_chunks.append(fragment.placements)
+        if fragment.forall_edges is not None:
+            self.add_forall_edges(*fragment.forall_edges)
+        if fragment.exists_edges is not None:
+            self.add_exists_edges(*fragment.exists_edges)
+
+    @staticmethod
+    def _dedupe_pairs(
+        chunks: list[tuple[np.ndarray, np.ndarray]], n_nodes: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Unique ``(child, parent)`` pairs from all chunks, child-major."""
+        if not chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        children = np.concatenate([c for c, _ in chunks]).astype(np.int64)
+        parents = np.concatenate([p for _, p in chunks]).astype(np.int64)
+        if np.any(children < 0) or np.any(parents < 0):
+            raise IndexConstructionError("edge ids must be >= 0")
+        encoded = np.unique(children * np.int64(n_nodes) + parents)
+        return encoded // n_nodes, encoded % n_nodes
+
+    @staticmethod
+    def _pairs_to_csr(
+        children: np.ndarray, parents: np.ndarray, n_nodes: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Canonical CSR from deduplicated pairs: per-parent ascending runs."""
+        order = np.lexsort((children, parents))
+        indptr = np.zeros(n_nodes + 1, dtype=np.intp)
+        np.cumsum(np.bincount(parents, minlength=n_nodes), out=indptr[1:])
+        return indptr, children[order].astype(np.intp)
 
     def freeze(self) -> "LayerStructure":
         """Validate and produce the immutable traversal structure."""
@@ -173,26 +329,22 @@ class StructureBuilder:
             if self.pseudo_values
             else self.real_values
         )
+        self._flush_pending()
 
-        forall_count = np.zeros(n_nodes, dtype=np.int64)
-        forall_children: list[list[int]] = [[] for _ in range(n_nodes)]
-        for node, parents in self._forall_parents.items():
-            unique = sorted(set(parents))
-            forall_count[node] = len(unique)
-            for parent in unique:
-                forall_children[parent].append(node)
+        f_children, f_parents = self._dedupe_pairs(self._forall_chunks, n_nodes)
+        e_children, e_parents = self._dedupe_pairs(self._exists_chunks, n_nodes)
+        forall_count = np.bincount(f_children, minlength=n_nodes).astype(np.int64)
+        exists_gated = np.bincount(e_children, minlength=n_nodes).astype(bool)
 
-        exists_gated = np.zeros(n_nodes, dtype=bool)
-        exists_children: list[list[int]] = [[] for _ in range(n_nodes)]
-        for node, parents in self._exists_parents.items():
-            unique = sorted(set(parents))
-            if not unique:
-                continue
-            exists_gated[node] = True
-            for parent in unique:
-                exists_children[parent].append(node)
+        coarse_levels = np.full(n_nodes, -1, dtype=np.int64)
+        fine_levels = np.full(n_nodes, -1, dtype=np.int64)
+        placed_mask = np.zeros(n_nodes, dtype=bool)
+        for nodes, coarse, fine in self._placement_chunks:
+            coarse_levels[nodes] = coarse
+            fine_levels[nodes] = fine
+            placed_mask[nodes] = True
+        materialized = np.nonzero(placed_mask)[0].astype(np.intp)
 
-        materialized = np.asarray(sorted(set(self.materialized)), dtype=np.intp)
         if self.complete and materialized.shape[0] != n_nodes:
             raise IndexConstructionError(
                 f"complete structure must place every node: "
@@ -203,27 +355,24 @@ class StructureBuilder:
         if self.seed_selector is None and materialized.shape[0]:
             gateless = (forall_count[materialized] == 0) & ~exists_gated[materialized]
             if np.any(gateless):
-                seeds = set(self.static_seeds)
-                unreachable = [
-                    int(node)
-                    for node in materialized[gateless]
-                    if int(node) not in seeds
+                unreachable = materialized[gateless][
+                    ~np.isin(
+                        materialized[gateless],
+                        np.asarray(sorted(set(self.static_seeds)), dtype=np.intp),
+                    )
                 ]
-                if unreachable:
+                if unreachable.shape[0]:
                     raise IndexConstructionError(
-                        f"node {unreachable[0]} is unreachable: "
+                        f"node {int(unreachable[0])} is unreachable: "
                         "no gates and not a seed"
                     )
 
-        forall_indptr, forall_indices = _lists_to_csr(forall_children, n_nodes)
-        exists_indptr, exists_indices = _lists_to_csr(exists_children, n_nodes)
-
-        coarse_levels = np.full(n_nodes, -1, dtype=np.int64)
-        fine_levels = np.full(n_nodes, -1, dtype=np.int64)
-        for node, coarse in self.coarse_of.items():
-            coarse_levels[node] = coarse
-        for node, fine in self.fine_of.items():
-            fine_levels[node] = fine
+        forall_indptr, forall_indices = self._pairs_to_csr(
+            f_children, f_parents, n_nodes
+        )
+        exists_indptr, exists_indices = self._pairs_to_csr(
+            e_children, e_parents, n_nodes
+        )
 
         return LayerStructure(
             values=values,
@@ -415,3 +564,38 @@ class LayerStructure:
             "forall_edges": int(self.forall_indptr[-1]),
             "exists_edges": int(self.exists_indptr[-1]),
         }
+
+
+#: Arrays that fully determine a frozen structure's traversal behaviour.
+_STRUCTURE_ARRAYS = (
+    "values",
+    "forall_parent_count",
+    "forall_indptr",
+    "forall_indices",
+    "exists_gated",
+    "exists_indptr",
+    "exists_indices",
+    "static_seeds",
+    "coarse_levels",
+    "fine_levels",
+)
+
+
+def layer_structures_equal(a: LayerStructure, b: LayerStructure) -> bool:
+    """True iff two frozen structures are array-equal.
+
+    Compares every traversal-determining array (:data:`_STRUCTURE_ARRAYS`)
+    plus the scalar metadata.  This is the oracle check the parallel build
+    uses against the sequential build: canonical CSR makes equality exact,
+    not merely isomorphic.
+    """
+    if (
+        a.n_real != b.n_real
+        or a.num_coarse_layers != b.num_coarse_layers
+        or a.complete != b.complete
+    ):
+        return False
+    return all(
+        np.array_equal(getattr(a, name), getattr(b, name))
+        for name in _STRUCTURE_ARRAYS
+    )

@@ -69,6 +69,11 @@ class QueryEngine:
         changes wall-clock behaviour — it exists for A/B latency
         measurements (``repro-topk perf-bench``) and for ruling the
         vectorized kernel in or out when debugging.
+    build_parallel:
+        Worker count for (re)builds the engine triggers: applied to the
+        fronted index's ``parallel`` knob before the initial build and for
+        every index that exposes one.  Parallel builds are array-equal to
+        sequential ones, so this only changes build wall-clock.
     """
 
     def __init__(
@@ -79,11 +84,15 @@ class QueryEngine:
         quantize_decimals: int = 12,
         latency_window: int = 4096,
         kernel: str = "csr",
+        build_parallel: int | None = None,
     ) -> None:
         if kernel not in ("csr", "reference"):
             raise InvalidQueryError(
                 f"kernel must be 'csr' or 'reference', got {kernel!r}"
             )
+        self.build_parallel = build_parallel
+        if build_parallel is not None and hasattr(index, "parallel"):
+            index.parallel = build_parallel
         if isinstance(index, TopKIndex) and not index._built:
             index.build()
         self.index = index

@@ -6,6 +6,24 @@ best tuple under any monotone linear scoring function lies within the first
 ``max_layers`` bounds construction accordingly (the remainder is returned as
 an overflow layer by :func:`skyline_layers` / :func:`convex_layers` callers
 via the ``leftover`` entry).
+
+Two routes produce the skyline-layer partition:
+
+* the classic *iterated peel* (:func:`skyline_layers` with ``bnl`` / ``sfs``
+  / ``bskytree``): layer i is the skyline of whatever layers < i left —
+  every pass re-scans all remaining points;
+* the *blocked partition* (:func:`skyline_layer_partition`, algorithm name
+  ``"blocked"``): every point's layer is its longest-dominance-chain length,
+  so processing points in ascending attribute-sum order assigns each point
+  in one pass — its layer is the first existing layer with no member
+  dominating it (a monotone predicate by transitivity), corrected for
+  dominators inside its own block by a vectorized fix-point.  With
+  ``max_layers`` set, a single check against the deepest kept layer routes
+  overflow points straight to ``leftover``, which is what makes bounded
+  builds cheap (the iterated peel pays a full scan per layer regardless).
+
+The partition is unique — layer membership does not depend on the
+algorithm — so both routes return identical layers (asserted in the tests).
 """
 
 from __future__ import annotations
@@ -17,6 +35,7 @@ import numpy as np
 from repro.geometry.convex_skyline import convex_skyline
 from repro.skyline.bnl import skyline_bnl
 from repro.skyline.bskytree import skyline_bskytree
+from repro.skyline.dominance import dominates_any, leq_matrix
 from repro.skyline.sfs import skyline_sfs
 
 _ALGORITHMS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
@@ -24,6 +43,10 @@ _ALGORITHMS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
     "sfs": skyline_sfs,
     "bskytree": skyline_bskytree,
 }
+
+#: Rows per processed block in :func:`skyline_layer_partition`; intra-block
+#: pairwise matrices stay ~block² bytes.
+_PARTITION_BLOCK = 512
 
 
 def skyline(points: np.ndarray, algorithm: str = "sfs") -> np.ndarray:
@@ -72,14 +95,184 @@ def skyline_layers(
 ) -> tuple[list[np.ndarray], np.ndarray]:
     """Skyline-layer peel: layer i is the skyline of what layers < i left.
 
-    Returns ``(layers, leftover)`` of global index arrays.
+    Returns ``(layers, leftover)`` of global index arrays.  ``"blocked"``
+    routes to :func:`skyline_layer_partition` (identical layers, one pass).
     """
+    if algorithm == "blocked":
+        return skyline_layer_partition(points, max_layers)
     impl = _ALGORITHMS.get(algorithm)
     if impl is None:
         raise ValueError(
-            f"unknown skyline algorithm {algorithm!r}; have {sorted(_ALGORITHMS)}"
+            f"unknown skyline algorithm {algorithm!r}; "
+            f"have {sorted([*_ALGORITHMS, 'blocked'])}"
         )
     return _peel(points, impl, max_layers)
+
+
+class _LayerAccumulator:
+    """One growing skyline layer: member ids plus an amortized point buffer."""
+
+    __slots__ = ("ids", "buffer", "count", "_member_ids")
+
+    def __init__(self, d: int) -> None:
+        self.ids: list[np.ndarray] = []
+        self.buffer = np.empty((64, d), dtype=np.float64)
+        self.count = 0
+        self._member_ids: np.ndarray | None = None
+
+    def members(self) -> np.ndarray:
+        """Current member points, in insertion (ascending attribute-sum) order."""
+        return self.buffer[: self.count]
+
+    def member_ids(self) -> np.ndarray:
+        """Current member *global ids*, in the same insertion order."""
+        cached = self._member_ids
+        if cached is None or cached.shape[0] != self.count:
+            cached = (
+                np.concatenate(self.ids)
+                if self.ids
+                else np.empty(0, dtype=np.intp)
+            )
+            self._member_ids = cached
+        return cached
+
+    def extend(self, ids: np.ndarray, points: np.ndarray) -> None:
+        needed = self.count + points.shape[0]
+        if needed > self.buffer.shape[0]:
+            capacity = self.buffer.shape[0]
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, self.buffer.shape[1]), dtype=np.float64)
+            grown[: self.count] = self.buffer[: self.count]
+            self.buffer = grown
+        self.buffer[self.count : needed] = points
+        self.count = needed
+        self.ids.append(ids)
+        self._member_ids = None
+
+
+def skyline_layer_partition(
+    points: np.ndarray,
+    max_layers: int | None = None,
+    *,
+    block: int = _PARTITION_BLOCK,
+    scanner: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Single-pass skyline-layer partition (the ``"blocked"`` algorithm).
+
+    Returns the same ``(layers, leftover)`` as the iterated peel: each layer
+    an ascending array of global indices, ``leftover`` the (ascending)
+    indices beyond ``max_layers``.
+
+    A point's layer equals the length of its longest dominance chain, and a
+    dominator always has a strictly smaller attribute sum, so walking points
+    in ascending-sum order (ties broken lexicographically, like
+    :mod:`repro.skyline.sfs`) guarantees every cross-block dominator is
+    already placed.  For a block of points the tentative layer is found by
+    scanning existing layers in order — the "dominated by layer i" predicate
+    is monotone in ``i``, so the first non-dominating layer is the answer —
+    restricted to the still-dominated subset at each step.  Dominators
+    *inside* the block only ever deepen a point's layer; a vectorized
+    fix-point (``layer[j] = max(layer[j], 1 + max over in-block dominators
+    i of layer[i])``) converges in at most the longest in-block chain.
+
+    ``scanner``, when given, replaces the in-process layer scans: it is
+    called as ``scanner(point_ids, member_ids)`` with *global* row ids and
+    must return the boolean dominated-by-members mask over ``point_ids``.
+    The parallel build injects a pool-sharded scanner here; the gathered
+    rows are the identical float values, so results match the in-process
+    path exactly.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n, d = points.shape
+    if n == 0:
+        return [], np.empty(0, dtype=np.intp)
+
+    keys = (np.arange(n), *(points[:, c] for c in range(d - 1, -1, -1)),
+            points.sum(axis=1))
+    order = np.lexsort(keys)
+    sorted_pts = points[order]
+
+    layers: list[_LayerAccumulator] = []
+    leftover_ids: list[np.ndarray] = []
+    #: With max_layers set, anything at this depth or beyond is leftover.
+    cutoff = max_layers if max_layers is not None else np.iinfo(np.int64).max
+
+    def dominated_by(sel: np.ndarray, layer: _LayerAccumulator) -> np.ndarray:
+        if scanner is None:
+            return dominates_any(chunk[sel], layer.members())
+        return scanner(chunk_ids[sel], layer.member_ids())
+
+    for start in range(0, n, block):
+        chunk = sorted_pts[start : start + block]
+        chunk_ids = order[start : start + block]
+        m = chunk.shape[0]
+        assigned = np.zeros(m, dtype=np.int64)
+        all_rows = np.arange(m, dtype=np.intp)
+
+        # Overflow fast path: one check against the deepest kept layer
+        # settles every point that would land beyond the bound.
+        overflow = np.zeros(m, dtype=bool)
+        if max_layers is not None and len(layers) >= max_layers:
+            overflow = dominated_by(all_rows, layers[max_layers - 1])
+            assigned[overflow] = cutoff
+
+        # Tentative layers vs already-placed points: scan layers in order on
+        # the still-dominated subset (first non-dominating layer wins).
+        undecided = np.nonzero(~overflow)[0]
+        for depth, layer in enumerate(layers):
+            if undecided.shape[0] == 0:
+                break
+            if max_layers is not None and depth >= max_layers:
+                break
+            dominated = dominated_by(undecided, layer)
+            assigned[undecided[~dominated]] = depth
+            undecided = undecided[dominated]
+        if undecided.shape[0]:
+            # Dominated by every existing layer: opens the next one.
+            assigned[undecided] = min(len(layers), cutoff)
+
+        # In-block dominators deepen layers: fix-point over the block DAG
+        # (earlier-in-order rows only, since dominance lowers the sum).
+        if m > 1:
+            leq = leq_matrix(chunk, chunk)
+            rows = np.arange(m)
+            leq &= rows[:, None] < rows[None, :]
+            di, dj = np.nonzero(leq)
+            dom = np.zeros((m, m), dtype=bool)
+            if di.shape[0]:
+                strict = np.any(chunk[di] != chunk[dj], axis=1)
+                dom[di[strict], dj[strict]] = True
+            if np.any(dom):
+                while True:
+                    pushed = np.where(dom, (assigned + 1)[:, None], 0).max(axis=0)
+                    deeper = np.maximum(assigned, pushed)
+                    if np.array_equal(deeper, assigned):
+                        break
+                    assigned = deeper
+
+        np.minimum(assigned, cutoff, out=assigned)
+        in_bounds = assigned < cutoff
+        if not np.all(in_bounds):
+            leftover_ids.append(chunk_ids[~in_bounds])
+        kept = np.nonzero(in_bounds)[0]
+        if kept.shape[0] == 0:
+            continue
+        for depth in np.unique(assigned[kept]):
+            sel = kept[assigned[kept] == depth]
+            while depth >= len(layers):
+                layers.append(_LayerAccumulator(d))
+            layers[depth].extend(chunk_ids[sel], chunk[sel])
+
+    result = [
+        np.sort(np.concatenate(layer.ids)).astype(np.intp) for layer in layers
+    ]
+    leftover = (
+        np.sort(np.concatenate(leftover_ids)).astype(np.intp)
+        if leftover_ids
+        else np.empty(0, dtype=np.intp)
+    )
+    return result, leftover
 
 
 def convex_layers(

@@ -87,6 +87,9 @@ class BuildStats:
     seconds: float = 0.0
     num_layers: int = 0
     layer_sizes: list[int] = field(default_factory=list)
+    #: Per-pipeline-stage build seconds (see repro.core.build.BUILD_STAGES);
+    #: empty for index types that don't run the staged pipeline.
+    stage_seconds: dict[str, float] = field(default_factory=dict)
     extra: dict[str, float] = field(default_factory=dict)
 
     def describe(self) -> str:

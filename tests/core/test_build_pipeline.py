@@ -1,0 +1,134 @@
+"""The staged build pipeline vs the per-node reference oracle.
+
+Array-equality here means :func:`repro.core.structure.layer_structures_equal`
+— identical CSR indptr/indices, levels, seeds — not merely isomorphic
+structures.  The oracle is :mod:`repro.core.build_reference`, the original
+one-node-at-a-time implementation kept verbatim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.build import BUILD_STAGES, build_dual_layer
+from repro.core.build_reference import build_dual_layer_reference
+from repro.core.index import DLIndex, DLPlusIndex
+from repro.core.structure import (
+    BuilderFragment,
+    StructureBuilder,
+    layer_structures_equal,
+)
+from repro.data import generate
+from repro.data.hotels import toy_hotels
+from repro.exceptions import IndexCapacityError
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT", "COR"])
+@pytest.mark.parametrize("d", [2, 3, 4])
+@pytest.mark.parametrize("fine", [True, False])
+def test_pipeline_matches_reference(distribution, d, fine):
+    pts = generate(distribution, 400, d, seed=17).matrix
+    ref = build_dual_layer_reference(pts, fine_sublayers=fine)
+    seq = build_dual_layer(pts, fine_sublayers=fine)
+    assert layer_structures_equal(ref.structure, seq.structure)
+    assert all(
+        np.array_equal(a, b)
+        for a, b in zip(ref.coarse_layers, seq.coarse_layers)
+    )
+    assert all(
+        np.array_equal(a, b)
+        for ref_subs, seq_subs in zip(ref.fine_layers, seq.fine_layers)
+        for a, b in zip(ref_subs, seq_subs)
+    )
+
+
+def test_exists_gate_parents_unchanged_by_searchsorted_remap():
+    """Regression (satellite): the searchsorted facet remap must reproduce
+    the dict-based remap's gate parents exactly — compared through the ∃-CSR
+    arrays, which encode every (parent, child) pair."""
+    pts = generate("ANT", 600, 3, seed=23).matrix
+    ref = build_dual_layer_reference(pts)
+    seq = build_dual_layer(pts)
+    np.testing.assert_array_equal(
+        ref.structure.exists_indptr, seq.structure.exists_indptr
+    )
+    np.testing.assert_array_equal(
+        ref.structure.exists_indices, seq.structure.exists_indices
+    )
+    np.testing.assert_array_equal(
+        ref.structure.exists_gated, seq.structure.exists_gated
+    )
+
+
+def test_parallel_equals_sequential_on_hotels():
+    """Tier-1 (satellite): parallel=2 through shared memory == sequential."""
+    relation = toy_hotels()
+    seq = DLIndex(relation).build()
+    par = DLIndex(relation, parallel=2).build()
+    assert layer_structures_equal(seq.structure, par.structure)
+
+
+@pytest.mark.parametrize("cls", [DLIndex, DLPlusIndex])
+def test_parallel_partial_build_contract(cls):
+    """max_layers + leftover through the parallel path (satellite)."""
+    relation = generate("ANT", 500, 3, seed=61)
+    seq = cls(relation, max_layers=4).build()
+    par = cls(relation, max_layers=4, parallel=2).build()
+    assert layer_structures_equal(seq.structure, par.structure)
+    assert not par.structure.complete
+    np.testing.assert_array_equal(seq.blueprint.leftover, par.blueprint.leftover)
+    assert par.blueprint.leftover.shape[0] > 0
+    # k <= max_layers stays answerable; k beyond the bound must refuse.
+    par.query(np.ones(3) / 3, 4)
+    with pytest.raises(IndexCapacityError):
+        par.query(np.ones(3) / 3, 5)
+
+
+def test_fragment_merge_order_is_irrelevant():
+    """freeze() canonicalizes, so fragment ingestion order cannot leak through."""
+    pts = generate("IND", 300, 3, seed=5).matrix
+    blueprint = build_dual_layer(pts)
+
+    worker = StructureBuilder(pts)
+    build_dual_layer(pts, builder=worker, freeze=False)
+    fragment = worker.extract_fragment()
+
+    rng = np.random.default_rng(11)
+    shuffled = BuilderFragment(
+        placements=tuple(
+            arr[perm]
+            for perm in [rng.permutation(fragment.placements[0].shape[0])]
+            for arr in fragment.placements
+        ),
+        forall_edges=tuple(
+            arr[perm]
+            for perm in [rng.permutation(fragment.forall_edges[0].shape[0])]
+            for arr in fragment.forall_edges
+        ),
+        exists_edges=tuple(
+            arr[perm]
+            for perm in [rng.permutation(fragment.exists_edges[0].shape[0])]
+            for arr in fragment.exists_edges
+        ),
+    )
+    target = StructureBuilder(pts)
+    target.merge_fragment(shuffled)
+    target.num_coarse_layers = worker.num_coarse_layers
+    target.complete = worker.complete
+    target.static_seeds = list(worker.static_seeds)
+    assert layer_structures_equal(blueprint.structure, target.freeze())
+
+
+def test_build_profile_records_all_stages():
+    pts = generate("IND", 500, 3, seed=9).matrix
+    blueprint = build_dual_layer(pts)
+    profile = blueprint.profile
+    assert set(profile.stage_seconds) == set(BUILD_STAGES)
+    assert all(seconds >= 0.0 for seconds in profile.stage_seconds.values())
+    assert profile.stage_seconds["coarse_peel"] > 0.0
+    assert profile.wall_seconds >= profile.stage_seconds["freeze"]
+
+
+def test_index_build_stats_carry_stage_seconds():
+    relation = generate("IND", 400, 3, seed=3)
+    index = DLIndex(relation).build()
+    assert set(index.build_stats.stage_seconds) == set(BUILD_STAGES)
