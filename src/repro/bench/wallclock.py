@@ -24,21 +24,36 @@ axis down for smoke runs (CI uses n=2000).
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from repro.bench.workload import Workload
+# Grid/seed constants and write_report live in repro.bench.workload (the
+# single source every bench suite shares); re-exported here for callers.
+from repro.bench.workload import (
+    DEFAULT_DIMS,
+    DEFAULT_DISTRIBUTIONS,
+    DEFAULT_SEED,
+    DEFAULT_SIZES,
+    Workload,
+    write_report,
+)
 from repro.core.query import process_top_k, process_top_k_reference
 from repro.stats import AccessCounter
 from repro.stats.latency import percentile
 
-#: The acceptance grid (matches the committed BENCH_query.json).
-DEFAULT_DISTRIBUTIONS = ("IND", "ANT")
-DEFAULT_DIMS = (2, 4)
-DEFAULT_SIZES = (10_000, 100_000)
+__all__ = [
+    "DEFAULT_DIMS",
+    "DEFAULT_DISTRIBUTIONS",
+    "DEFAULT_SEED",
+    "DEFAULT_SIZES",
+    "KERNELS",
+    "KernelTiming",
+    "WallclockCell",
+    "run_wallclock",
+    "write_report",
+]
 
 KERNELS = {
     "reference": process_top_k_reference,
@@ -121,7 +136,7 @@ def run_wallclock(
     k: int = 10,
     queries: int = 32,
     repeats: int = 3,
-    seed: int = 20120401,
+    seed: int = DEFAULT_SEED,
     algorithm: str = "DL+",
     progress=None,
 ) -> dict:
@@ -199,10 +214,3 @@ def run_wallclock(
             for cell in cells
         ],
     }
-
-
-def write_report(report: dict, path: str) -> None:
-    """Write the report as pretty-printed JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=False)
-        handle.write("\n")

@@ -13,6 +13,7 @@ Examples::
     repro-topk serve-bench --n 20000 --queries 256 --distinct 16
     repro-topk perf-bench --sizes 10000,100000 --out BENCH_query.json
     repro-topk build-bench --sizes 100000 --parallel 4 --out BENCH_build.json
+    repro-topk cluster-bench --n 20000 --shards 2,4,8 --out BENCH_cluster.json
 """
 
 from __future__ import annotations
@@ -46,6 +47,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-bench": _cmd_serve_bench,
         "perf-bench": _cmd_perf_bench,
         "build-bench": _cmd_build_bench,
+        "cluster-bench": _cmd_cluster_bench,
     }[args.command]
     return handler(args)
 
@@ -177,6 +179,33 @@ def _build_parser() -> argparse.ArgumentParser:
     buildb.add_argument("--seed", type=int, default=20120401)
     buildb.add_argument(
         "--out", default="BENCH_build.json", help="output JSON report path"
+    )
+
+    clusterb = commands.add_parser(
+        "cluster-bench",
+        help="compare single-node vs sharded scatter-gather serving",
+    )
+    clusterb.add_argument(
+        "--distributions", default="IND,ANT", help="comma-separated, e.g. IND,ANT"
+    )
+    clusterb.add_argument(
+        "--shards", default="2,4,8", help="comma-separated shard counts"
+    )
+    clusterb.add_argument("--d", type=int, default=4)
+    clusterb.add_argument("--n", type=int, default=20000)
+    clusterb.add_argument("--k", type=int, default=10)
+    clusterb.add_argument(
+        "--queries", type=int, default=32, help="weight vectors served per cell"
+    )
+    clusterb.add_argument(
+        "--partitioner",
+        default="angular",
+        choices=("round-robin", "hash", "angular"),
+    )
+    clusterb.add_argument("--algorithm", default="DL+", choices=sorted(ALGORITHMS))
+    clusterb.add_argument("--seed", type=int, default=20120401)
+    clusterb.add_argument(
+        "--out", default="BENCH_cluster.json", help="output JSON report path"
     )
 
     compare = commands.add_parser(
@@ -446,6 +475,31 @@ def _cmd_build_bench(args: argparse.Namespace) -> int:
         progress=print,
     )
     validate_build_report(report)
+    write_report(report, args.out)
+    print(f"wrote {len(report['cells'])} cells to {args.out}")
+    return 0
+
+
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    from repro.bench.clusterbench import (
+        run_cluster_bench,
+        validate_cluster_report,
+        write_report,
+    )
+
+    report = run_cluster_bench(
+        distributions=tuple(s for s in args.distributions.split(",") if s),
+        shard_counts=tuple(int(s) for s in args.shards.split(",") if s),
+        d=args.d,
+        n=args.n,
+        k=args.k,
+        queries=args.queries,
+        partitioner=args.partitioner,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        progress=print,
+    )
+    validate_cluster_report(report)
     write_report(report, args.out)
     print(f"wrote {len(report['cells'])} cells to {args.out}")
     return 0

@@ -1,0 +1,56 @@
+"""Sharded cluster serving: partitioned DL/DL+ behind a scatter-gather top-k.
+
+The single-node serving stack (:mod:`repro.serving`) tops out at one
+machine's memory and one index's build time.  This package partitions a
+relation across N shards (:mod:`~repro.cluster.partition`), builds one
+gated layer index per shard (:mod:`~repro.cluster.shard`), and serves
+global top-k queries through a scatter-gather coordinator
+(:mod:`~repro.cluster.coordinator`) whose answers are **bitwise identical**
+to a single-node index — including score ties — under either merge
+strategy (naive per-shard top-k, or the cursor-driven threshold merge
+whose Definition 9 cost never exceeds naive's).
+
+Typical use::
+
+    from repro.cluster import ClusterEngine
+
+    cluster = ClusterEngine(relation, shards=4, partitioner="angular")
+    result = cluster.query(weights, k=10)     # == single-node, bitwise
+    result.shard_costs                        # Definition 9 cost per shard
+"""
+
+from repro.cluster.coordinator import MERGE_STRATEGIES, ClusterEngine, ClusterResult
+from repro.cluster.partition import (
+    PARTITIONERS,
+    Partitioning,
+    assign_angular,
+    assign_hash,
+    assign_round_robin,
+    first_angle,
+    make_partitioning,
+)
+from repro.cluster.shard import (
+    FailingShard,
+    Shard,
+    ShardAnswer,
+    ShardCursor,
+    build_shards,
+)
+
+__all__ = [
+    "MERGE_STRATEGIES",
+    "PARTITIONERS",
+    "ClusterEngine",
+    "ClusterResult",
+    "FailingShard",
+    "Partitioning",
+    "Shard",
+    "ShardAnswer",
+    "ShardCursor",
+    "assign_angular",
+    "assign_hash",
+    "assign_round_robin",
+    "build_shards",
+    "first_angle",
+    "make_partitioning",
+]

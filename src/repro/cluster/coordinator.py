@@ -1,0 +1,530 @@
+"""The scatter-gather cluster coordinator.
+
+:class:`ClusterEngine` serves the same ``query`` / ``query_batch`` /
+``query_many`` surface as the single-node
+:class:`~repro.serving.QueryEngine`, but over N partitioned DL/DL+ shards
+(:mod:`repro.cluster.partition` / :mod:`repro.cluster.shard`).
+
+Merge correctness
+-----------------
+For any linear scoring function ``F`` and any partition of ``R`` into
+disjoint shards, the union of the per-shard top-k answers contains the
+global top-k: a tuple beaten by k others globally is beaten by at least the
+same k restricted to tuples of its own shard — the monotone-aggregation
+argument behind Fagin's TA/NRA.  The argument extends to score *ties*
+because both resolutions order by ``(score, id)`` and every partitioner
+lists shard members in ascending global id (see
+:mod:`repro.cluster.partition`).  Merging per-shard answers by
+``(score, global id)`` therefore reproduces the single-node answer
+**bitwise** — same ids, same float scores (all scoring goes through the
+batch-size-invariant einsum contraction of :mod:`repro.core.query`).
+
+Two merge strategies are implemented, both returning that identical
+answer:
+
+* **naive** — every shard answers its full local top-k
+  (:meth:`Shard.topk`) and the coordinator heap-merges the sorted streams.
+  Total Definition 9 cost is the sum of full per-shard traversals.
+* **threshold** — round-robin incremental fetches on per-shard
+  :class:`~repro.core.cursor.TopKCursor`\\ s with a global k-th-score
+  cutoff (the cursor's ``stop_score`` threshold hook): once k candidates
+  are held, a shard that emits past the current k-th best ``(score, id)``
+  is stopped, exactly the layered early termination the onion/HL line
+  applies within one machine.  Every fetch a shard performs is a prefix of
+  the traversal the naive merge would have paid, so the threshold merge's
+  total cost is **never worse than naive** — the saving is reported per
+  query and in ``repro-topk cluster-bench``.
+
+Fault handling
+--------------
+A shard raising :class:`~repro.exceptions.ShardFailedError` (injected via
+:class:`~repro.cluster.shard.FailingShard`) is retried on its replica when
+one is attached; otherwise the query degrades to a result flagged
+``partial=True`` listing the shards whose tuples are missing.  Partial
+results are never cached.
+
+Maintenance routes ``insert``/``delete`` to the owning shard (the
+partitioner's routing rule) and bumps a cluster-wide version that keys —
+and therefore invalidates — the coordinator's result cache.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.partition import Partitioning, make_partitioning
+from repro.cluster.shard import Shard, ShardAnswer, build_shards
+from repro.core.base import TopKResult
+from repro.exceptions import InvalidQueryError, InvalidWeightError, ShardFailedError
+from repro.relation import Relation, normalize_weights
+from repro.serving.cache import ResultCache
+from repro.serving.metrics import MetricsRegistry, QueryRecord
+from repro.stats import AccessCounter
+
+
+@dataclass
+class ClusterResult(TopKResult):
+    """A cluster answer: a :class:`TopKResult` plus serving provenance.
+
+    ``partial`` flags a degraded answer (some shard was down with no
+    replica); ``failed_shards`` / ``recovered_shards`` name the shards
+    that were skipped / answered by replica; ``shard_costs`` is the
+    Definition 9 cost each participating shard paid (their sum is
+    ``self.cost``); ``merge`` names the strategy that produced the answer
+    (``"cache"`` for hits).
+    """
+
+    partial: bool = False
+    failed_shards: tuple[int, ...] = ()
+    recovered_shards: tuple[int, ...] = ()
+    shard_costs: dict[int, int] = field(default_factory=dict)
+    merge: str = "threshold"
+
+
+#: Merge strategies accepted by :class:`ClusterEngine`.
+MERGE_STRATEGIES = ("naive", "threshold")
+
+
+class ClusterEngine:
+    """Scatter-gather top-k serving over partitioned DL/DL+ shards.
+
+    Parameters
+    ----------
+    relation:
+        The global relation to partition and serve.
+    shards:
+        Shard count (``1`` degenerates to a single-shard cluster whose
+        answers and costs equal the single-node engine's).
+    partitioner:
+        ``"round-robin"`` / ``"hash"`` / ``"angular"`` (see
+        :mod:`repro.cluster.partition`).
+    index_class:
+        Gated layer index class built per shard (default DL+).
+    index_kwargs:
+        Constructor keywords for each shard index (``max_layers`` …).
+    engine_kwargs:
+        Keywords for each shard's :class:`~repro.serving.QueryEngine`
+        (``kernel`` …); shard caches stay disabled — result caching lives
+        here, keyed by the cluster version.
+    merge:
+        Default merge strategy (overridable per query).
+    replicate:
+        Attach a serialization-hydrated replica to every shard.
+    cache_size / quantize_decimals / latency_window:
+        Coordinator result-cache and metrics knobs (as on
+        :class:`~repro.serving.QueryEngine`).
+    build_workers:
+        Thread-pool width for the initial shard builds.
+    scatter_workers:
+        Thread-pool width for fanning the naive merge's per-shard queries
+        out concurrently (``None``/``0`` scatters sequentially).
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        *,
+        shards: int = 4,
+        partitioner: str = "round-robin",
+        index_class=None,
+        index_kwargs: dict | None = None,
+        engine_kwargs: dict | None = None,
+        merge: str = "threshold",
+        replicate: bool = False,
+        cache_size: int = 1024,
+        quantize_decimals: int = 12,
+        latency_window: int = 4096,
+        build_workers: int | None = None,
+        scatter_workers: int | None = None,
+    ) -> None:
+        if merge not in MERGE_STRATEGIES:
+            raise InvalidQueryError(
+                f"merge must be one of {MERGE_STRATEGIES}, got {merge!r}"
+            )
+        if index_class is None:
+            from repro.core import DLPlusIndex
+
+            index_class = DLPlusIndex
+        self.merge = merge
+        self.partitioning: Partitioning = make_partitioning(
+            relation, shards, partitioner
+        )
+        self.schema = relation.schema
+        self.shards: list[Shard] = build_shards(
+            self.partitioning,
+            index_class=index_class,
+            index_kwargs=index_kwargs,
+            engine_kwargs=engine_kwargs,
+            replicate=replicate,
+            build_workers=build_workers,
+        )
+        self.cache = ResultCache(cache_size, decimals=quantize_decimals)
+        self.metrics = MetricsRegistry(latency_window=latency_window)
+        self._scatter_pool = (
+            ThreadPoolExecutor(max_workers=min(scatter_workers, shards))
+            if scatter_workers and scatter_workers > 1 and shards > 1
+            else None
+        )
+        # Cluster-wide monotone version: bumped by every routed mutation;
+        # keys the result cache so maintenance can never serve stale hits.
+        self._version = 1
+        # Growing global-id space: shard owner per ever-assigned id
+        # (-1 once deleted); new ids continue past the initial n.
+        self._owner = self.partitioning.shard_of.copy()
+
+    # ------------------------------------------------------------------ #
+    # Introspection (QueryEngine-parity surface)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """Cluster-wide structure version (bumped by insert/delete)."""
+        return self._version
+
+    @property
+    def d(self) -> int:
+        return self.shards[0].relation.d
+
+    @property
+    def n(self) -> int:
+        """Live tuple count across all shards."""
+        return sum(shard.n for shard in self.shards)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def stats(self) -> dict:
+        """Coordinator metrics + cache + per-shard and rolled-up metrics."""
+        snapshot: dict = self.metrics.as_dict()
+        for key, value in self.cache.stats().items():
+            snapshot[f"cache_{key}"] = float(value)
+        snapshot["throughput_qps"] = self.metrics.throughput()
+        snapshot["num_shards"] = float(self.num_shards)
+        registries = [shard.metrics_registry() for shard in self.shards]
+        snapshot["shards"] = MetricsRegistry.aggregate(registries)
+        snapshot["per_shard"] = {
+            shard.shard_id: registry.as_dict()
+            for shard, registry in zip(self.shards, registries)
+        }
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Serving paths
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self, weights: np.ndarray, k: int, *, merge: str | None = None
+    ) -> ClusterResult:
+        """Serve one top-k query through the cluster cache."""
+        raw = np.asarray(weights, dtype=np.float64)
+        w = normalize_weights(raw, self.d)
+        self._validate(k, merge)
+        with self.metrics.track() as record:
+            return self._serve(raw, w, k, record, merge or self.merge)
+
+    def query_batch(
+        self, weights_matrix: np.ndarray, k: int, *, merge: str | None = None
+    ) -> list[ClusterResult]:
+        """Serve one query per row, deduplicating through the cache."""
+        matrix = np.asarray(weights_matrix, dtype=np.float64)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        if matrix.ndim != 2:
+            raise InvalidWeightError(
+                f"weight matrix must be 2-D, got shape {matrix.shape}"
+            )
+        self._validate(k, merge)
+        d = self.d
+        results: list[ClusterResult] = []
+        for row in range(matrix.shape[0]):
+            w = normalize_weights(matrix[row], d)
+            with self.metrics.track() as record:
+                record.batched = True
+                results.append(
+                    self._serve(matrix[row], w, k, record, merge or self.merge)
+                )
+        return results
+
+    def query_many(
+        self,
+        queries,
+        *,
+        max_workers: int | None = None,
+        merge: str | None = None,
+    ) -> list[ClusterResult]:
+        """Serve ``(weights, k)`` pairs concurrently on a thread pool."""
+        items = list(queries)
+        if not items:
+            return []
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(self.query, w, int(k), merge=merge) for w, k in items
+            ]
+            return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Maintenance (routed to the owning shard)
+    # ------------------------------------------------------------------ #
+
+    def insert(self, values: np.ndarray) -> int:
+        """Insert one tuple; returns its new global id.
+
+        The owning shard comes from the partitioner's routing rule
+        (id-based for round-robin/hash, wedge lookup for angular); the
+        shard rebuilds its index (re-hydrating its replica if any) and the
+        cluster version bump invalidates every cached answer.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.d,):
+            raise InvalidQueryError(
+                f"expected a {self.d}-vector, got shape {values.shape}"
+            )
+        if not np.all(np.isfinite(values)):
+            raise InvalidQueryError("tuple values must be finite")
+        global_id = self._owner.shape[0]
+        shard_id = self.partitioning.route(global_id, values)
+        self.shards[shard_id].insert(global_id, values)
+        self._owner = np.concatenate(
+            [self._owner, np.asarray([shard_id], dtype=np.intp)]
+        )
+        self._bump()
+        return int(global_id)
+
+    def delete(self, global_id: int) -> None:
+        """Delete one tuple by global id (routed to its owning shard)."""
+        if not (0 <= global_id < self._owner.shape[0]) or self._owner[global_id] < 0:
+            raise InvalidQueryError(f"no live tuple with global id {global_id}")
+        shard_id = int(self._owner[global_id])
+        self.shards[shard_id].delete(global_id)
+        self._owner[global_id] = -1
+        self._bump()
+
+    def _bump(self) -> None:
+        self._version += 1
+        self.cache.prune(self._version)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _validate(self, k: int, merge: str | None) -> None:
+        if k < 1:
+            raise InvalidQueryError(f"retrieval size k must be >= 1, got {k}")
+        if merge is not None and merge not in MERGE_STRATEGIES:
+            raise InvalidQueryError(
+                f"merge must be one of {MERGE_STRATEGIES}, got {merge!r}"
+            )
+
+    def _serve(
+        self, raw: np.ndarray, w: np.ndarray, k: int, record: QueryRecord, merge: str
+    ) -> ClusterResult:
+        """Serve one validated query.
+
+        ``w`` (normalized) keys the cache; ``raw`` is what the shards
+        receive, so each shard's engine/cursor normalizes exactly once —
+        the same single normalization the single-node engine applies.
+        Normalization is not bitwise idempotent (``sum(w/s)`` is not always
+        exactly 1.0), so forwarding ``w`` would shift shard scores by an
+        ulp off the single-node answer.
+        """
+        effective_k = min(int(k), self.n)
+        key = self.cache.make_key(w, effective_k, self._version)
+        cached = self.cache.get(key)
+        if cached is not None:
+            record.hit = True
+            record.cost = 0
+            return ClusterResult(
+                ids=cached[0],
+                scores=cached[1],
+                counter=AccessCounter(),
+                merge="cache",
+            )
+        if merge == "naive":
+            result = self._merge_naive(raw, effective_k)
+        else:
+            result = self._merge_threshold(raw, effective_k)
+        record.cost = result.cost
+        if not result.partial:
+            self.cache.put(key, result.ids, result.scores)
+        return result
+
+    # -- naive merge --------------------------------------------------- #
+
+    def _merge_naive(self, w: np.ndarray, k: int) -> ClusterResult:
+        """Full per-shard top-k, heap-merged by ``(score, global id)``."""
+        answers: list[ShardAnswer] = []
+        failed: list[int] = []
+        recovered: list[int] = []
+
+        def ask(shard: Shard) -> ShardAnswer | None:
+            start = time.perf_counter()
+            try:
+                answer = self._with_failover(
+                    shard, lambda replica: shard.topk(w, k, use_replica=replica),
+                    recovered,
+                )
+            except ShardFailedError:
+                failed.append(shard.shard_id)
+                return None
+            # topk through a replica bypasses the primary's registry;
+            # recovered queries are folded in here so per-shard metrics
+            # always reflect the shard's served traffic.
+            if answer is not None and shard.shard_id in recovered:
+                shard.metrics_registry().record_external(
+                    cost=answer.cost, seconds=time.perf_counter() - start
+                )
+            return answer
+
+        if self._scatter_pool is not None:
+            gathered = list(self._scatter_pool.map(ask, self.shards))
+        else:
+            gathered = [ask(shard) for shard in self.shards]
+        answers = [answer for answer in gathered if answer is not None]
+
+        streams = [
+            list(zip(a.scores.tolist(), a.global_ids.tolist())) for a in answers
+        ]
+        merged = heapq.merge(*streams)
+        ids: list[int] = []
+        scores: list[float] = []
+        for score, gid in merged:
+            ids.append(gid)
+            scores.append(score)
+            if len(ids) >= k:
+                break
+        counter = AccessCounter()
+        shard_costs: dict[int, int] = {}
+        for answer in answers:
+            counter.merge(answer.counter)
+            shard_costs[answer.shard_id] = answer.cost
+        return ClusterResult(
+            ids=np.asarray(ids, dtype=np.intp),
+            scores=np.asarray(scores, dtype=np.float64),
+            counter=counter,
+            partial=bool(failed),
+            failed_shards=tuple(failed),
+            recovered_shards=tuple(recovered),
+            shard_costs=shard_costs,
+            merge="naive",
+        )
+
+    # -- threshold merge ----------------------------------------------- #
+
+    def _merge_threshold(self, w: np.ndarray, k: int) -> ClusterResult:
+        """Round-robin cursor fetches with a global k-th-score cutoff.
+
+        Invariants that make this both exact and never costlier than the
+        naive merge:
+
+        * each cursor emits in ascending ``(score, global id)`` order, so
+          once a shard's emission exceeds the current k-th-best candidate
+          (the *bound*), everything it could still emit does too — and the
+          bound only ever tightens, so the shard is done;
+        * tuples scoring exactly on the bound are still emitted
+          (``stop_score`` stops strictly *above*), so cross-shard ties are
+          resolved here by global id, same as the single-node heap;
+        * a shard emits at most k tuples and every fetch is a prefix of
+          the shard-local top-k traversal the naive merge runs, so
+          per-shard (and hence total) cost is bounded by naive's.
+        """
+        failed: list[int] = []
+        recovered: list[int] = []
+        cursors = []
+        started = {}
+        for shard in self.shards:
+            started[shard.shard_id] = time.perf_counter()
+            try:
+                cursor = self._with_failover(
+                    shard, lambda replica: shard.cursor(w, use_replica=replica),
+                    recovered,
+                )
+            except ShardFailedError:
+                failed.append(shard.shard_id)
+                continue
+            cursors.append(cursor)
+
+        # Best-k candidates as a max-heap of (-score, -gid): top[0] is the
+        # current k-th best, i.e. the cutoff the cursors are fetched under.
+        top: list[tuple[float, int]] = []
+        emitted: dict[int, int] = {c.shard_id: 0 for c in cursors}
+        # Round-robin chunk while no bound exists yet: spread the first k
+        # emissions across shards instead of draining shard 0 to depth k.
+        step = max(1, -(-k // max(1, len(cursors))))
+        active = deque(cursors)
+        while active:
+            cursor = active.popleft()
+            if len(top) >= k:
+                m = k - emitted[cursor.shard_id]
+                stop = -top[0][0]
+            else:
+                m = min(step, k - emitted[cursor.shard_id])
+                stop = None
+            gids, scores = cursor.fetch(m, stop_score=stop)
+            emitted[cursor.shard_id] += gids.shape[0]
+            for gid, score in zip(gids.tolist(), scores.tolist()):
+                item = (-score, -gid)
+                if len(top) < k:
+                    heapq.heappush(top, item)
+                elif item > top[0]:
+                    heapq.heapreplace(top, item)
+            # Doneness is inferred from emission counts alone — probing
+            # ``cursor.exhausted`` would resolve the deferred k-th gate
+            # relaxation and pay accesses process_top_k's break-before-relax
+            # never pays, breaking the threshold<=naive cost guarantee.
+            if emitted[cursor.shard_id] >= k:
+                continue  # hit its k-emission cap: can't contribute further
+            if stop is not None:
+                # A bounded fetch stops at an emission strictly above a
+                # bound that only tightens from here (or drained the
+                # shard) — either way this shard is done.
+                continue
+            if gids.shape[0] < m:
+                continue  # unbounded fetch came up short: shard exhausted
+            active.append(cursor)
+
+        ordered = sorted((-neg_score, -neg_gid) for neg_score, neg_gid in top)
+        counter = AccessCounter()
+        shard_costs: dict[int, int] = {}
+        for cursor in cursors:
+            counter.merge(cursor.counter)
+            shard_costs[cursor.shard_id] = cursor.cost
+            self.shards[cursor.shard_id].metrics_registry().record_external(
+                cost=cursor.cost,
+                seconds=time.perf_counter() - started[cursor.shard_id],
+            )
+        return ClusterResult(
+            ids=np.asarray([gid for _, gid in ordered], dtype=np.intp),
+            scores=np.asarray([score for score, _ in ordered], dtype=np.float64),
+            counter=counter,
+            partial=bool(failed),
+            failed_shards=tuple(failed),
+            recovered_shards=tuple(recovered),
+            shard_costs=shard_costs,
+            merge="threshold",
+        )
+
+    # -- failover ------------------------------------------------------ #
+
+    @staticmethod
+    def _with_failover(shard: Shard, action, recovered: list[int]):
+        """Run ``action(use_replica)`` on the primary, retrying the replica.
+
+        Raises :class:`ShardFailedError` only when the primary is down and
+        no replica answers; a successful replica retry records the shard
+        in ``recovered``.
+        """
+        try:
+            return action(False)
+        except ShardFailedError:
+            if not shard.has_replica:
+                raise
+            result = action(True)
+            recovered.append(shard.shard_id)
+            return result

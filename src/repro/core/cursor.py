@@ -76,16 +76,36 @@ class TopKCursor:
             self._relax(node)
         return not self._heap
 
-    def fetch(self, m: int) -> tuple[np.ndarray, np.ndarray]:
+    def fetch(
+        self, m: int, *, stop_score: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """The next ``m`` tuples ``(ids, scores)`` in ascending score order.
 
         Returns fewer than ``m`` when the relation (or the materialized
         part of a bounded index) is exhausted; raises
         :class:`IndexCapacityError` when a partial index cannot guarantee
-        the requested depth.
+        the requested depth.  ``fetch(0)`` is a valid no-op returning empty
+        arrays.
+
+        ``stop_score`` is the **threshold hook** the cluster coordinator's
+        scatter-gather merge uses (see :mod:`repro.cluster`): when given,
+        the fetch also stops — *without consuming* — at the first tuple
+        whose score strictly exceeds it (the tuple is pushed back onto the
+        queue, so a later fetch re-emits it at no extra Definition 9 cost;
+        accesses are counted at enqueue time, not at pop time).  Tuples
+        scoring exactly ``stop_score`` are still emitted, so a caller
+        merging several cursors can resolve score ties by id itself.
+        Emissions are in ascending score order either way, so once a fetch
+        stops early every future tuple of this cursor also exceeds the
+        threshold.
         """
-        if m < 1:
-            raise InvalidQueryError(f"fetch size must be >= 1, got {m}")
+        if m < 0:
+            raise InvalidQueryError(f"fetch size must be >= 0, got {m}")
+        if m == 0:
+            return (
+                np.empty(0, dtype=np.intp),
+                np.empty(0, dtype=np.float64),
+            )
         target = self._emitted + m
         if not self.structure.complete and target > self.structure.num_coarse_layers:
             raise IndexCapacityError(
@@ -102,6 +122,13 @@ class TopKCursor:
         while self._heap and len(ids) < m:
             score, node = heapq.heappop(self._heap)
             if node < n_real:
+                if stop_score is not None and score > stop_score:
+                    # Threshold hook: past the caller's global cutoff.  Push
+                    # the tuple back unconsumed (its access was already
+                    # counted at enqueue time, so this costs nothing) and
+                    # stop; all later emissions score at least as high.
+                    heapq.heappush(self._heap, (score, node))
+                    break
                 ids.append(node)
                 scores.append(score)
                 self._emitted += 1

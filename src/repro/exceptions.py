@@ -54,3 +54,12 @@ class SQLParseError(ReproError):
 
 class SerializationError(ReproError):
     """An index or relation could not be saved or loaded."""
+
+
+class ShardFailedError(ReproError):
+    """A cluster shard is unreachable (injected or real failure).
+
+    Raised by a failed shard's query paths; the cluster coordinator
+    catches it to retry on a replica or to degrade to a flagged partial
+    result (see :mod:`repro.cluster`).
+    """

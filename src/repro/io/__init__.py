@@ -1,10 +1,19 @@
-"""Persistence: relations to npz/CSV, built indexes to pickle files."""
+"""Persistence: relations to npz/CSV, built indexes to pickle files/bytes."""
 
 from repro.io.serialize import (
+    index_from_bytes,
+    index_to_bytes,
     load_index,
     load_relation,
     save_index,
     save_relation,
 )
 
-__all__ = ["load_index", "load_relation", "save_index", "save_relation"]
+__all__ = [
+    "index_from_bytes",
+    "index_to_bytes",
+    "load_index",
+    "load_relation",
+    "save_index",
+    "save_relation",
+]

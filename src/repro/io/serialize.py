@@ -46,13 +46,38 @@ def load_relation(path: str | Path) -> Relation:
     return Relation(matrix, Schema(attributes), check_domain=False)
 
 
-def save_index(index: TopKIndex, path: str | Path) -> None:
-    """Persist a *built* index (builds it first if needed)."""
+def index_to_bytes(index: TopKIndex) -> bytes:
+    """Serialize a *built* index to bytes (builds it first if needed).
+
+    The byte payload is identical to what :func:`save_index` writes to
+    disk; the cluster layer uses it to hydrate shard replicas without
+    touching the filesystem.
+    """
     if not index._built:
         index.build()
+    return pickle.dumps({"magic": _MAGIC, "index": index}, protocol=4)
+
+
+def index_from_bytes(payload_bytes: bytes, *, source: str = "<bytes>") -> TopKIndex:
+    """Deserialize an index produced by :func:`index_to_bytes` (trusted only)."""
+    try:
+        payload = pickle.loads(payload_bytes)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ValueError) as exc:
+        raise SerializationError(f"cannot load index from {source}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise SerializationError(f"{source} is not a repro index file")
+    index = payload["index"]
+    if not isinstance(index, TopKIndex):
+        raise SerializationError(f"{source} does not contain a TopKIndex")
+    return index
+
+
+def save_index(index: TopKIndex, path: str | Path) -> None:
+    """Persist a *built* index (builds it first if needed)."""
     path = Path(path)
+    payload = index_to_bytes(index)
     with path.open("wb") as handle:
-        pickle.dump({"magic": _MAGIC, "index": index}, handle, protocol=4)
+        handle.write(payload)
 
 
 def load_index(path: str | Path) -> TopKIndex:
@@ -60,12 +85,7 @@ def load_index(path: str | Path) -> TopKIndex:
     path = Path(path)
     try:
         with path.open("rb") as handle:
-            payload = pickle.load(handle)
-    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            payload_bytes = handle.read()
+    except OSError as exc:
         raise SerializationError(f"cannot load index from {path}: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
-        raise SerializationError(f"{path} is not a repro index file")
-    index = payload["index"]
-    if not isinstance(index, TopKIndex):
-        raise SerializationError(f"{path} does not contain a TopKIndex")
-    return index
+    return index_from_bytes(payload_bytes, source=str(path))

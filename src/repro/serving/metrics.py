@@ -32,7 +32,16 @@ class QueryRecord:
 
 
 class MetricsRegistry:
-    """Aggregates per-query serving metrics; safe for concurrent writers."""
+    """Aggregates per-query serving metrics; safe for concurrent writers.
+
+    Thread-safety contract: every mutation — the :meth:`track` context
+    manager's enter/exit, :meth:`record_external`, :meth:`reset` — runs
+    under the registry's single lock, covering the counters *and* the
+    latency window together, so concurrent writers (the serving engine's
+    thread pool, the cluster coordinator driving one registry per shard
+    from its scatter threads) can never lose an update or tear a
+    counter/latency pair.  :meth:`as_dict` snapshots under the same lock.
+    """
 
     def __init__(self, *, latency_window: int = 4096) -> None:
         self._lock = threading.Lock()
@@ -73,6 +82,80 @@ class MetricsRegistry:
                 if record.cost > self.max_cost:
                     self.max_cost = record.cost
                 self._latency.record(elapsed)
+
+    def record_external(
+        self, *, cost: int, seconds: float | None = None, hit: bool = False
+    ) -> None:
+        """Fold in one query served outside :meth:`track`.
+
+        The cluster coordinator's threshold merge drives shard cursors
+        directly (round-robin, interleaved across shards), so a shard's
+        share of the work has no contiguous wall-clock span to wrap in
+        :meth:`track`; this records its cost (and optionally its summed
+        fetch time) as one served query, under the same single lock.
+        """
+        with self._lock:
+            self.queries += 1
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            self.total_cost += cost
+            if cost > self.max_cost:
+                self.max_cost = cost
+            if seconds is not None:
+                self._latency.record(seconds)
+
+    @staticmethod
+    def aggregate(registries: "list[MetricsRegistry]") -> dict[str, float]:
+        """One flat snapshot summed across registries (cluster roll-up).
+
+        Counters add; queue depths take the max; latency percentiles are
+        computed over the union of every registry's latency window, so the
+        roll-up reflects the pooled query population rather than an
+        average of percentiles.  Each registry is snapshotted under its
+        own lock.
+        """
+        queries = hits = misses = batched = 0
+        total_cost = 0
+        max_cost = 0
+        queue_depth = max_queue_depth = 0
+        samples: list[float] = []
+        total_seconds = 0.0
+        lifetime = 0
+        for registry in registries:
+            with registry._lock:
+                queries += registry.queries
+                hits += registry.cache_hits
+                misses += registry.cache_misses
+                batched += registry.batched_queries
+                total_cost += registry.total_cost
+                max_cost = max(max_cost, registry.max_cost)
+                queue_depth = max(queue_depth, registry.queue_depth)
+                max_queue_depth = max(max_queue_depth, registry.max_queue_depth)
+                samples.extend(registry._latency._samples)
+                total_seconds += registry._latency.total
+                lifetime += registry._latency.count
+        from repro.stats.latency import percentile
+
+        scaled = [s * 1e3 for s in samples]
+        return {
+            "queries": float(queries),
+            "batched_queries": float(batched),
+            "cache_hits": float(hits),
+            "cache_misses": float(misses),
+            "hit_rate": hits / queries if queries else 0.0,
+            "total_cost": float(total_cost),
+            "mean_cost": total_cost / queries if queries else 0.0,
+            "max_cost": float(max_cost),
+            "latency_ms_mean": (total_seconds / lifetime * 1e3) if lifetime else 0.0,
+            "latency_ms_p50": percentile(scaled, 50.0),
+            "latency_ms_p95": percentile(scaled, 95.0),
+            "latency_ms_p99": percentile(scaled, 99.0),
+            "latency_ms_max": max(scaled) if scaled else 0.0,
+            "queue_depth": float(queue_depth),
+            "max_queue_depth": float(max_queue_depth),
+        }
 
     @property
     def hit_rate(self) -> float:

@@ -1,0 +1,228 @@
+"""ClusterEngine: bitwise equality with a single node, cost dominance,
+failover, caching, and routed maintenance — the PR's acceptance suite."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterEngine, FailingShard
+from repro.core import DLPlusIndex
+from repro.data import generate
+from repro.exceptions import InvalidQueryError
+from repro.relation import random_weight_vector
+from repro.serving import QueryEngine
+
+
+def single_node(relation):
+    return QueryEngine(DLPlusIndex(relation), cache_size=0)
+
+
+# ---------------------------------------------------------------------- #
+# Acceptance property grid: distribution x d x shards x partitioner x merge
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT", "COR"])
+@pytest.mark.parametrize("d", [2, 4])
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("partitioner", ["round-robin", "angular"])
+def test_cluster_matches_single_node_bitwise(distribution, d, shards, partitioner):
+    relation = generate(distribution, 180, d, seed=37)
+    reference = single_node(relation)
+    cluster = ClusterEngine(
+        relation, shards=shards, partitioner=partitioner, cache_size=0
+    )
+    rng = np.random.default_rng(91)
+    for k in (1, 5, 23):
+        w = random_weight_vector(d, rng)
+        ref = reference.query(w, k)
+        naive = cluster.query(w, k, merge="naive")
+        threshold = cluster.query(w, k, merge="threshold")
+        for got in (naive, threshold):
+            np.testing.assert_array_equal(got.ids, ref.ids)
+            assert got.scores.tobytes() == ref.scores.tobytes()
+            assert not got.partial
+        # Threshold merge never pays more than the naive merge.
+        assert threshold.cost <= naive.cost
+        # Per-shard costs sum to the merged Definition 9 total.
+        assert sum(threshold.shard_costs.values()) == threshold.cost
+        assert sum(naive.shard_costs.values()) == naive.cost
+
+
+def test_single_shard_threshold_cost_equals_single_node():
+    """shards=1 degenerates exactly: same answer, same Definition 9 cost."""
+    relation = generate("ANT", 200, 3, seed=5)
+    reference = single_node(relation)
+    cluster = ClusterEngine(relation, shards=1, cache_size=0)
+    rng = np.random.default_rng(13)
+    for _ in range(5):
+        w = random_weight_vector(3, rng)
+        ref = reference.query(w, 10)
+        got = cluster.query(w, 10, merge="threshold")
+        np.testing.assert_array_equal(got.ids, ref.ids)
+        assert got.cost == ref.cost
+
+
+def test_k_larger_than_relation_is_clamped():
+    relation = generate("IND", 60, 3, seed=3)
+    cluster = ClusterEngine(relation, shards=4, cache_size=0)
+    ref = single_node(relation).query(np.array([0.3, 0.3, 0.4]), 500)
+    got = cluster.query(np.array([0.3, 0.3, 0.4]), 500)
+    assert len(got.ids) == relation.n
+    np.testing.assert_array_equal(got.ids, ref.ids)
+
+
+def test_invalid_queries_raise():
+    relation = generate("IND", 50, 2, seed=1)
+    cluster = ClusterEngine(relation, shards=2)
+    with pytest.raises(InvalidQueryError):
+        cluster.query(np.array([0.5, 0.5]), 0)
+    with pytest.raises(InvalidQueryError):
+        cluster.query(np.array([0.5, 0.5]), 5, merge="zipper")
+    with pytest.raises(InvalidQueryError):
+        ClusterEngine(relation, shards=2, merge="zipper")
+
+
+# ---------------------------------------------------------------------- #
+# Batch / concurrent surfaces
+# ---------------------------------------------------------------------- #
+
+
+def test_query_batch_and_many_match_query():
+    relation = generate("ANT", 150, 3, seed=23)
+    cluster = ClusterEngine(relation, shards=3, partitioner="angular")
+    rng = np.random.default_rng(7)
+    weights = [random_weight_vector(3, rng) for _ in range(6)]
+    singles = [cluster.query(w, 8) for w in weights]
+    batched = cluster.query_batch(np.vstack(weights), 8)
+    pooled = cluster.query_many([(w, 8) for w in weights], max_workers=3)
+    for ref, b, p in zip(singles, batched, pooled):
+        np.testing.assert_array_equal(b.ids, ref.ids)
+        np.testing.assert_array_equal(p.ids, ref.ids)
+        assert b.scores.tobytes() == ref.scores.tobytes()
+        assert p.scores.tobytes() == ref.scores.tobytes()
+    assert cluster.query_many([]) == []
+
+
+def test_scatter_workers_naive_merge_matches_sequential():
+    relation = generate("IND", 160, 3, seed=41)
+    sequential = ClusterEngine(relation, shards=4, cache_size=0)
+    scattered = ClusterEngine(relation, shards=4, cache_size=0, scatter_workers=4)
+    w = np.array([0.25, 0.4, 0.35])
+    a = sequential.query(w, 12, merge="naive")
+    b = scattered.query(w, 12, merge="naive")
+    np.testing.assert_array_equal(a.ids, b.ids)
+    assert a.scores.tobytes() == b.scores.tobytes()
+    assert a.cost == b.cost
+
+
+# ---------------------------------------------------------------------- #
+# Failover
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("merge", ["naive", "threshold"])
+def test_failed_shard_with_replica_serves_exact_answer(merge):
+    relation = generate("IND", 160, 3, seed=53)
+    reference = single_node(relation)
+    cluster = ClusterEngine(relation, shards=2, replicate=True, cache_size=0)
+    cluster.shards[0] = FailingShard(cluster.shards[0], failed=True)
+    w = np.array([0.3, 0.3, 0.4])
+    got = cluster.query(w, 10, merge=merge)
+    ref = reference.query(w, 10)
+    np.testing.assert_array_equal(got.ids, ref.ids)
+    assert got.scores.tobytes() == ref.scores.tobytes()
+    assert not got.partial
+    assert got.recovered_shards == (0,)
+    assert got.failed_shards == ()
+
+
+@pytest.mark.parametrize("merge", ["naive", "threshold"])
+def test_failed_shard_without_replica_degrades_to_partial(merge):
+    relation = generate("IND", 160, 3, seed=53)
+    cluster = ClusterEngine(relation, shards=2, cache_size=4)
+    dead = FailingShard(cluster.shards[1], failed=True)
+    cluster.shards[1] = dead
+    w = np.array([0.3, 0.3, 0.4])
+    got = cluster.query(w, 10, merge=merge)
+    assert got.partial
+    assert got.failed_shards == (1,)
+    # The surviving shard still answers its own slice, in order.
+    live_ids = cluster.shards[0].global_ids
+    assert np.all(np.isin(got.ids, live_ids))
+    assert np.all(np.diff(got.scores) >= 0)
+    # Partial answers are never cached: restoring the shard un-degrades
+    # the very same query.
+    dead.restore()
+    healed = cluster.query(w, 10, merge=merge)
+    assert not healed.partial
+    ref = single_node(relation).query(w, 10)
+    np.testing.assert_array_equal(healed.ids, ref.ids)
+
+
+# ---------------------------------------------------------------------- #
+# Cache + maintenance
+# ---------------------------------------------------------------------- #
+
+
+def test_cache_hits_and_version_invalidation():
+    relation = generate("IND", 120, 3, seed=61)
+    cluster = ClusterEngine(relation, shards=2, cache_size=16)
+    w = np.array([0.2, 0.5, 0.3])
+    first = cluster.query(w, 5)
+    hit = cluster.query(w, 5)
+    assert hit.merge == "cache" and hit.cost == 0
+    np.testing.assert_array_equal(hit.ids, first.ids)
+    assert cluster.metrics.cache_hits == 1
+
+    version = cluster.version
+    gid = cluster.insert(np.array([0.5, 0.5, 0.5]))
+    assert cluster.version == version + 1
+    missed = cluster.query(w, 5)  # old entry invalidated by the bump
+    assert missed.merge != "cache"
+    cluster.delete(gid)
+    assert cluster.version == version + 2
+
+
+def test_insert_routes_to_owner_and_is_servable():
+    relation = generate("IND", 90, 3, seed=67)
+    reference_matrix = relation.matrix
+    cluster = ClusterEngine(relation, shards=3, partitioner="angular")
+    n0 = cluster.n
+    values = np.array([0.005, 0.004, 0.006])  # dominates: must top the list
+    gid = cluster.insert(values)
+    assert gid == n0 and cluster.n == n0 + 1
+    got = cluster.query(np.ones(3), 1)
+    assert int(got.ids[0]) == gid
+    # The cluster answer equals a single node over the grown relation.
+    from repro.relation import Relation
+
+    grown = Relation(
+        np.vstack([reference_matrix, values[None, :]]), check_domain=False
+    )
+    ref = single_node(grown).query(np.ones(3), 10)
+    full = cluster.query(np.ones(3), 10)
+    np.testing.assert_array_equal(full.ids, ref.ids)
+    assert full.scores.tobytes() == ref.scores.tobytes()
+
+    cluster.delete(gid)
+    assert cluster.n == n0
+    with pytest.raises(InvalidQueryError):
+        cluster.delete(gid)  # already gone
+    with pytest.raises(InvalidQueryError):
+        cluster.insert(np.array([0.5, 0.5]))  # wrong arity
+
+
+def test_stats_aggregates_per_shard_metrics():
+    relation = generate("IND", 120, 3, seed=71)
+    cluster = ClusterEngine(relation, shards=2, cache_size=0)
+    for merge in ("naive", "threshold"):
+        cluster.query(np.array([0.4, 0.3, 0.3]), 5, merge=merge)
+    stats = cluster.stats()
+    assert stats["queries"] == 2.0
+    assert stats["num_shards"] == 2.0
+    # Each merge folded one query into each shard's registry.
+    assert stats["shards"]["queries"] == 4.0
+    assert set(stats["per_shard"]) == {0, 1}
+    assert stats["shards"]["total_cost"] == sum(
+        entry["total_cost"] for entry in stats["per_shard"].values()
+    )

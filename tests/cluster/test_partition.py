@@ -1,0 +1,94 @@
+"""Partitioners: disjoint cover, ascending id maps, routing consistency."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import make_partitioning
+from repro.cluster.partition import (
+    PARTITIONERS,
+    assign_angular,
+    assign_hash,
+    assign_round_robin,
+    first_angle,
+)
+from repro.data import generate
+from repro.exceptions import InvalidQueryError
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate("ANT", 300, 3, seed=11)
+
+
+@pytest.mark.parametrize("method", PARTITIONERS)
+@pytest.mark.parametrize("shards", [1, 2, 4, 7])
+def test_partitioning_is_a_disjoint_ascending_cover(relation, method, shards):
+    part = make_partitioning(relation, shards, method)
+    assert part.num_shards == shards
+    seen = np.concatenate(part.global_ids)
+    # Every global id appears in exactly one shard.
+    assert np.array_equal(np.sort(seen), np.arange(relation.n))
+    for shard, ids in enumerate(part.global_ids):
+        # The merge's tie-break correctness rests on ascending ids.
+        assert np.all(np.diff(ids) > 0)
+        assert part.relations[shard].n == ids.shape[0]
+        # The sub-relation's rows are the global rows, in id order.
+        np.testing.assert_array_equal(
+            part.relations[shard].matrix, relation.matrix[ids]
+        )
+        # shard_of / local_of invert the per-shard id lists.
+        assert np.all(part.shard_of[ids] == shard)
+        np.testing.assert_array_equal(
+            part.local_of[ids], np.arange(ids.shape[0])
+        )
+
+
+def test_round_robin_assignment():
+    assert assign_round_robin(7, 3).tolist() == [0, 1, 2, 0, 1, 2, 0]
+
+
+def test_hash_assignment_is_stable_and_spread():
+    a = assign_hash(1000, 4)
+    b = assign_hash(1000, 4)
+    np.testing.assert_array_equal(a, b)  # deterministic across calls
+    counts = np.bincount(a, minlength=4)
+    assert counts.min() > 0
+    # splitmix64 spreads ids roughly evenly (loose bound, not flaky).
+    assert counts.max() < 2 * counts.min()
+    # Prefix stability: an id's shard never depends on how many ids exist.
+    np.testing.assert_array_equal(assign_hash(500, 4), a[:500])
+
+
+def test_angular_assignment_cuts_equal_count_wedges(relation):
+    shard_of, edges = assign_angular(relation.matrix, 4)
+    counts = np.bincount(shard_of, minlength=4)
+    assert counts.max() - counts.min() <= 1  # equal-count split
+    assert edges.shape == (3,)
+    assert np.all(np.diff(edges) >= 0)
+    # Wedges are contiguous in angle: every shard-s angle <= edge[s].
+    angles = first_angle(relation.matrix)
+    for shard in range(3):
+        assert np.all(angles[shard_of == shard] <= edges[shard] + 1e-15)
+
+
+def test_angular_d1_degenerates_to_single_wedge_angles():
+    matrix = np.linspace(0.1, 0.9, 8)[:, None]
+    assert np.all(first_angle(matrix) == 0.0)
+
+
+@pytest.mark.parametrize("method", PARTITIONERS)
+def test_route_matches_initial_assignment(relation, method):
+    """route() on an existing id/tuple returns the shard that owns it."""
+    part = make_partitioning(relation, 4, method)
+    for gid in (0, 1, 57, relation.n - 1):
+        routed = part.route(gid, relation.matrix[gid])
+        assert routed == int(part.shard_of[gid])
+
+
+def test_invalid_partitionings(relation):
+    with pytest.raises(InvalidQueryError):
+        make_partitioning(relation, 4, "zorro")
+    with pytest.raises(InvalidQueryError):
+        make_partitioning(relation, 0, "round-robin")
+    with pytest.raises(InvalidQueryError):
+        make_partitioning(relation, relation.n + 1, "round-robin")

