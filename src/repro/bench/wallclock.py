@@ -37,28 +37,49 @@ from repro.bench.workload import (
     DEFAULT_SEED,
     DEFAULT_SIZES,
     Workload,
+    query_weights,
     write_report,
 )
-from repro.core.query import process_top_k, process_top_k_reference
+from repro.core.dispatch import select_kernel
+from repro.core.query import (
+    BatchWorkspace,
+    process_top_k,
+    process_top_k_batch,
+    process_top_k_reference,
+)
 from repro.stats import AccessCounter
 from repro.stats.latency import percentile
 
 __all__ = [
+    "DEFAULT_BATCH_SIZES",
     "DEFAULT_DIMS",
     "DEFAULT_DISTRIBUTIONS",
     "DEFAULT_SEED",
     "DEFAULT_SIZES",
     "KERNELS",
+    "BatchTiming",
     "KernelTiming",
     "WallclockCell",
     "run_wallclock",
+    "validate_query_report",
     "write_report",
 ]
+
+
+def _auto_kernel(structure, w, k, counter):
+    """Single-query ``auto`` dispatch (batch_width=1: reference or csr)."""
+    return KERNELS[select_kernel(structure)](structure, w, k, counter)
+
 
 KERNELS = {
     "reference": process_top_k_reference,
     "csr": process_top_k,
+    "auto": _auto_kernel,
 }
+
+#: Lane counts of the multi-query batch sweep (B=1 exposes the batch
+#: kernel's fixed overhead; B=128 its asymptotic throughput).
+DEFAULT_BATCH_SIZES = (1, 8, 32, 128)
 
 
 @dataclass
@@ -68,6 +89,21 @@ class KernelTiming:
     p50_ms: float
     p95_ms: float
     mean_ms: float
+
+
+@dataclass
+class BatchTiming:
+    """Throughput of the lane-parallel batch kernel at one batch width.
+
+    ``speedup_vs_csr`` is against a sequential per-query csr loop over the
+    *same* weight rows in the same process — the ratio a serving engine
+    realizes by fusing the group into one traversal.
+    """
+
+    B: int
+    qps: float
+    ms_per_query: float
+    speedup_vs_csr: float
 
 
 @dataclass
@@ -85,6 +121,8 @@ class WallclockCell:
     #: stage regressed, not just the total.
     build_stage_seconds: dict[str, float] = field(default_factory=dict)
     kernels: dict[str, KernelTiming] = field(default_factory=dict)
+    #: Batch-kernel throughput per lane count (empty when the sweep is off).
+    batch: list[BatchTiming] = field(default_factory=list)
 
     @property
     def speedup_p50(self) -> float:
@@ -128,6 +166,64 @@ def _check_equivalence(structure, weights, k: int) -> float:
     return float(np.mean(costs))
 
 
+def _sweep_batch(
+    structure, d: int, k: int, batch_sizes, repeats: int, seed: int
+) -> list[BatchTiming]:
+    """Time the batch kernel at each lane count, cross-checked bitwise.
+
+    Every lane of every batch is first verified bitwise (ids, scores,
+    Definition 9 counts) against a per-query :func:`process_top_k` call on
+    the same weights, then both sides are timed best-of-``repeats`` — a
+    sweep that produced a wrong answer can never report a speedup.
+    """
+    timings: list[BatchTiming] = []
+    workspace = BatchWorkspace()
+    for B in batch_sizes:
+        weights = np.asarray(query_weights(d, B, seed + 7000 + B), dtype=np.float64)
+        # Correctness pass (also warms the workspace for this width).
+        counters = [AccessCounter() for _ in range(B)]
+        outputs = process_top_k_batch(
+            structure, weights, k, counters, workspace=workspace
+        )
+        for lane in range(B):
+            counter = AccessCounter()
+            ids, scores = process_top_k(structure, weights[lane], k, counter)
+            batch_ids, batch_scores = outputs[lane]
+            if not (
+                np.array_equal(ids, batch_ids)
+                and scores.tobytes() == batch_scores.tobytes()
+                and (counter.real, counter.pseudo)
+                == (counters[lane].real, counters[lane].pseudo)
+            ):
+                raise AssertionError(
+                    f"batch kernel mismatch at B={B} lane {lane} for weights "
+                    f"{weights[lane].tolist()} (k={k})"
+                )
+        best_batch = float("inf")
+        for _ in range(repeats):
+            counters = [AccessCounter() for _ in range(B)]
+            start = time.perf_counter()
+            process_top_k_batch(structure, weights, k, counters, workspace=workspace)
+            best_batch = min(best_batch, time.perf_counter() - start)
+        best_seq = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for lane in range(B):
+                process_top_k(structure, weights[lane], k, AccessCounter())
+            best_seq = min(best_seq, time.perf_counter() - start)
+        timings.append(
+            BatchTiming(
+                B=B,
+                qps=round(B / best_batch, 1) if best_batch > 0 else float("inf"),
+                ms_per_query=round(best_batch * 1e3 / B, 4),
+                speedup_vs_csr=(
+                    round(best_seq / best_batch, 2) if best_batch > 0 else float("inf")
+                ),
+            )
+        )
+    return timings
+
+
 def run_wallclock(
     *,
     distributions=DEFAULT_DISTRIBUTIONS,
@@ -138,6 +234,7 @@ def run_wallclock(
     repeats: int = 3,
     seed: int = DEFAULT_SEED,
     algorithm: str = "DL+",
+    batch_sizes=DEFAULT_BATCH_SIZES,
     progress=None,
 ) -> dict:
     """Run the grid; returns the JSON-serializable report.
@@ -194,14 +291,23 @@ def run_wallclock(
                         p95_ms=round(percentile(latencies, 95.0), 4),
                         mean_ms=round(float(np.mean(latencies)), 4),
                     )
+                if batch_sizes:
+                    cell.batch = _sweep_batch(
+                        structure, d, k, batch_sizes, repeats, seed
+                    )
                 cells.append(cell)
                 if progress is not None:
-                    progress(
+                    line = (
                         f"{distribution} d={d} n={n}: build {build_seconds:.1f}s, "
                         f"ref p50 {cell.kernels['reference'].p50_ms:.3f}ms, "
                         f"csr p50 {cell.kernels['csr'].p50_ms:.3f}ms "
                         f"({cell.speedup_p50:.2f}x)"
                     )
+                    if cell.batch:
+                        line += ", batch " + " ".join(
+                            f"B{t.B}={t.speedup_vs_csr:.2f}x" for t in cell.batch
+                        )
+                    progress(line)
     return {
         "suite": "wallclock",
         "algorithm": algorithm,
@@ -209,8 +315,52 @@ def run_wallclock(
         "queries": queries,
         "repeats": repeats,
         "seed": seed,
+        # Every timed query (per-query kernels and every batch lane) was
+        # checked bitwise against the oracle during this run; consumers
+        # (the bench-check regression gate) require this marker.
+        "crosscheck": "bitwise",
         "cells": [
             {**asdict(cell), "speedup_p50": round(cell.speedup_p50, 2)}
             for cell in cells
         ],
     }
+
+
+def validate_query_report(report: dict) -> None:
+    """Schema check for a wall-clock report; raises ``ValueError`` on drift.
+
+    Used by CI after the smoke run and available to consumers that load a
+    committed ``BENCH_query.json``.
+    """
+    for key in ("suite", "algorithm", "k", "queries", "repeats", "seed", "cells"):
+        if key not in report:
+            raise ValueError(f"query report missing key {key!r}")
+    if report["suite"] != "wallclock":
+        raise ValueError(f"unexpected suite {report['suite']!r}")
+    if not report["cells"]:
+        raise ValueError("query report has no cells")
+    for cell in report["cells"]:
+        for key in ("distribution", "d", "n", "k", "kernels", "speedup_p50"):
+            if key not in cell:
+                raise ValueError(f"query cell missing key {key!r}: {cell}")
+        for kernel in ("reference", "csr"):
+            if kernel not in cell["kernels"]:
+                raise ValueError(
+                    f"query cell missing kernel {kernel!r}: {cell}"
+                )
+        for kernel, timing in cell["kernels"].items():
+            for key in ("p50_ms", "p95_ms", "mean_ms"):
+                if key not in timing:
+                    raise ValueError(
+                        f"kernel {kernel!r} timing missing {key!r}: {timing}"
+                    )
+                if not timing[key] > 0:
+                    raise ValueError(
+                        f"kernel {kernel!r} has non-positive {key}: {timing}"
+                    )
+        for timing in cell.get("batch", []):
+            for key in ("B", "qps", "ms_per_query", "speedup_vs_csr"):
+                if key not in timing:
+                    raise ValueError(f"batch timing missing {key!r}: {timing}")
+            if not (timing["B"] >= 1 and timing["qps"] > 0):
+                raise ValueError(f"implausible batch timing: {timing}")

@@ -46,6 +46,7 @@ def main(argv: list[str] | None = None) -> int:
         "sql": _cmd_sql,
         "serve-bench": _cmd_serve_bench,
         "perf-bench": _cmd_perf_bench,
+        "bench-check": _cmd_bench_check,
         "build-bench": _cmd_build_bench,
         "cluster-bench": _cmd_cluster_bench,
     }[args.command]
@@ -120,6 +121,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--batch-size", type=int, default=64)
     serve.add_argument(
+        "--kernel",
+        default="auto",
+        choices=("auto", "reference", "csr", "batch"),
+        help="traversal kernel for the engine (auto dispatches per call)",
+    )
+    serve.add_argument(
         "--workers",
         type=int,
         default=0,
@@ -149,7 +156,28 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--algorithm", default="DL+", choices=sorted(ALGORITHMS))
     perf.add_argument("--seed", type=int, default=20120401)
     perf.add_argument(
+        "--batch-sizes",
+        default="1,8,32,128",
+        help="comma-separated lane counts for the batch-kernel sweep "
+        "(empty string disables the sweep)",
+    )
+    perf.add_argument(
         "--out", default="BENCH_query.json", help="output JSON report path"
+    )
+
+    check = commands.add_parser(
+        "bench-check",
+        help="gate a fresh perf-bench report against a committed baseline",
+    )
+    check.add_argument("--fresh", required=True, help="freshly produced report")
+    check.add_argument(
+        "--baseline", default="BENCH_query.json", help="committed baseline report"
+    )
+    check.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional p50/qps regression (default 0.25)",
     )
 
     buildb = commands.add_parser(
@@ -395,7 +423,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     baseline_qps = args.queries / baseline_seconds if baseline_seconds > 0 else 0.0
 
     # Engine: batched (or thread-pooled) with the result cache.
-    engine = QueryEngine(index, cache_size=args.cache_size)
+    engine = QueryEngine(index, cache_size=args.cache_size, kernel=args.kernel)
     start = time.perf_counter()
     if args.workers > 0:
         engine.query_many(
@@ -432,13 +460,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         "latency_ms_p95",
         "latency_ms_p99",
         "max_queue_depth",
+        "batches",
+        "batch_size_mean",
+        "batch_amortized_ms_p50",
     ):
-        print(f"  {key:>18}: {stats[key]:.4f}")
+        print(f"  {key:>22}: {stats[key]:.4f}")
     return 0
 
 
 def _cmd_perf_bench(args: argparse.Namespace) -> int:
-    from repro.bench.wallclock import run_wallclock, write_report
+    from repro.bench.wallclock import (
+        run_wallclock,
+        validate_query_report,
+        write_report,
+    )
 
     report = run_wallclock(
         distributions=tuple(s for s in args.distributions.split(",") if s),
@@ -449,10 +484,32 @@ def _cmd_perf_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         seed=args.seed,
         algorithm=args.algorithm,
+        batch_sizes=tuple(int(s) for s in args.batch_sizes.split(",") if s),
         progress=print,
     )
+    validate_query_report(report)
     write_report(report, args.out)
     print(f"wrote {len(report['cells'])} cells to {args.out}")
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.bench.regression import check_query_regression, load_report
+
+    fresh = load_report(args.fresh)
+    baseline = load_report(args.baseline)
+    failures = check_query_regression(
+        fresh, baseline, tolerance=args.tolerance
+    )
+    if failures:
+        print(f"bench-check FAILED ({len(failures)} issue(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"bench-check OK: {args.fresh} vs {args.baseline} "
+        f"(tolerance {args.tolerance:.0%})"
+    )
     return 0
 
 

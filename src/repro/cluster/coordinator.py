@@ -109,9 +109,14 @@ class ClusterEngine:
     index_kwargs:
         Constructor keywords for each shard index (``max_layers`` …).
     engine_kwargs:
-        Keywords for each shard's :class:`~repro.serving.QueryEngine`
-        (``kernel`` …); shard caches stay disabled — result caching lives
-        here, keyed by the cluster version.
+        Keywords for each shard's :class:`~repro.serving.QueryEngine`;
+        shard caches stay disabled — result caching lives here, keyed by
+        the cluster version.
+    kernel:
+        Traversal kernel for every shard engine (``"auto"`` default —
+        per-call dispatch via :func:`~repro.core.dispatch.select_kernel`,
+        including the lane-parallel batch kernel for forwarded weight
+        groups); an explicit ``engine_kwargs["kernel"]`` wins.
     merge:
         Default merge strategy (overridable per query).
     replicate:
@@ -135,6 +140,7 @@ class ClusterEngine:
         index_class=None,
         index_kwargs: dict | None = None,
         engine_kwargs: dict | None = None,
+        kernel: str = "auto",
         merge: str = "threshold",
         replicate: bool = False,
         cache_size: int = 1024,
@@ -152,6 +158,8 @@ class ClusterEngine:
 
             index_class = DLPlusIndex
         self.merge = merge
+        engine_kwargs = dict(engine_kwargs or {})
+        engine_kwargs.setdefault("kernel", kernel)
         self.partitioning: Partitioning = make_partitioning(
             relation, shards, partitioner
         )
@@ -232,7 +240,16 @@ class ClusterEngine:
     def query_batch(
         self, weights_matrix: np.ndarray, k: int, *, merge: str | None = None
     ) -> list[ClusterResult]:
-        """Serve one query per row, deduplicating through the cache."""
+        """Serve one query per row, deduplicating through the cache.
+
+        Under the **naive** merge the cache-miss rows are forwarded to
+        every shard as *one* weight group (:meth:`Shard.topk_batch`), so
+        each shard runs a single batched traversal for the group instead
+        of one scatter-gather per row; the coordinator then heap-merges
+        each row's per-shard answers exactly as the per-query path does,
+        keeping answers bitwise identical.  The **threshold** merge drives
+        per-query shard cursors and stays per-row.
+        """
         matrix = np.asarray(weights_matrix, dtype=np.float64)
         if matrix.ndim == 1:
             matrix = matrix[None, :]
@@ -242,15 +259,91 @@ class ClusterEngine:
             )
         self._validate(k, merge)
         d = self.d
-        results: list[ClusterResult] = []
-        for row in range(matrix.shape[0]):
-            w = normalize_weights(matrix[row], d)
+        n_rows = matrix.shape[0]
+        # Fail fast: validate/normalize every row before any query runs.
+        normalized = [normalize_weights(matrix[row], d) for row in range(n_rows)]
+        if not n_rows:
+            return []
+        strategy = merge or self.merge
+        if strategy != "naive":
+            results: list[ClusterResult] = []
+            for row in range(n_rows):
+                with self.metrics.track() as record:
+                    record.batched = True
+                    results.append(
+                        self._serve(matrix[row], normalized[row], k, record, strategy)
+                    )
+            return results
+        # Naive merge: classify rows through the cache, then scatter the
+        # miss rows to the shards as one raw weight group (shards
+        # normalize once, same as the per-query path).
+        effective_k = min(int(k), self.n)
+        cache_enabled = self.cache.capacity > 0
+        out: list[ClusterResult | None] = [None] * n_rows
+        pending_keys: set = set()
+        to_compute: list[tuple[int, tuple]] = []
+        deferred: list[tuple[int, tuple]] = []
+        for row, w in enumerate(normalized):
+            key = self.cache.make_key(w, effective_k, self._version)
+            if cache_enabled and key in pending_keys:
+                deferred.append((row, key))
+                continue
+            start = time.perf_counter()
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.metrics.record_external(
+                    cost=0,
+                    seconds=time.perf_counter() - start,
+                    hit=True,
+                    batched=True,
+                )
+                out[row] = ClusterResult(
+                    ids=cached[0],
+                    scores=cached[1],
+                    counter=AccessCounter(),
+                    merge="cache",
+                )
+            else:
+                pending_keys.add(key)
+                to_compute.append((row, key))
+        if to_compute:
+            group = np.ascontiguousarray(
+                matrix[[row for row, _key in to_compute]]
+            )
+            start = time.perf_counter()
+            merged = self._merge_naive_batch(group, effective_k)
+            elapsed = time.perf_counter() - start
+            self.metrics.record_batch(len(to_compute), elapsed)
+            share = elapsed / len(to_compute)
+            for (row, key), result in zip(to_compute, merged):
+                self.metrics.record_external(
+                    cost=result.cost, seconds=share, batched=True
+                )
+                if not result.partial:
+                    self.cache.put(key, result.ids, result.scores)
+                out[row] = result
+        # Duplicates of computed rows hit the cache now; a tiny cache may
+        # have evicted the entry already, in which case compute singly —
+        # exactly what the sequential loop would have done.
+        for row, key in deferred:
             with self.metrics.track() as record:
                 record.batched = True
-                results.append(
-                    self._serve(matrix[row], w, k, record, merge or self.merge)
-                )
-        return results
+                cached = self.cache.get(key)
+                if cached is not None:
+                    record.hit = True
+                    out[row] = ClusterResult(
+                        ids=cached[0],
+                        scores=cached[1],
+                        counter=AccessCounter(),
+                        merge="cache",
+                    )
+                else:
+                    result = self._merge_naive(matrix[row], effective_k)
+                    record.cost = result.cost
+                    if not result.partial:
+                        self.cache.put(key, result.ids, result.scores)
+                    out[row] = result
+        return out
 
     def query_many(
         self,
@@ -259,10 +352,18 @@ class ClusterEngine:
         max_workers: int | None = None,
         merge: str | None = None,
     ) -> list[ClusterResult]:
-        """Serve ``(weights, k)`` pairs concurrently on a thread pool."""
+        """Serve ``(weights, k)`` pairs concurrently on a thread pool.
+
+        Every pair is validated before the pool spawns, so one malformed
+        row fails fast instead of surfacing as a late future exception.
+        """
         items = list(queries)
         if not items:
             return []
+        d = self.d
+        for weights, k in items:
+            normalize_weights(weights, d)
+            self._validate(int(k), merge)
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             futures = [
                 pool.submit(self.query, w, int(k), merge=merge) for w, k in items
@@ -387,7 +488,16 @@ class ClusterEngine:
         else:
             gathered = [ask(shard) for shard in self.shards]
         answers = [answer for answer in gathered if answer is not None]
+        return self._combine_answers(answers, k, failed, recovered)
 
+    @staticmethod
+    def _combine_answers(
+        answers: list[ShardAnswer],
+        k: int,
+        failed: list[int],
+        recovered: list[int],
+    ) -> ClusterResult:
+        """Heap-merge per-shard answers by ``(score, global id)``."""
         streams = [
             list(zip(a.scores.tolist(), a.global_ids.tolist())) for a in answers
         ]
@@ -414,6 +524,59 @@ class ClusterEngine:
             shard_costs=shard_costs,
             merge="naive",
         )
+
+    def _merge_naive_batch(
+        self, matrix: np.ndarray, k: int
+    ) -> list[ClusterResult]:
+        """Batched naive merge: one :meth:`Shard.topk_batch` per shard.
+
+        Every shard receives the whole raw weight group and answers all
+        rows in one batched traversal; each row is then heap-merged across
+        shards exactly like :meth:`_merge_naive`, so row ``i`` of the
+        returned list is bitwise identical to ``_merge_naive(matrix[i], k)``.
+        A shard whose primary and replica both fail drops out of *every*
+        row's merge (all rows flagged partial), mirroring the per-query
+        failure semantics.
+        """
+        n_rows = matrix.shape[0]
+        failed: list[int] = []
+        recovered: list[int] = []
+
+        def ask(shard: Shard) -> list[ShardAnswer] | None:
+            start = time.perf_counter()
+            try:
+                answers = self._with_failover(
+                    shard,
+                    lambda replica: shard.topk_batch(
+                        matrix, k, use_replica=replica
+                    ),
+                    recovered,
+                )
+            except ShardFailedError:
+                failed.append(shard.shard_id)
+                return None
+            # Replica answers bypass the primary's registry; fold them in
+            # so per-shard metrics reflect the shard's served traffic.
+            if answers is not None and shard.shard_id in recovered:
+                share = (time.perf_counter() - start) / max(1, n_rows)
+                registry = shard.metrics_registry()
+                for answer in answers:
+                    registry.record_external(
+                        cost=answer.cost, seconds=share, batched=True
+                    )
+            return answers
+
+        if self._scatter_pool is not None:
+            gathered = list(self._scatter_pool.map(ask, self.shards))
+        else:
+            gathered = [ask(shard) for shard in self.shards]
+        per_shard = [answers for answers in gathered if answers is not None]
+        return [
+            self._combine_answers(
+                [answers[row] for answers in per_shard], k, failed, recovered
+            )
+            for row in range(n_rows)
+        ]
 
     # -- threshold merge ----------------------------------------------- #
 

@@ -189,6 +189,30 @@ class Shard:
             result.counter,
         )
 
+    def topk_batch(
+        self, weights_matrix: np.ndarray, k: int, *, use_replica: bool = False
+    ) -> list[ShardAnswer]:
+        """One local top-``min(k, n)`` per row, in a single batched call.
+
+        The whole weight group runs through the shard engine's
+        ``query_batch`` — one lane-parallel traversal for the group when
+        the kernel dispatcher selects the batch kernel — instead of one
+        scatter-gather per row.  Row order (and every answer's ascending
+        ``(score, global id)`` order) matches per-row :meth:`topk` calls
+        bitwise.
+        """
+        engine = self._serving_engine(use_replica)
+        results = engine.query_batch(weights_matrix, min(k, self.relation.n))
+        return [
+            ShardAnswer(
+                self.shard_id,
+                self.global_ids[result.ids],
+                result.scores,
+                result.counter,
+            )
+            for result in results
+        ]
+
     def cursor(self, weights: np.ndarray, *, use_replica: bool = False) -> ShardCursor:
         """A resumable global-id cursor for the threshold merge."""
         engine = self._serving_engine(use_replica)
@@ -293,6 +317,12 @@ class FailingShard:
     def topk(self, weights: np.ndarray, k: int, *, use_replica: bool = False) -> ShardAnswer:
         self._check(use_replica)
         return self._shard.topk(weights, k, use_replica=use_replica)
+
+    def topk_batch(
+        self, weights_matrix: np.ndarray, k: int, *, use_replica: bool = False
+    ) -> list[ShardAnswer]:
+        self._check(use_replica)
+        return self._shard.topk_batch(weights_matrix, k, use_replica=use_replica)
 
     def cursor(self, weights: np.ndarray, *, use_replica: bool = False) -> ShardCursor:
         self._check(use_replica)

@@ -16,6 +16,7 @@
 from repro.core.base import TopKIndex, TopKResult
 from repro.core.index import DLIndex, DLPlusIndex
 from repro.core.cursor import TopKCursor
+from repro.core.dispatch import select_kernel
 from repro.core.maintenance import DynamicDualLayerIndex
 from repro.core.analysis import cost_bounds, profile_structure, to_networkx
 
@@ -26,6 +27,7 @@ __all__ = [
     "DLPlusIndex",
     "TopKCursor",
     "DynamicDualLayerIndex",
+    "select_kernel",
     "cost_bounds",
     "profile_structure",
     "to_networkx",

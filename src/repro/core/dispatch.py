@@ -1,0 +1,72 @@
+"""Auto kernel dispatch for Algorithm 2 traversals.
+
+BENCH_query.json (committed, full scale) shows no single kernel wins
+everywhere:
+
+* the CSR kernel is 2.4–3.4x faster than the per-node reference at d=4,
+  and still 1.2–1.3x faster at d=2 once the structure reaches ~100k
+  tuples — vectorized gate relaxation amortizes well when pops open many
+  children;
+* but on *small low-dimensional* structures (d=2, n=10k: 0.89x IND,
+  0.73x ANT) the reference kernel wins: pops open only a handful of
+  children there, and the fixed overhead of whole-slice numpy ops
+  exceeds the python loop it replaces;
+* and once a caller presents many queries at once, the lane-parallel
+  batch kernel beats both — it walks the gate graph once per *round*
+  for all lanes and scores every lane's opened children in one
+  GEMM-shaped contraction (see BENCH_query.json's ``batch`` sweep).
+
+``select_kernel`` encodes those calibrated crossover points so
+``kernel="auto"`` (the serving/cluster default) picks the right kernel
+from structure size, dimensionality, and batch width.
+"""
+
+from __future__ import annotations
+
+from repro.core.structure import LayerStructure
+
+#: Node-count threshold below which (at low d) the per-node reference
+#: kernel beats the vectorized CSR kernel. Calibrated from
+#: BENCH_query.json: csr loses at n=10k d=2 (0.89x/0.73x) but wins at
+#: n=100k d=2 (1.27x/1.16x); 32768 sits between the measured cells.
+AUTO_SMALL_STRUCTURE_NODES = 32768
+
+#: Dimension threshold for the small-structure exception. At d>=3 the
+#: batched einsum scoring already pays off even on 10k-node structures
+#: (csr 1.9–2.4x at d=4 n=10k), so only d<=2 dispatches to reference.
+AUTO_SMALL_STRUCTURE_DIM = 2
+
+#: Minimum number of same-k query lanes before the lane-parallel batch
+#: kernel is dispatched. Calibrated from BENCH_query.json's batch sweep:
+#: at B=8 the batch kernel already beats per-query csr on every
+#: committed cell, while B<8 round overheads can lose on small cells.
+AUTO_BATCH_MIN_LANES = 8
+
+VALID_KERNELS = ("auto", "reference", "csr", "batch")
+
+
+def select_kernel(
+    structure: LayerStructure | None = None,
+    *,
+    n_nodes: int | None = None,
+    d: int | None = None,
+    batch_width: int = 1,
+) -> str:
+    """Pick the concrete kernel for an ``auto`` dispatch.
+
+    Pass either a built ``structure`` or explicit ``n_nodes``/``d``
+    (both required in that case). ``batch_width`` is the number of
+    queries sharing one traversal opportunity (same effective k).
+
+    Returns one of ``"batch"``, ``"reference"``, ``"csr"``.
+    """
+    if structure is not None:
+        n_nodes = structure.n_nodes
+        d = structure.values.shape[1]
+    if n_nodes is None or d is None:
+        raise ValueError("select_kernel needs a structure or both n_nodes and d")
+    if batch_width >= AUTO_BATCH_MIN_LANES:
+        return "batch"
+    if n_nodes <= AUTO_SMALL_STRUCTURE_NODES and d <= AUTO_SMALL_STRUCTURE_DIM:
+        return "reference"
+    return "csr"

@@ -55,6 +55,7 @@ are untouched, so bitwise equivalence with the reference kernel holds.
 from __future__ import annotations
 
 import heapq
+import threading
 
 import numpy as np
 
@@ -330,6 +331,567 @@ def process_top_k(
         np.asarray(answer_ids, dtype=np.intp),
         np.asarray(answer_scores, dtype=np.float64),
     )
+
+
+class BatchWorkspace:
+    """Reusable gate-state scratch for :func:`process_top_k_batch`.
+
+    The batch kernel needs one fused gate-state slot per (node, lane) pair.
+    Copying the template into a fresh ``(n_nodes, B)`` matrix costs a full
+    memory sweep per batch (~1 ms at n=100k, B=32 — comparable to the
+    traversal itself), but a batch only ever *touches* the entries its
+    rounds relax.  A workspace keeps the matrix allocated in template state
+    between batches; the kernel records every entry it writes and restores
+    exactly those from the template before returning, so re-initialisation
+    costs O(touched) instead of O(n_nodes x B).
+
+    A workspace belongs to one owner (e.g. a ``QueryEngine``).  It is safe
+    to share: the kernel takes the internal lock without blocking and
+    falls back to a fresh allocation when the workspace is busy, and a
+    batch that dies mid-traversal drops the matrix instead of restoring
+    it.  The backing matrix is keyed by template *identity* (the template
+    array is cached on the immutable structure, so identity tracks
+    structure lifetime through rebuilds) and grows to the widest batch
+    seen.
+    """
+
+    __slots__ = ("_lock", "_state", "_template", "_edges_disjoint")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._state: np.ndarray | None = None
+        self._template: np.ndarray | None = None
+        self._edges_disjoint = False
+
+    def _checkout(self, structure: LayerStructure, n_lanes: int) -> np.ndarray:
+        """Return a template-state matrix with >= ``n_lanes`` columns."""
+        template = structure.gate_state_template()
+        state = self._state
+        if state is not None and self._template is template:
+            if state.shape[1] >= n_lanes:
+                return state
+        else:
+            # New structure: decide once whether its ∀- and ∃-edge sets are
+            # disjoint (no parent lists the same child in both CSRs).  When
+            # they are — true for every structure the builder emits — the
+            # kernel may relax both gate kinds of a round in one fused
+            # gather/scatter pass; otherwise it keeps the two-phase order
+            # (∀ writes before ∃ reads).
+            n = structure.n_nodes
+            f_keys = (
+                np.repeat(
+                    np.arange(n, dtype=np.int64),
+                    np.diff(structure.forall_indptr),
+                )
+                * n
+                + structure.forall_indices
+            )
+            e_keys = (
+                np.repeat(
+                    np.arange(n, dtype=np.int64),
+                    np.diff(structure.exists_indptr),
+                )
+                * n
+                + structure.exists_indices
+            )
+            self._edges_disjoint = np.intersect1d(f_keys, e_keys).shape[0] == 0
+        state = np.broadcast_to(
+            template[:, None], (template.shape[0], n_lanes)
+        ).copy()
+        self._state = state
+        self._template = template
+        return state
+
+    def _invalidate(self) -> None:
+        self._state = None
+        self._template = None
+
+
+def process_top_k_batch(
+    structure: LayerStructure,
+    weights_matrix: np.ndarray,
+    k,
+    counters,
+    fetch_real=None,
+    seeds=None,
+    workspace: BatchWorkspace | None = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Run B top-k queries through one lane-parallel traversal.
+
+    ``weights_matrix`` is a ``(B, d)`` matrix of (normalized) weight
+    vectors; lane ``i`` answers the query ``weights_matrix[i]`` with
+    retrieval size ``k`` (a scalar, or a length-B sequence for mixed-``k``
+    batches) and charges its Definition 9 cost to ``counters[i]``.  Returns
+    one ``(ids, scores)`` pair per lane, each **bitwise identical** — ids,
+    float scores, ascending order, per-lane real/pseudo access counts — to
+    running :func:`process_top_k` on that lane alone.
+
+    How the lanes share work
+    ------------------------
+    Gate state lives in one ``(n_nodes, B)`` matrix: column ``i`` is lane
+    ``i``'s fused per-node state int (the same encoding as the single-query
+    kernel).  Node-major layout keeps a round's writes cache-local: live
+    lanes traverse the same shallow layers, so the (node, lane) pairs of a
+    round cluster in nearby rows.  The traversal proceeds in lock-step
+    *rounds*: every live lane pops one node from its private heap, then all
+    popped nodes' gates are relaxed together — the ∀-child slices of every
+    lane are gathered into one flat (node, lane) index list and decremented
+    with a single fancy-indexed op (pairs are unique within a round, so no
+    update is lost), and likewise for the ∃-gates.  Every newly opened
+    child of every lane is then scored in one batched contraction, and
+    Definition 9 counts are settled with one per-lane ``bincount`` instead
+    of a python call per access.
+
+    Why the answers stay bitwise identical
+    --------------------------------------
+    * Lanes never interact: each has its own state column, heap, answer
+      list, and counter, so a round is just an interleaving of B
+      independent per-query steps.  Lanes finish independently (k answers
+      emitted or heap drained) and are masked out of later rounds — a cheap
+      lane never waits on an expensive one, and a finished lane's final pop
+      skips gate relaxation exactly like the single-query kernel's
+      break-before-relax.
+    * Scoring uses the paired contraction
+      ``einsum("ij,ij->i", opened_values, weights_matrix[opened_lanes])``,
+      which is bitwise equal to both the per-query ``score_rows``
+      contraction and the GEMM form
+      ``einsum("ij,kj->ik", opened_values, weights_matrix)`` gathered per
+      lane — the per-row reduction order of this ``einsum`` family depends
+      only on ``d`` (see the module docstring) — while doing B-fold less
+      arithmetic than the GEMM.  Heap order, tie-breaks on duplicate
+      tuples, and emitted scores therefore cannot drift by even an ulp;
+      the batch-equivalence property suite asserts this across the full
+      distribution/dimension grid.
+    * Seed scoring goes through the shared :func:`seed_scores` path with a
+      fresh contiguous copy of each lane's weight row (a row *view* of the
+      matrix has lane-dependent alignment; a copy has the same layout a
+      solo query's weight vector does).
+
+    ``fetch_real`` behaves as in :func:`process_top_k` (per-node storage
+    reads; scoring arithmetic matches the per-query kernel exactly).
+    ``seeds`` optionally supplies one precomputed :func:`seed_scores`
+    result per lane; ignored when ``fetch_real`` is given.  ``workspace``
+    (see :class:`BatchWorkspace`) amortizes gate-state initialisation
+    across batches; omitting it keeps the kernel a pure function.
+    """
+    weights_matrix = np.asarray(weights_matrix, dtype=np.float64)
+    if weights_matrix.ndim != 2:
+        raise ValueError(
+            f"weights_matrix must be 2-D (B, d), got shape {weights_matrix.shape}"
+        )
+    n_lanes = weights_matrix.shape[0]
+    counters = list(counters)
+    if len(counters) != n_lanes:
+        raise ValueError(
+            f"need one counter per lane: {n_lanes} lanes, {len(counters)} counters"
+        )
+    ks = [int(x) for x in np.broadcast_to(np.asarray(k, dtype=np.int64), (n_lanes,))]
+    if n_lanes == 0:
+        return []
+    if not structure.complete and max(ks) > structure.num_coarse_layers:
+        raise IndexCapacityError(
+            f"index was built with only {structure.num_coarse_layers} coarse "
+            f"layers; top-{max(ks)} requires at least k layers"
+        )
+
+    values = structure.values
+    n_real = structure.n_real
+    n_nodes = structure.n_nodes
+    f_indptr = structure.forall_indptr
+    f_indices = structure.forall_indices
+    e_indptr = structure.exists_indptr
+    e_indices = structure.exists_indices
+    exists_offset = n_nodes + 1
+    template = structure.gate_state_template()
+
+    ws_acquired = workspace is not None and workspace._lock.acquire(blocking=False)
+    try:
+        if ws_acquired:
+            state = workspace._checkout(structure, n_lanes)
+            restore = True
+            merged_rounds = workspace._edges_disjoint
+        else:
+            state = np.broadcast_to(template[:, None], (n_nodes, n_lanes)).copy()
+            restore = False
+            merged_rounds = False
+        stride = state.shape[1]
+        state_flat = state.reshape(-1)
+        # Undo log: every (node, lane) entry written this batch, as parallel
+        # lists of flat indices and node ids (the template value to restore).
+        touched_flat: list[np.ndarray] = []
+        touched_nodes: list[np.ndarray] = []
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heaps: list[list[tuple[float, int]]] = [[] for _ in range(n_lanes)]
+        answer_ids: list[list[int]] = [[] for _ in range(n_lanes)]
+        answer_scores: list[list[float]] = [[] for _ in range(n_lanes)]
+        trace_hooks = [getattr(c, "count_real_tuple", None) for c in counters]
+        any_hook = any(hook is not None for hook in trace_hooks)
+
+        # Fresh contiguous per-lane weight copies for the paths that score
+        # one node at a time: a row view's alignment depends on the lane
+        # offset, a copy's does not — per-node scoring and seed scoring
+        # must see the exact memory layout a solo query would.  The static
+        # all-lane seed path below never scores per lane, so it skips them.
+        lane_weights: list[np.ndarray] | None = None
+        if (
+            fetch_real is None
+            and seeds is None
+            and structure.seed_selector is None
+            and not any_hook
+        ):
+            # Static seeds are one shared block for every lane: score them
+            # with a single GEMM-shaped contraction (bitwise equal per
+            # column to seed_scores' per-row contraction) and stamp all
+            # (seed, lane) slots in one write.
+            seed_ids, block = structure.seed_block()
+            seed_matrix = _einsum("ij,kj->ik", block, weights_matrix)
+            real_seeds = int(np.count_nonzero(seed_ids < n_real))
+            pseudo_seeds = seed_ids.shape[0] - real_seeds
+            seed_grid = (
+                seed_ids[:, None] * stride
+                + np.arange(n_lanes, dtype=np.intp)[None, :]
+            ).reshape(-1)
+            state_flat[seed_grid] = -1
+            if restore and seed_grid.shape[0]:
+                touched_flat.append(seed_grid)
+                touched_nodes.append(np.repeat(seed_ids, n_lanes))
+            seed_list = seed_ids.tolist()
+            for lane in range(n_lanes):
+                heap = list(zip(seed_matrix[:, lane].tolist(), seed_list))
+                heapq.heapify(heap)
+                heaps[lane] = heap
+                counters[lane].count_real(real_seeds)
+                counters[lane].count_pseudo(pseudo_seeds)
+            lane_range: range | tuple = ()
+        else:
+            lane_weights = [
+                np.array(weights_matrix[lane], copy=True)
+                for lane in range(n_lanes)
+            ]
+            lane_range = range(n_lanes)
+
+        # Seeding replays the per-query kernel's seed path lane by lane (one
+        # einsum per lane through seed_scores — seeds are per query, not per
+        # pop, so this is off the hot path).
+        for lane in lane_range:
+            heap = heaps[lane]
+            counter = counters[lane]
+            trace_hook = trace_hooks[lane]
+            w = lane_weights[lane]
+            if fetch_real is not None:
+                enqueued: list[int] = []
+                for node in structure.seeds(w).tolist():
+                    slot = node * stride + lane
+                    if state_flat[slot] < 0:  # already enqueued (repeated seed)
+                        continue
+                    state_flat[slot] = -1
+                    enqueued.append(node)
+                    if node < n_real:
+                        score = float(fetch_real(node) @ w)
+                        counter.count_real()
+                        if trace_hook is not None:
+                            trace_hook(node)
+                    else:
+                        score = score_node(values, node, w)
+                        counter.count_pseudo()
+                    heappush(heap, (score, node))
+                if restore and enqueued:
+                    nodes_arr = np.asarray(enqueued, dtype=np.intp)
+                    touched_flat.append(nodes_arr * stride + lane)
+                    touched_nodes.append(nodes_arr)
+                continue
+            seed_ids, precomputed = (
+                seeds[lane] if seeds is not None else seed_scores(structure, w)
+            )
+            seed_slots = seed_ids * stride + lane
+            state_flat[seed_slots] = -1
+            if restore:
+                touched_flat.append(seed_slots)
+                touched_nodes.append(seed_ids)
+            if trace_hook is None:
+                real = 0
+                for node, score in zip(seed_ids.tolist(), precomputed.tolist()):
+                    if node < n_real:
+                        real += 1
+                    heap.append((score, node))
+                counter.count_real(real)
+                counter.count_pseudo(seed_ids.shape[0] - real)
+            else:
+                for node, score in zip(seed_ids.tolist(), precomputed.tolist()):
+                    if node < n_real:
+                        counter.count_real()
+                        trace_hook(node)
+                    else:
+                        counter.count_pseudo()
+                    heap.append((score, node))
+            heapq.heapify(heap)
+
+        # Fast-path Definition 9 bookkeeping: per-lane real/pseudo access
+        # totals accumulate in two arrays (one bincount per round) and are
+        # flushed into the counters once at the end — totals are
+        # order-free, so deferring them is invisible.
+        fast_counts = fetch_real is None and not any_hook
+        if fast_counts:
+            acc_total = np.zeros(n_lanes, dtype=np.int64)
+            acc_real = np.zeros(n_lanes, dtype=np.int64)
+
+        active = [lane for lane in range(n_lanes) if heaps[lane] and ks[lane] > 0]
+        while active:
+            # One pop per live lane; a lane that emits its k-th answer skips
+            # relaxation entirely (the per-query kernel's
+            # break-before-relax).
+            relax_lanes: list[int] = []
+            relax_nodes: list[int] = []
+            for lane in active:
+                score, node = heappop(heaps[lane])
+                if node < n_real:
+                    emitted = answer_ids[lane]
+                    emitted.append(node)
+                    answer_scores[lane].append(score)
+                    if len(emitted) >= ks[lane]:
+                        continue
+                relax_lanes.append(lane)
+                relax_nodes.append(node)
+            if not relax_lanes:
+                break
+            lanes = np.asarray(relax_lanes, dtype=np.intp)
+            nodes = np.asarray(relax_nodes, dtype=np.intp)
+
+            if merged_rounds:
+                # Fused gate pass (∀/∃ edge sets verified disjoint at
+                # workspace checkout, so no (node, lane) pair appears
+                # twice): both edge kinds of every lane are gathered into
+                # one pair list, updated with one arithmetic sweep —
+                # ∀-entries decrement, gated ∃-entries subtract the offset —
+                # stamped, and scattered back in a single write.  Pair
+                # order is [∀ by lane, ∃ by lane], the reference access
+                # order (heap pops are tuple-ordered, so within-round push
+                # order cannot affect answers).
+                all_lanes = all_children = None
+                starts = f_indptr[nodes]
+                f_counts = f_indptr[nodes + 1] - starts
+                nf = int(f_counts.sum())
+                if nf:
+                    ends = np.cumsum(f_counts)
+                    flat = np.arange(nf, dtype=np.intp) + np.repeat(
+                        starts - (ends - f_counts), f_counts
+                    )
+                    f_children = f_indices[flat]
+                    f_lanes = np.repeat(lanes, f_counts)
+                starts = e_indptr[nodes]
+                e_counts = e_indptr[nodes + 1] - starts
+                ne = int(e_counts.sum())
+                if ne:
+                    ends = np.cumsum(e_counts)
+                    flat = np.arange(ne, dtype=np.intp) + np.repeat(
+                        starts - (ends - e_counts), e_counts
+                    )
+                    e_children = e_indices[flat]
+                    e_lanes = np.repeat(lanes, e_counts)
+                if nf and ne:
+                    children = np.concatenate((f_children, e_children))
+                    child_lanes = np.concatenate((f_lanes, e_lanes))
+                elif nf:
+                    children, child_lanes = f_children, f_lanes
+                elif ne:
+                    children, child_lanes = e_children, e_lanes
+                else:
+                    children = None
+                if children is not None:
+                    pair_flat = children * stride + child_lanes
+                    cur = state_flat[pair_flat]
+                    new = np.empty_like(cur)
+                    np.subtract(cur[:nf], 1, out=new[:nf])
+                    if ne:
+                        cur_e = cur[nf:]
+                        # Gated entries (state >= offset) drop the offset;
+                        # already-open ones pass through unchanged (their
+                        # state is never 0 between rounds, so they cannot
+                        # look freshly opened below).
+                        np.subtract(
+                            cur_e,
+                            (cur_e >= exists_offset)
+                            * state.dtype.type(exists_offset),
+                            out=new[nf:],
+                        )
+                    opened = new == 0
+                    if opened.any():
+                        all_lanes = child_lanes[opened]
+                        all_children = children[opened]
+                        new[opened] = -1
+                    state_flat[pair_flat] = new
+                    if restore:
+                        touched_flat.append(pair_flat)
+                        touched_nodes.append(children)
+            else:
+                # Two-phase pass, used when the edge sets might overlap (the
+                # ∃ gather must observe this round's ∀ writes) or when no
+                # workspace vouches for disjointness.
+                # ∀-gates: gather every lane's child slice into one flat
+                # (node, lane) index list and decrement with a single
+                # fancy-indexed op.  Each pair occurs at most once per round
+                # (one pop per lane, unique children per node), so plain
+                # assignment loses no update.
+                opened_f_lanes = opened_f_children = opened_f_flat = None
+                starts = f_indptr[nodes]
+                counts = f_indptr[nodes + 1] - starts
+                total = int(counts.sum())
+                if total:
+                    ends = np.cumsum(counts)
+                    flat = np.arange(total, dtype=np.intp) + np.repeat(
+                        starts - (ends - counts), counts
+                    )
+                    children = f_indices[flat]
+                    child_lanes = np.repeat(lanes, counts)
+                    pair_flat = children * stride + child_lanes
+                    remaining = state_flat[pair_flat] - 1
+                    state_flat[pair_flat] = remaining
+                    if restore:
+                        touched_flat.append(pair_flat)
+                        touched_nodes.append(children)
+                    mask = remaining == 0
+                    if mask.any():
+                        opened_f_lanes = child_lanes[mask]
+                        opened_f_children = children[mask]
+                        opened_f_flat = pair_flat[mask]
+
+                # ∃-gates: same gather; the first popped ∃-parent of a
+                # (node, lane) pair subtracts the offset, later ones see
+                # state < offset.
+                opened_e_lanes = opened_e_children = opened_e_flat = None
+                starts = e_indptr[nodes]
+                counts = e_indptr[nodes + 1] - starts
+                total = int(counts.sum())
+                if total:
+                    ends = np.cumsum(counts)
+                    flat = np.arange(total, dtype=np.intp) + np.repeat(
+                        starts - (ends - counts), counts
+                    )
+                    children = e_indices[flat]
+                    child_lanes = np.repeat(lanes, counts)
+                    pair_flat = children * stride + child_lanes
+                    current = state_flat[pair_flat]
+                    gated = current >= exists_offset
+                    if gated.any():
+                        gated_flat = pair_flat[gated]
+                        gated_children = children[gated]
+                        current = current[gated] - exists_offset
+                        state_flat[gated_flat] = current
+                        if restore:
+                            touched_flat.append(gated_flat)
+                            touched_nodes.append(gated_children)
+                        mask = current == 0
+                        if mask.any():
+                            opened_e_lanes = child_lanes[gated][mask]
+                            opened_e_children = gated_children[mask]
+                            opened_e_flat = gated_flat[mask]
+
+                # Access every (node, lane) pair whose gates both opened —
+                # per lane, ∀-children first, then ∃-children, the
+                # reference access order.
+                if opened_f_lanes is None:
+                    all_lanes, all_children, all_flat = (
+                        opened_e_lanes,
+                        opened_e_children,
+                        opened_e_flat,
+                    )
+                elif opened_e_lanes is None:
+                    all_lanes, all_children, all_flat = (
+                        opened_f_lanes,
+                        opened_f_children,
+                        opened_f_flat,
+                    )
+                else:
+                    all_lanes = np.concatenate((opened_f_lanes, opened_e_lanes))
+                    all_children = np.concatenate(
+                        (opened_f_children, opened_e_children)
+                    )
+                    all_flat = np.concatenate((opened_f_flat, opened_e_flat))
+                if all_lanes is not None:
+                    state_flat[all_flat] = -1
+
+            if all_lanes is not None:
+                if fast_counts:
+                    # One paired contraction scores every opened (node,
+                    # lane) pair; one bincount per side accumulates
+                    # Definition 9 counts for all lanes at once.
+                    scores = _einsum(
+                        "ij,ij->i", values[all_children], weights_matrix[all_lanes]
+                    )
+                    acc_total += np.bincount(all_lanes, minlength=n_lanes)
+                    acc_real += np.bincount(
+                        all_lanes[all_children < n_real], minlength=n_lanes
+                    )
+                    for lane, child, score in zip(
+                        all_lanes.tolist(), all_children.tolist(), scores.tolist()
+                    ):
+                        heappush(heaps[lane], (score, child))
+                elif fetch_real is None:
+                    scores = _einsum(
+                        "ij,ij->i", values[all_children], weights_matrix[all_lanes]
+                    )
+                    for lane, child, score in zip(
+                        all_lanes.tolist(), all_children.tolist(), scores.tolist()
+                    ):
+                        if child < n_real:
+                            counters[lane].count_real()
+                            hook = trace_hooks[lane]
+                            if hook is not None:
+                                hook(child)
+                        else:
+                            counters[lane].count_pseudo()
+                        heappush(heaps[lane], (score, child))
+                else:
+                    for lane, child in zip(
+                        all_lanes.tolist(), all_children.tolist()
+                    ):
+                        w = lane_weights[lane]
+                        if child < n_real:
+                            score = float(fetch_real(child) @ w)
+                            counters[lane].count_real()
+                            hook = trace_hooks[lane]
+                            if hook is not None:
+                                hook(child)
+                        else:
+                            score = score_node(values, child, w)
+                            counters[lane].count_pseudo()
+                        heappush(heaps[lane], (score, child))
+
+            active = [lane for lane in relax_lanes if heaps[lane]]
+
+        if fast_counts:
+            for lane in range(n_lanes):
+                real = int(acc_real[lane])
+                if real:
+                    counters[lane].count_real(real)
+                pseudo = int(acc_total[lane]) - real
+                if pseudo:
+                    counters[lane].count_pseudo(pseudo)
+
+        if restore and touched_flat:
+            # Put every written entry back to template state so the next
+            # batch checks out a clean matrix without a full re-copy.
+            # Duplicate indices are harmless (same template value).
+            state_flat[np.concatenate(touched_flat)] = template[
+                np.concatenate(touched_nodes)
+            ]
+    except BaseException:
+        if ws_acquired:
+            workspace._invalidate()
+        raise
+    finally:
+        if ws_acquired:
+            workspace._lock.release()
+
+    return [
+        (
+            np.asarray(answer_ids[lane], dtype=np.intp),
+            np.asarray(answer_scores[lane], dtype=np.float64),
+        )
+        for lane in range(n_lanes)
+    ]
 
 
 def process_top_k_reference(

@@ -11,12 +11,14 @@ traffic the way a deployed system would:
   tuple evaluations and the version key guarantees freshness across
   inserts/deletes and rebuilds;
 * **batching** — :meth:`query_batch` normalizes the whole weight matrix up
-  front, shares the structure's precomputed seed block
-  (:meth:`~repro.core.structure.LayerStructure.seed_block`) so each query's
-  seed scoring is one matrix-vector product, and deduplicates repeated
-  weight vectors through the cache.  Batched answers are byte-identical to
-  sequential :func:`~repro.core.query.process_top_k` calls because both run
-  the exact same scoring path;
+  front, deduplicates repeated weight vectors through the cache, groups the
+  remaining rows by effective k, and feeds each group through the
+  lane-parallel :func:`~repro.core.query.process_top_k_batch` kernel, which
+  walks the gate graph once per round for *all* rows of the group and
+  scores every lane's opened children in one batched contraction.  Batched
+  answers are byte-identical to sequential
+  :func:`~repro.core.query.process_top_k` calls (the batch kernel's
+  bitwise-identity contract);
 * **concurrency** — :meth:`query_many` fans queries out over a thread pool.
   The frozen :class:`~repro.core.structure.LayerStructure` is read-only by
   contract and every query owns its
@@ -30,12 +32,19 @@ traffic the way a deployed system would:
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from repro.core.base import TopKIndex, TopKResult
-from repro.core.query import process_top_k, process_top_k_reference
+from repro.core.dispatch import VALID_KERNELS, select_kernel
+from repro.core.query import (
+    BatchWorkspace,
+    process_top_k,
+    process_top_k_batch,
+    process_top_k_reference,
+)
 from repro.exceptions import InvalidQueryError, InvalidWeightError
 from repro.relation import normalize_weights
 from repro.serving.cache import ResultCache
@@ -61,14 +70,19 @@ class QueryEngine:
     latency_window:
         Sliding-window size for latency percentiles.
     kernel:
-        ``"csr"`` (default) serves gated-structure queries through the
-        vectorized :func:`~repro.core.query.process_top_k`; ``"reference"``
-        routes them through the per-node
-        :func:`~repro.core.query.process_top_k_reference` oracle instead.
-        Both kernels return bitwise-identical answers, so this switch only
+        ``"auto"`` (default) dispatches per call through
+        :func:`~repro.core.dispatch.select_kernel`: the lane-parallel
+        :func:`~repro.core.query.process_top_k_batch` for wide enough
+        cache-miss groups, the per-node
+        :func:`~repro.core.query.process_top_k_reference` on small
+        low-dimensional structures (where whole-slice numpy overhead loses
+        to the python loop), and the vectorized
+        :func:`~repro.core.query.process_top_k` otherwise.  ``"csr"``,
+        ``"reference"``, and ``"batch"`` force one kernel unconditionally.
+        Every kernel returns bitwise-identical answers, so this switch only
         changes wall-clock behaviour — it exists for A/B latency
-        measurements (``repro-topk perf-bench``) and for ruling the
-        vectorized kernel in or out when debugging.
+        measurements (``repro-topk perf-bench``) and for ruling individual
+        kernels in or out when debugging.
     build_parallel:
         Worker count for (re)builds the engine triggers: applied to the
         fronted index's ``parallel`` knob before the initial build and for
@@ -83,12 +97,12 @@ class QueryEngine:
         cache_size: int = 1024,
         quantize_decimals: int = 12,
         latency_window: int = 4096,
-        kernel: str = "csr",
+        kernel: str = "auto",
         build_parallel: int | None = None,
     ) -> None:
-        if kernel not in ("csr", "reference"):
+        if kernel not in VALID_KERNELS:
             raise InvalidQueryError(
-                f"kernel must be 'csr' or 'reference', got {kernel!r}"
+                f"kernel must be one of {VALID_KERNELS}, got {kernel!r}"
             )
         self.build_parallel = build_parallel
         if build_parallel is not None and hasattr(index, "parallel"):
@@ -97,9 +111,10 @@ class QueryEngine:
             index.build()
         self.index = index
         self.kernel = kernel
-        self._process = (
-            process_top_k if kernel == "csr" else process_top_k_reference
-        )
+        # Reusable (n_nodes, B) gate-state scratch for the batch kernel;
+        # owned by the engine because the frozen structure is immutable by
+        # contract and cannot cache mutable state.
+        self._workspace = BatchWorkspace()
         self.cache = ResultCache(cache_size, decimals=quantize_decimals)
         self.metrics = MetricsRegistry(latency_window=latency_window)
         self._seen_version = self.version
@@ -144,12 +159,18 @@ class QueryEngine:
         with self.metrics.track() as record:
             return self._serve(w, k, record)
 
-    def query_batch(self, weights_matrix: np.ndarray, k: int) -> list[TopKResult]:
+    def query_batch(self, weights_matrix: np.ndarray, k) -> list[TopKResult]:
         """Serve one query per row of ``weights_matrix``, amortizing overhead.
 
-        The whole matrix is validated and normalized up front; repeated
-        weight vectors are computed once and answered from the cache; seed
-        scoring reuses the structure's shared seed block.  Results are
+        ``k`` is a scalar applied to every row, or a sequence with one
+        retrieval size per row.  The whole matrix is validated and
+        normalized up front; repeated weight vectors are computed once and
+        answered from the cache.  The remaining cache misses are grouped by
+        effective k (k clamped to the relation size — the unit the cache
+        keys and the batch kernel share) and each group runs through one
+        lane-parallel :func:`~repro.core.query.process_top_k_batch` call
+        when the dispatcher selects the batch kernel, walking the gate
+        graph once per round for the whole group.  Results are
         byte-identical to issuing the queries one at a time.
         """
         matrix = np.asarray(weights_matrix, dtype=np.float64)
@@ -159,14 +180,133 @@ class QueryEngine:
             raise InvalidWeightError(
                 f"weight matrix must be 2-D, got shape {matrix.shape}"
             )
-        self._validate_k(k)
+        n_rows = matrix.shape[0]
+        ks = np.asarray(k, dtype=np.int64)
+        if ks.ndim == 0:
+            self._validate_k(int(ks))
+            ks = np.broadcast_to(ks, (n_rows,))
+        elif ks.shape != (n_rows,):
+            raise InvalidQueryError(
+                f"per-row k must have one entry per weight row: "
+                f"got {ks.shape} for {n_rows} rows"
+            )
+        else:
+            for row in range(n_rows):
+                self._validate_k(int(ks[row]))
         d = self.d
-        normalized = [normalize_weights(matrix[row], d) for row in range(matrix.shape[0])]
-        results: list[TopKResult] = []
-        for w in normalized:
+        # Fail fast: every row is validated/normalized before any query runs.
+        normalized = [normalize_weights(matrix[row], d) for row in range(n_rows)]
+        if not n_rows:
+            return []
+        version = self.version
+        if version != self._seen_version:
+            self.cache.prune(version)
+            self._seen_version = version
+        n = self.n
+        cache_enabled = self.cache.capacity > 0
+        results: list[TopKResult | None] = [None] * n_rows
+        # First pass: answer cache hits immediately, defer duplicates of an
+        # in-flight key (first occurrence pays, the duplicate hits after the
+        # group is computed), and collect the rows that need a traversal.
+        pending_keys: set = set()
+        to_compute: list[tuple[int, tuple, np.ndarray, int]] = []
+        deferred: list[tuple[int, tuple, int]] = []
+        for row, w in enumerate(normalized):
+            effective_k = min(int(ks[row]), n)
+            key = self.cache.make_key(w, effective_k, version)
+            if cache_enabled and key in pending_keys:
+                deferred.append((row, key, effective_k))
+                continue
+            start = time.perf_counter()
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.metrics.record_external(
+                    cost=0,
+                    seconds=time.perf_counter() - start,
+                    hit=True,
+                    batched=True,
+                )
+                results[row] = TopKResult(
+                    ids=cached[0], scores=cached[1], counter=AccessCounter()
+                )
+            else:
+                pending_keys.add(key)
+                to_compute.append((row, key, w, effective_k))
+        # Group misses by effective k and run each group through the
+        # dispatched kernel — fused when the dispatcher picks "batch".
+        groups: dict[int, list[tuple[int, tuple, np.ndarray, int]]] = {}
+        for item in to_compute:
+            groups.setdefault(item[3], []).append(item)
+        structure = getattr(self.index, "structure", None)
+        batchable = isinstance(self.index, TopKIndex) and structure is not None
+        for effective_k, group in groups.items():
+            width = len(group)
+            kernel = self.kernel
+            if kernel == "auto":
+                kernel = (
+                    select_kernel(structure, batch_width=width)
+                    if batchable
+                    else "csr"
+                )
+            if batchable and kernel == "batch":
+                lanes = np.ascontiguousarray(
+                    np.stack([item[2] for item in group])
+                )
+                counters = [AccessCounter() for _ in group]
+                start = time.perf_counter()
+                outputs = process_top_k_batch(
+                    structure,
+                    lanes,
+                    effective_k,
+                    counters,
+                    workspace=self._workspace,
+                )
+                elapsed = time.perf_counter() - start
+                self.metrics.record_batch(width, elapsed)
+                share = elapsed / width
+                for (row, key, _w, _ek), counter, (ids, scores) in zip(
+                    group, counters, outputs
+                ):
+                    self.cache.put(key, ids, scores)
+                    self.metrics.record_external(
+                        cost=counter.total, seconds=share, hit=False, batched=True
+                    )
+                    results[row] = TopKResult(
+                        ids=ids, scores=scores, counter=counter
+                    )
+            else:
+                for row, key, w, _ek in group:
+                    with self.metrics.track() as record:
+                        record.batched = True
+                        counter = AccessCounter()
+                        ids, scores = self._execute(w, effective_k, counter)
+                        self.cache.put(key, ids, scores)
+                        record.cost = counter.total
+                        results[row] = TopKResult(
+                            ids=ids, scores=scores, counter=counter
+                        )
+        # Duplicates of computed rows: now cache hits (unless the entry was
+        # already evicted by a tiny cache, in which case compute singly —
+        # exactly what the sequential loop would have done).
+        for row, key, effective_k in deferred:
             with self.metrics.track() as record:
                 record.batched = True
-                results.append(self._serve(w, k, record))
+                cached = self.cache.get(key)
+                if cached is not None:
+                    record.hit = True
+                    results[row] = TopKResult(
+                        ids=cached[0], scores=cached[1], counter=AccessCounter()
+                    )
+                else:
+                    counter = AccessCounter()
+                    ids, scores = self._execute(
+                        normalized[row], effective_k, counter
+                    )
+                    self.cache.put(key, ids, scores)
+                    record.cost = counter.total
+                    results[row] = TopKResult(
+                        ids=ids, scores=scores, counter=counter
+                    )
         return results
 
     def query_many(
@@ -179,10 +319,20 @@ class QueryEngine:
 
         Safe because the frozen structure is read-only and all per-query
         traversal state is private; results are returned in input order.
+        Every pair is validated *before* the pool spawns, so one malformed
+        row raises immediately instead of surfacing as a late future
+        exception after sibling queries already ran.  The raw weights are
+        submitted (not the validation pass's normalized copies) so
+        :meth:`query` normalizes exactly once, keeping answers bitwise
+        identical to the sequential path.
         """
         items = list(queries)
         if not items:
             return []
+        d = self.d
+        for weights, k in items:
+            normalize_weights(weights, d)
+            self._validate_k(int(k))
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             futures = [pool.submit(self.query, w, int(k)) for w, k in items]
             return [future.result() for future in futures]
@@ -225,8 +375,23 @@ class QueryEngine:
             if structure is not None:
                 # Gated layer index: traverse the frozen structure directly
                 # with the configured kernel (skips re-validation; bitwise
-                # the same answers either way).
-                return self._process(structure, w, k, counter)
+                # the same answers whichever kernel runs).
+                kernel = self.kernel
+                if kernel == "auto":
+                    kernel = select_kernel(structure)
+                if kernel == "reference":
+                    return process_top_k_reference(structure, w, k, counter)
+                if kernel == "batch":
+                    # Forced batch kernel on a single query: one lane.
+                    outputs = process_top_k_batch(
+                        structure,
+                        np.asarray(w, dtype=np.float64)[None, :],
+                        k,
+                        [counter],
+                        workspace=self._workspace,
+                    )
+                    return outputs[0]
+                return process_top_k(structure, w, k, counter)
             result = self.index.query(w, k, counter=counter)
             return result.ids, result.scores
         # Duck-typed mutable index (DynamicDualLayerIndex): returns ids

@@ -53,8 +53,18 @@ class MetricsRegistry:
         self.max_cost = 0
         self.queue_depth = 0
         self.max_queue_depth = 0
+        self.batches = 0
+        self.batch_rows = 0
+        self.max_batch_size = 0
+        #: Batch-size histogram: power-of-two bucket lower bound -> count
+        #: (a batch of 12 rows lands in bucket 8).
+        self.batch_size_hist: dict[int, int] = {}
         self.started_at = time.perf_counter()
         self._latency = LatencyWindow(latency_window)
+        #: Amortized per-query latency of batched execution (seconds/row,
+        #: one sample per batch) — the figure that shows what batching
+        #: buys over the per-query latency window above.
+        self._batch_amortized = LatencyWindow(latency_window)
 
     @contextmanager
     def track(self):
@@ -84,15 +94,23 @@ class MetricsRegistry:
                 self._latency.record(elapsed)
 
     def record_external(
-        self, *, cost: int, seconds: float | None = None, hit: bool = False
+        self,
+        *,
+        cost: int,
+        seconds: float | None = None,
+        hit: bool = False,
+        batched: bool = False,
     ) -> None:
         """Fold in one query served outside :meth:`track`.
 
         The cluster coordinator's threshold merge drives shard cursors
         directly (round-robin, interleaved across shards), so a shard's
         share of the work has no contiguous wall-clock span to wrap in
-        :meth:`track`; this records its cost (and optionally its summed
-        fetch time) as one served query, under the same single lock.
+        :meth:`track`; the engine's fused ``query_batch`` path likewise
+        serves many rows in one kernel call and attributes each row its
+        amortized share of the batch's wall clock.  This records one
+        served query's cost (and optionally its latency share), under
+        the same single lock.
         """
         with self._lock:
             self.queries += 1
@@ -100,11 +118,35 @@ class MetricsRegistry:
                 self.cache_hits += 1
             else:
                 self.cache_misses += 1
+            if batched:
+                self.batched_queries += 1
             self.total_cost += cost
             if cost > self.max_cost:
                 self.max_cost = cost
             if seconds is not None:
                 self._latency.record(seconds)
+
+    def record_batch(self, size: int, seconds: float | None = None) -> None:
+        """Record one fused batch-kernel invocation covering ``size`` rows.
+
+        Feeds the batch-size histogram (power-of-two buckets) and, when
+        ``seconds`` is given, the amortized per-query latency window with
+        one ``seconds / size`` sample.  Per-row counters are *not*
+        touched here — each row still goes through :meth:`track` or
+        :meth:`record_external` — so ``batch_rows`` vs ``queries``
+        separates kernel invocations from served queries.
+        """
+        if size <= 0:
+            return
+        with self._lock:
+            self.batches += 1
+            self.batch_rows += size
+            if size > self.max_batch_size:
+                self.max_batch_size = size
+            bucket = 1 << (int(size).bit_length() - 1)
+            self.batch_size_hist[bucket] = self.batch_size_hist.get(bucket, 0) + 1
+            if seconds is not None:
+                self._batch_amortized.record(seconds / size)
 
     @staticmethod
     def aggregate(registries: "list[MetricsRegistry]") -> dict[str, float]:
@@ -120,7 +162,10 @@ class MetricsRegistry:
         total_cost = 0
         max_cost = 0
         queue_depth = max_queue_depth = 0
+        batches = batch_rows = max_batch_size = 0
+        batch_hist: dict[int, int] = {}
         samples: list[float] = []
+        amortized: list[float] = []
         total_seconds = 0.0
         lifetime = 0
         for registry in registries:
@@ -133,13 +178,20 @@ class MetricsRegistry:
                 max_cost = max(max_cost, registry.max_cost)
                 queue_depth = max(queue_depth, registry.queue_depth)
                 max_queue_depth = max(max_queue_depth, registry.max_queue_depth)
+                batches += registry.batches
+                batch_rows += registry.batch_rows
+                max_batch_size = max(max_batch_size, registry.max_batch_size)
+                for bucket, count in registry.batch_size_hist.items():
+                    batch_hist[bucket] = batch_hist.get(bucket, 0) + count
                 samples.extend(registry._latency._samples)
+                amortized.extend(registry._batch_amortized._samples)
                 total_seconds += registry._latency.total
                 lifetime += registry._latency.count
         from repro.stats.latency import percentile
 
         scaled = [s * 1e3 for s in samples]
-        return {
+        amortized_ms = [s * 1e3 for s in amortized]
+        merged = {
             "queries": float(queries),
             "batched_queries": float(batched),
             "cache_hits": float(hits),
@@ -155,7 +207,16 @@ class MetricsRegistry:
             "latency_ms_max": max(scaled) if scaled else 0.0,
             "queue_depth": float(queue_depth),
             "max_queue_depth": float(max_queue_depth),
+            "batches": float(batches),
+            "batch_rows": float(batch_rows),
+            "batch_size_mean": batch_rows / batches if batches else 0.0,
+            "batch_size_max": float(max_batch_size),
+            "batch_amortized_ms_p50": percentile(amortized_ms, 50.0),
+            "batch_amortized_ms_p95": percentile(amortized_ms, 95.0),
         }
+        for bucket in sorted(batch_hist):
+            merged[f"batch_size_hist_{bucket}"] = float(batch_hist[bucket])
+        return merged
 
     @property
     def hit_rate(self) -> float:
@@ -176,7 +237,8 @@ class MetricsRegistry:
         """Flat snapshot of every gauge and summary statistic."""
         with self._lock:
             latency = self._latency.summary(scale=1e3)
-            return {
+            amortized = self._batch_amortized.summary(scale=1e3)
+            snapshot = {
                 "queries": float(self.queries),
                 "batched_queries": float(self.batched_queries),
                 "cache_hits": float(self.cache_hits),
@@ -192,7 +254,20 @@ class MetricsRegistry:
                 "latency_ms_max": latency["max"],
                 "queue_depth": float(self.queue_depth),
                 "max_queue_depth": float(self.max_queue_depth),
+                "batches": float(self.batches),
+                "batch_rows": float(self.batch_rows),
+                "batch_size_mean": (
+                    self.batch_rows / self.batches if self.batches else 0.0
+                ),
+                "batch_size_max": float(self.max_batch_size),
+                "batch_amortized_ms_p50": amortized["p50"],
+                "batch_amortized_ms_p95": amortized["p95"],
             }
+            for bucket in sorted(self.batch_size_hist):
+                snapshot[f"batch_size_hist_{bucket}"] = float(
+                    self.batch_size_hist[bucket]
+                )
+            return snapshot
 
     def reset(self) -> None:
         """Zero every counter and restart the clock (for benchmark phases)."""
@@ -204,5 +279,11 @@ class MetricsRegistry:
             self.total_cost = 0
             self.max_cost = 0
             self.max_queue_depth = self.queue_depth
+            self.batches = 0
+            self.batch_rows = 0
+            self.max_batch_size = 0
+            self.batch_size_hist = {}
             self.started_at = time.perf_counter()
-            self._latency = LatencyWindow(self._latency._samples.maxlen or 4096)
+            window = self._latency._samples.maxlen or 4096
+            self._latency = LatencyWindow(window)
+            self._batch_amortized = LatencyWindow(window)

@@ -1,0 +1,139 @@
+"""Bench-regression gate: matched-cell comparison, invariant fallback,
+cross-check enforcement, and the bench-check CLI surface."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.regression import (
+    NOISE_FLOOR_MS,
+    check_query_regression,
+    load_report,
+)
+
+
+def make_report(*, n=10_000, auto_p50=0.10, csr_p50=0.10, qps=5000.0):
+    timing = lambda p50: {"p50_ms": p50, "p95_ms": p50 * 2, "mean_ms": p50}  # noqa: E731
+    return {
+        "suite": "wallclock",
+        "algorithm": "DL+",
+        "k": 10,
+        "queries": 8,
+        "repeats": 1,
+        "seed": 7,
+        "crosscheck": "bitwise",
+        "cells": [
+            {
+                "distribution": "IND",
+                "d": 3,
+                "n": n,
+                "k": 10,
+                "build_seconds": 0.1,
+                "mean_cost": 40.0,
+                "speedup_p50": 1.5,
+                "kernels": {
+                    "reference": timing(0.30),
+                    "csr": timing(csr_p50),
+                    "auto": timing(auto_p50),
+                },
+                "batch": [
+                    {"B": 8, "qps": qps, "ms_per_query": 1000.0 / qps, "speedup_vs_csr": 2.0}
+                ],
+            }
+        ],
+    }
+
+
+def test_identical_reports_pass():
+    report = make_report()
+    assert check_query_regression(report, report) == []
+
+
+def test_matched_cell_p50_regression_fails():
+    baseline = make_report(csr_p50=1.0)
+    fresh = make_report(csr_p50=1.0 * 1.26 + NOISE_FLOOR_MS + 0.01)
+    failures = check_query_regression(fresh, baseline)
+    assert any("kernel csr" in f for f in failures)
+    # Within tolerance + noise floor: passes.
+    ok = make_report(csr_p50=1.0 * 1.24)
+    assert check_query_regression(ok, baseline) == []
+
+
+def test_noise_floor_absorbs_sub_ms_jitter():
+    """A 50% relative blip on a 0.05ms cell is scheduler noise, not a
+    regression — the absolute floor must absorb it."""
+    baseline = make_report(csr_p50=0.05, auto_p50=0.05)
+    fresh = make_report(csr_p50=0.075, auto_p50=0.075)  # +50% but tiny
+    assert check_query_regression(fresh, baseline) == []
+
+
+def test_matched_cell_qps_regression_fails():
+    baseline = make_report(qps=5000.0)
+    fresh = make_report(qps=5000.0 / 1.3)
+    failures = check_query_regression(fresh, baseline)
+    assert any("batch B=8" in f for f in failures)
+    assert check_query_regression(make_report(qps=4200.0), baseline) == []
+
+
+def test_no_overlap_falls_back_to_invariants():
+    baseline = make_report(n=100_000)
+    smoke_ok = make_report(n=2000)
+    assert check_query_regression(smoke_ok, baseline) == []
+    # Auto far slower than best single kernel: the scale-free invariant
+    # trips even without any comparable baseline cell.
+    smoke_bad = make_report(n=2000, auto_p50=0.50, csr_p50=0.10)
+    failures = check_query_regression(smoke_bad, baseline)
+    assert any("auto p50" in f for f in failures)
+    # Missing batch sweep also trips the invariant path.
+    smoke_nobatch = make_report(n=2000)
+    smoke_nobatch["cells"][0]["batch"] = []
+    failures = check_query_regression(smoke_nobatch, baseline)
+    assert any("batch sweep missing" in f for f in failures)
+
+
+def test_missing_crosscheck_marker_rejected():
+    baseline = make_report()
+    unchecked = copy.deepcopy(baseline)
+    del unchecked["crosscheck"]
+    failures = check_query_regression(unchecked, baseline)
+    assert any("crosscheck" in f for f in failures)
+
+
+def test_malformed_reports_rejected_outright():
+    report = make_report()
+    broken = copy.deepcopy(report)
+    broken["cells"][0]["kernels"].pop("reference")
+    with pytest.raises((ValueError, KeyError)):
+        check_query_regression(broken, report)
+    with pytest.raises((ValueError, KeyError)):
+        check_query_regression(report, broken)
+
+
+def test_load_report_validates(tmp_path):
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps(make_report()))
+    assert load_report(str(path))["suite"] == "wallclock"
+    path.write_text(json.dumps({"suite": "wallclock"}))
+    with pytest.raises((ValueError, KeyError)):
+        load_report(str(path))
+
+
+def test_bench_check_cli_exit_codes(tmp_path, capsys):
+    from repro.cli import main
+
+    fresh = tmp_path / "fresh.json"
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(make_report(csr_p50=1.0)))
+    fresh.write_text(json.dumps(make_report(csr_p50=1.0)))
+    assert (
+        main(["bench-check", "--fresh", str(fresh), "--baseline", str(baseline)]) == 0
+    )
+    assert "bench-check OK" in capsys.readouterr().out
+
+    fresh.write_text(json.dumps(make_report(csr_p50=2.0)))
+    assert (
+        main(["bench-check", "--fresh", str(fresh), "--baseline", str(baseline)]) == 1
+    )
+    out = capsys.readouterr().out
+    assert "kernel csr" in out

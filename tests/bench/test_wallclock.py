@@ -2,11 +2,14 @@
 
 import json
 
+import pytest
+
 from repro.bench.wallclock import (
     KERNELS,
     WallclockCell,
     KernelTiming,
     run_wallclock,
+    validate_query_report,
     write_report,
 )
 
@@ -20,8 +23,10 @@ def test_run_wallclock_smoke(tmp_path):
         queries=4,
         repeats=1,
         seed=7,
+        batch_sizes=(1, 8),
     )
     assert report["suite"] == "wallclock"
+    assert report["crosscheck"] == "bitwise"
     assert len(report["cells"]) == 1
     cell = report["cells"][0]
     assert cell["distribution"] == "IND" and cell["n"] == 500
@@ -31,10 +36,68 @@ def test_run_wallclock_smoke(tmp_path):
         assert timing["p95_ms"] >= timing["p50_ms"]
     assert cell["speedup_p50"] > 0
     assert cell["mean_cost"] >= 5  # at least k tuples are evaluated
+    # The batch sweep ran and was cross-checked before timing.
+    assert [t["B"] for t in cell["batch"]] == [1, 8]
+    for timing in cell["batch"]:
+        assert timing["qps"] > 0
+        assert timing["ms_per_query"] > 0
+        assert timing["speedup_vs_csr"] > 0
 
+    validate_query_report(report)  # round-trips through the schema check
     out = tmp_path / "BENCH_query.json"
     write_report(report, str(out))
     assert json.loads(out.read_text()) == report
+    validate_query_report(json.loads(out.read_text()))
+
+
+def test_batch_sweep_disabled():
+    report = run_wallclock(
+        distributions=("IND",),
+        dims=(2,),
+        sizes=(300,),
+        k=3,
+        queries=2,
+        repeats=1,
+        seed=9,
+        batch_sizes=(),
+    )
+    assert report["cells"][0]["batch"] == []
+
+
+def test_validate_query_report_rejects_malformed():
+    report = run_wallclock(
+        distributions=("IND",),
+        dims=(2,),
+        sizes=(300,),
+        k=3,
+        queries=2,
+        repeats=1,
+        seed=9,
+        batch_sizes=(1,),
+    )
+    validate_query_report(report)
+    for mutate in (
+        lambda r: r.pop("cells"),
+        lambda r: r["cells"].clear(),
+        lambda r: r["cells"][0]["kernels"].pop("csr"),
+        lambda r: r["cells"][0]["kernels"]["csr"].__setitem__("p50_ms", 0.0),
+        lambda r: r["cells"][0]["batch"][0].__setitem__("B", 0),
+        lambda r: r["cells"][0]["batch"][0].pop("qps"),
+        lambda r: r.__setitem__("suite", "nonsense"),
+    ):
+        broken = json.loads(json.dumps(report))
+        mutate(broken)
+        with pytest.raises((ValueError, KeyError)):
+            validate_query_report(broken)
+
+
+def test_committed_baseline_is_schema_valid():
+    from pathlib import Path
+
+    baseline = Path(__file__).resolve().parents[2] / "BENCH_query.json"
+    report = json.loads(baseline.read_text())
+    validate_query_report(report)
+    assert report["crosscheck"] == "bitwise"
 
 
 def test_wallclock_grid_covers_all_cells(tmp_path):

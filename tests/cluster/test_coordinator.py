@@ -115,6 +115,91 @@ def test_scatter_workers_naive_merge_matches_sequential():
     assert a.cost == b.cost
 
 
+def test_query_batch_wide_group_bitwise_and_records_batches():
+    """A wide batch (>= the batch-kernel dispatch width) goes to each
+    shard as one weight group; every row must still match the per-query
+    path bitwise, and both coordinator and shard registries must record
+    the batched execution."""
+    relation = generate("IND", 200, 3, seed=47)
+    reference = ClusterEngine(relation, shards=3, cache_size=0)
+    batched = ClusterEngine(relation, shards=3, cache_size=0)
+    rng = np.random.default_rng(47)
+    weights = np.vstack([random_weight_vector(3, rng) for _ in range(16)])
+    singles = [reference.query(w, 7, merge="naive") for w in weights]
+    results = batched.query_batch(weights, 7, merge="naive")
+    for ref, got in zip(singles, results):
+        np.testing.assert_array_equal(got.ids, ref.ids)
+        assert got.scores.tobytes() == ref.scores.tobytes()
+        assert got.cost == ref.cost
+        assert got.shard_costs == ref.shard_costs
+    assert batched.metrics.batches == 1
+    assert batched.metrics.batch_rows == 16
+    stats = batched.stats()
+    assert stats["batches"] == 1.0
+    assert stats["shards"]["batches"] == 3.0  # one group per shard
+    assert stats["shards"]["batch_rows"] == 48.0
+
+
+def test_query_batch_deduplicates_repeated_rows_through_cache():
+    relation = generate("ANT", 150, 3, seed=49)
+    cluster = ClusterEngine(relation, shards=2, cache_size=32)
+    rng = np.random.default_rng(49)
+    base = np.vstack([random_weight_vector(3, rng) for _ in range(5)])
+    weights = np.vstack([base, base[0], base[2]])  # 2 duplicate rows
+    results = cluster.query_batch(weights, 6)
+    assert results[5].merge == "cache" and results[5].cost == 0
+    assert results[6].merge == "cache" and results[6].cost == 0
+    np.testing.assert_array_equal(results[5].ids, results[0].ids)
+    np.testing.assert_array_equal(results[6].ids, results[2].ids)
+    assert cluster.metrics.cache_hits == 2
+
+
+def test_query_batch_failover_and_partial():
+    """The batched scatter path honors replica failover (exact answers,
+    recovered_shards set) and, without a replica, degrades every row of
+    the group to a partial answer that is never cached."""
+    relation = generate("IND", 160, 3, seed=53)
+    rng = np.random.default_rng(53)
+    weights = np.vstack([random_weight_vector(3, rng) for _ in range(10)])
+
+    replicated = ClusterEngine(relation, shards=2, replicate=True, cache_size=0)
+    replicated.shards[0] = FailingShard(replicated.shards[0], failed=True)
+    ref = single_node(relation)
+    for got, w in zip(replicated.query_batch(weights, 8), weights):
+        expected = ref.query(w, 8)
+        np.testing.assert_array_equal(got.ids, expected.ids)
+        assert got.scores.tobytes() == expected.scores.tobytes()
+        assert not got.partial and got.recovered_shards == (0,)
+
+    bare = ClusterEngine(relation, shards=2, cache_size=16)
+    dead = FailingShard(bare.shards[1], failed=True)
+    bare.shards[1] = dead
+    partials = bare.query_batch(weights, 8)
+    assert all(r.partial and r.failed_shards == (1,) for r in partials)
+    dead.restore()
+    healed = bare.query_batch(weights, 8)
+    for got, w in zip(healed, weights):
+        assert not got.partial
+        assert got.merge != "cache"  # partial answers were not cached
+        expected = ref.query(w, 8)
+        np.testing.assert_array_equal(got.ids, expected.ids)
+
+
+def test_cluster_kernel_knob_propagates_to_shards():
+    relation = generate("IND", 150, 3, seed=59)
+    with pytest.raises(InvalidQueryError):
+        ClusterEngine(relation, shards=2, kernel="simd")
+    reference = ClusterEngine(relation, shards=2, cache_size=0, kernel="reference")
+    default = ClusterEngine(relation, shards=2, cache_size=0)
+    assert all(s.engine.kernel == "reference" for s in reference.shards)
+    assert all(s.engine.kernel == "auto" for s in default.shards)
+    w = np.array([0.3, 0.3, 0.4])
+    a = reference.query(w, 9)
+    b = default.query(w, 9)
+    np.testing.assert_array_equal(a.ids, b.ids)
+    assert a.scores.tobytes() == b.scores.tobytes()
+
+
 # ---------------------------------------------------------------------- #
 # Failover
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,70 @@
+"""Auto-kernel dispatch: pin the decision on both sides of each threshold."""
+
+import pytest
+
+from repro.core import DLIndex
+from repro.core.dispatch import (
+    AUTO_BATCH_MIN_LANES,
+    AUTO_SMALL_STRUCTURE_DIM,
+    AUTO_SMALL_STRUCTURE_NODES,
+    VALID_KERNELS,
+    select_kernel,
+)
+from repro.data import generate
+
+
+def test_small_structure_dispatches_reference_both_sides():
+    """At d=2 the reference kernel wins below the node threshold and the
+    CSR kernel wins above it — pin the decision one node either side."""
+    at = select_kernel(n_nodes=AUTO_SMALL_STRUCTURE_NODES, d=2)
+    above = select_kernel(n_nodes=AUTO_SMALL_STRUCTURE_NODES + 1, d=2)
+    assert at == "reference"
+    assert above == "csr"
+
+
+def test_dimension_threshold_both_sides():
+    """The small-structure exception only applies at d<=2: a 10k-node d=3
+    structure already pays off the vectorized einsum."""
+    small_n = AUTO_SMALL_STRUCTURE_NODES // 2
+    assert select_kernel(n_nodes=small_n, d=AUTO_SMALL_STRUCTURE_DIM) == "reference"
+    assert select_kernel(n_nodes=small_n, d=AUTO_SMALL_STRUCTURE_DIM + 1) == "csr"
+
+
+def test_batch_width_threshold_both_sides():
+    """batch_width >= AUTO_BATCH_MIN_LANES dispatches the lane-parallel
+    kernel regardless of structure size; one lane fewer falls back to the
+    single-query decision."""
+    kw = dict(n_nodes=1000, d=2)
+    assert select_kernel(batch_width=AUTO_BATCH_MIN_LANES, **kw) == "batch"
+    assert select_kernel(batch_width=AUTO_BATCH_MIN_LANES - 1, **kw) == "reference"
+    kw = dict(n_nodes=10**6, d=4)
+    assert select_kernel(batch_width=AUTO_BATCH_MIN_LANES, **kw) == "batch"
+    assert select_kernel(batch_width=AUTO_BATCH_MIN_LANES - 1, **kw) == "csr"
+
+
+def test_structure_argument_supplies_shape():
+    relation = generate("IND", 200, 3, seed=3)
+    structure = DLIndex(relation).build().structure
+    assert select_kernel(structure) == "csr"  # d=3 > small-structure dim
+    assert select_kernel(structure, batch_width=AUTO_BATCH_MIN_LANES) == "batch"
+    assert select_kernel(structure) == select_kernel(
+        n_nodes=structure.n_nodes, d=structure.values.shape[1]
+    )
+
+
+def test_missing_shape_rejected():
+    with pytest.raises(ValueError):
+        select_kernel()
+    with pytest.raises(ValueError):
+        select_kernel(n_nodes=100)
+    with pytest.raises(ValueError):
+        select_kernel(d=2)
+
+
+def test_valid_kernels_registry():
+    assert set(VALID_KERNELS) == {"auto", "reference", "csr", "batch"}
+    # select_kernel only ever returns concrete (non-auto) kernels.
+    for n in (100, AUTO_SMALL_STRUCTURE_NODES + 1):
+        for d in (2, 4):
+            for width in (1, AUTO_BATCH_MIN_LANES):
+                assert select_kernel(n_nodes=n, d=d, batch_width=width) in VALID_KERNELS[1:]

@@ -184,6 +184,81 @@ def test_stats_snapshot_merges_cache_and_metrics():
     assert stats["throughput_qps"] > 0.0
 
 
+def test_query_batch_per_row_k():
+    """query_batch accepts a per-row k vector; each row must match the
+    equivalent scalar-k call byte for byte."""
+    rng = np.random.default_rng(31)
+    relation = generate("ANT", 300, 3, seed=31)
+    index = DLPlusIndex(relation).build()
+    engine = QueryEngine(index, cache_size=0)
+    scalar = QueryEngine(index, cache_size=0)
+    weights = random_weights(rng, 3, 12)
+    ks = [1, 50, 3, 50, 1, 7, 50, 3, 1, 50, 7, 3]
+    results = engine.query_batch(weights, ks)
+    assert len(results) == 12
+    for w, k, result in zip(weights, ks, results):
+        expected = scalar.query(w, k)
+        assert result.ids.tobytes() == expected.ids.tobytes()
+        assert result.scores.tobytes() == expected.scores.tobytes()
+    with pytest.raises(InvalidQueryError):
+        engine.query_batch(weights, ks[:-1])  # length mismatch
+    with pytest.raises(InvalidQueryError):
+        engine.query_batch(weights, [5] * 11 + [0])  # invalid row k
+
+
+@pytest.mark.parametrize("kernel", ["auto", "batch", "reference"])
+def test_query_batch_kernels_byte_identical(kernel):
+    """Every kernel choice (incl. the fused batch kernel and auto
+    dispatch) serves byte-identical batches to the default engine."""
+    rng = np.random.default_rng(37)
+    relation = generate("IND", 350, 4, seed=37)
+    index = DLPlusIndex(relation).build()
+    baseline = QueryEngine(index, cache_size=0, kernel="csr")
+    engine = QueryEngine(index, cache_size=0, kernel=kernel)
+    weights = random_weights(rng, 4, 16)
+    expected = baseline.query_batch(weights, 9)
+    got = engine.query_batch(weights, 9)
+    for a, b in zip(got, expected):
+        assert a.ids.tobytes() == b.ids.tobytes()
+        assert a.scores.tobytes() == b.scores.tobytes()
+        assert a.cost == b.cost
+    # Single queries agree too (auto dispatches per-query kernels there).
+    w = rng.dirichlet(np.ones(4))
+    a = engine.query(w, 6)
+    b = baseline.query(w, 6)
+    assert a.ids.tobytes() == b.ids.tobytes()
+    assert a.scores.tobytes() == b.scores.tobytes()
+
+
+def test_query_batch_records_batch_metrics():
+    relation = generate("IND", 300, 3, seed=41)
+    engine = QueryEngine(DLPlusIndex(relation).build(), cache_size=0)
+    rng = np.random.default_rng(41)
+    engine.query_batch(random_weights(rng, 3, 16), 5)
+    stats = engine.metrics.as_dict()
+    assert engine.metrics.batches == 1
+    assert engine.metrics.batch_rows == 16
+    assert stats["batched_queries"] == 16.0
+    assert stats["batch_amortized_ms_p50"] > 0.0
+
+
+def test_query_many_validates_before_spawning():
+    """A malformed query anywhere in the list must fail fast, before any
+    thread-pool work runs (no partial metrics, no partial cache fills)."""
+    relation = generate("IND", 200, 3, seed=43)
+    engine = QueryEngine(DLPlusIndex(relation).build(), cache_size=32)
+    rng = np.random.default_rng(43)
+    good = [(w, 5) for w in random_weights(rng, 3, 6)]
+    bad_weight = good[:3] + [(np.array([0.5, -0.5, 1.0]), 5)] + good[3:]
+    with pytest.raises(InvalidWeightError):
+        engine.query_many(bad_weight)
+    bad_k = good[:3] + [(good[0][0], 0)] + good[3:]
+    with pytest.raises(InvalidQueryError):
+        engine.query_many(bad_k)
+    assert engine.metrics.queries == 0  # nothing executed
+    assert len(engine.cache) == 0
+
+
 def test_engine_kernel_selector():
     """The reference-kernel engine serves byte-identical answers to the
     default CSR engine; an unknown kernel name is rejected."""

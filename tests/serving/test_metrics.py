@@ -157,6 +157,45 @@ def test_aggregate_pools_registries():
     assert empty["queries"] == 0.0 and empty["latency_ms_p50"] == 0.0
 
 
+def test_record_batch_histogram_and_amortized_latency():
+    registry = MetricsRegistry()
+    registry.record_batch(1, seconds=0.001)
+    registry.record_batch(8, seconds=0.004)
+    registry.record_batch(12, seconds=0.006)  # buckets with 8 (power of two)
+    registry.record_batch(32, seconds=0.008)
+    registry.record_batch(0)  # no-op
+    assert registry.batches == 4
+    assert registry.batch_rows == 1 + 8 + 12 + 32
+    assert registry.max_batch_size == 32
+    assert registry.batch_size_hist == {1: 1, 8: 2, 32: 1}
+    snapshot = registry.as_dict()
+    assert snapshot["batches"] == 4.0
+    assert snapshot["batch_rows"] == 53.0
+    assert snapshot["batch_size_max"] == 32.0
+    assert snapshot["batch_size_mean"] == pytest.approx(53 / 4)
+    assert snapshot["batch_size_hist_8"] == 2.0
+    # Amortized per-query latencies: 1.0ms, 0.5ms, 0.5ms, 0.25ms.
+    assert snapshot["batch_amortized_ms_p50"] == pytest.approx(0.5)
+    registry.reset()
+    assert registry.batches == 0 and registry.batch_size_hist == {}
+    assert registry.as_dict()["batch_amortized_ms_p50"] == 0.0
+
+
+def test_aggregate_rolls_up_batch_series():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.record_batch(8, seconds=0.008)
+    b.record_batch(8, seconds=0.004)
+    b.record_batch(64, seconds=0.016)
+    rollup = MetricsRegistry.aggregate([a, b])
+    assert rollup["batches"] == 3.0
+    assert rollup["batch_rows"] == 80.0
+    assert rollup["batch_size_max"] == 64.0
+    assert rollup["batch_size_hist_8"] == 2.0
+    assert rollup["batch_size_hist_64"] == 1.0
+    # Pooled amortized samples: 1.0ms, 0.5ms, 0.25ms — not a mean of means.
+    assert rollup["batch_amortized_ms_p50"] == pytest.approx(0.5)
+
+
 def test_percentile_interpolation():
     values = [1.0, 2.0, 3.0, 4.0]
     assert percentile(values, 0) == 1.0
