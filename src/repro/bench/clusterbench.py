@@ -155,11 +155,18 @@ def run_cluster_bench(
                     f"threshold merge cost exceeded naive for {distribution} "
                     f"shards={shards} (partitioner={partitioner})"
                 )
+            # Pooled shard throughput from the roll-up: total queries the
+            # shard fleet absorbed over the measurement window (both merge
+            # streams), not a sum of per-shard rates over disjoint windows.
+            shard_rollup = cluster.stats()["shards"]
             clusters.append(
                 {
                     "shards": shards,
                     "build_seconds": round(cluster_build, 3),
                     "merges": merges,
+                    "shard_throughput_qps": round(
+                        shard_rollup["throughput_qps"], 1
+                    ),
                     "bitwise_equal": True,
                     "threshold_le_naive": True,
                 }
@@ -170,7 +177,8 @@ def run_cluster_bench(
                     f"naive cost {merges['naive']['mean_cost']:.1f}, "
                     f"threshold cost {merges['threshold']['mean_cost']:.1f} "
                     f"(single node {single['mean_cost']:.1f}); "
-                    f"threshold p50 {merges['threshold']['p50_ms']:.3f}ms"
+                    f"threshold p50 {merges['threshold']['p50_ms']:.3f}ms, "
+                    f"shard pool {shard_rollup['throughput_qps']:.0f} q/s"
                 )
         cells.append(
             {
@@ -232,6 +240,15 @@ def validate_cluster_report(report: dict) -> None:
                 raise ValueError(
                     f"cluster entry shards={entry.get('shards')} lacks the "
                     "threshold<=naive cost guarantee"
+                )
+            # Optional: baselines committed before the roll-up gained a
+            # pooled throughput lack this key; fresh reports carry it.
+            if "shard_throughput_qps" in entry and (
+                entry["shard_throughput_qps"] <= 0
+            ):
+                raise ValueError(
+                    f"cluster entry shards={entry['shards']}: non-positive "
+                    "pooled shard throughput"
                 )
             for merge in MERGE_STRATEGIES:
                 if merge not in entry["merges"]:

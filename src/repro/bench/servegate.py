@@ -1,0 +1,351 @@
+"""Gateway load generator: closed-loop and open-loop Poisson traffic.
+
+The other timing suites measure *offline* sweeps — a driver hands the
+engine pre-assembled batches.  This suite measures the serving question
+the gateway exists to answer: under **concurrent single-query traffic**,
+does the coalescer actually fill batch-kernel lanes, and what does the
+throughput-vs-latency curve look like as the arrival rate approaches and
+passes saturation?
+
+Two generators, the standard pairing from serving-systems benchmarking:
+
+* **closed loop** — C clients issue requests back-to-back (a new request
+  the moment the previous one answers).  Measures sustainable capacity:
+  the achieved q/s is the saturation throughput at concurrency C.
+* **open loop** — requests arrive on a Poisson process at a fixed rate,
+  *independent* of completions (the "millions of users" model: users
+  don't wait for each other).  Run at rates bracketing the closed-loop
+  capacity, this produces the throughput-vs-latency curve and exercises
+  admission control past saturation, where an unbounded queue would
+  otherwise grow without limit.
+
+Every completed answer is cross-checked **bitwise** against a precomputed
+per-weight-vector oracle (``engine.query`` on an uncached engine), the
+discipline every other suite applies; the report carries the
+``crosscheck: "bitwise"`` marker ``bench-check`` requires.  The engine
+under the gateway runs *uncached* so reported occupancy reflects real
+batch-kernel lanes, not cache hits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.bench.workload import DEFAULT_SEED, write_report
+from repro.exceptions import GatewayOverloadError
+from repro.relation import random_weight_vector
+from repro.stats.latency import percentile
+
+__all__ = [
+    "DEFAULT_RATE_MULTIPLIERS",
+    "run_serve_gateway_bench",
+    "validate_serve_report",
+    "write_report",
+]
+
+#: Open-loop arrival rates as multiples of the measured closed-loop
+#: capacity — two below saturation, one at it, one past it.
+DEFAULT_RATE_MULTIPLIERS = (0.25, 0.5, 1.0, 2.0)
+
+
+def _latency_summary(latencies_ms: list[float]) -> dict[str, float]:
+    return {
+        "p50_ms": round(percentile(latencies_ms, 50.0), 4),
+        "p95_ms": round(percentile(latencies_ms, 95.0), 4),
+        "p99_ms": round(percentile(latencies_ms, 99.0), 4),
+    }
+
+
+class _Oracle:
+    """Bitwise reference answers, one per distinct weight vector."""
+
+    def __init__(self, engine, weights: list[np.ndarray], k: int) -> None:
+        self._expect = [
+            (result.ids.tobytes(), result.scores.tobytes())
+            for result in (engine.query(w, k) for w in weights)
+        ]
+
+    def check(self, index: int, result) -> None:
+        ids, scores = self._expect[index]
+        if result.ids.tobytes() != ids or result.scores.tobytes() != scores:
+            raise AssertionError(
+                f"gateway answer diverged from engine.query for weight "
+                f"vector {index} — the coalescer broke bitwise identity"
+            )
+
+
+async def _closed_loop(gateway, weights, indices, k, clients, oracle) -> dict:
+    """C clients issuing back-to-back requests; returns the summary."""
+    latencies: list[float] = []
+
+    async def client(rows: list[int]) -> None:
+        for i in rows:
+            start = time.perf_counter()
+            result = await gateway.query(weights[indices[i]], k)
+            latencies.append((time.perf_counter() - start) * 1e3)
+            oracle.check(indices[i], result)
+
+    lanes: list[list[int]] = [[] for _ in range(clients)]
+    for i in range(len(indices)):
+        lanes[i % clients].append(i)
+    start = time.perf_counter()
+    await asyncio.gather(*(client(rows) for rows in lanes if rows))
+    elapsed = time.perf_counter() - start
+    stats = gateway.stats()
+    return {
+        "clients": clients,
+        "queries": len(indices),
+        "qps": round(len(indices) / elapsed, 1) if elapsed > 0 else 0.0,
+        **_latency_summary(latencies),
+        "batch_occupancy": round(stats["batch_occupancy"], 2),
+    }
+
+
+async def _open_loop(gateway, weights, indices, k, rate, rng, oracle) -> dict:
+    """Poisson arrivals at ``rate`` q/s, independent of completions."""
+    latencies: list[float] = []
+    rejected = 0
+    tasks: list[asyncio.Task] = []
+
+    async def one(i: int) -> None:
+        nonlocal rejected
+        start = time.perf_counter()
+        try:
+            result = await gateway.query(weights[indices[i]], k)
+        except GatewayOverloadError:
+            rejected += 1
+            return
+        latencies.append((time.perf_counter() - start) * 1e3)
+        oracle.check(indices[i], result)
+
+    count = len(indices)
+    arrivals = np.cumsum(rng.exponential(1.0 / rate, size=count))
+    start = time.perf_counter()
+    for i in range(count):
+        delay = start + arrivals[i] - time.perf_counter()
+        if delay > 0.0005:
+            await asyncio.sleep(delay)
+        elif i % 8 == 0:
+            # Sub-millisecond gaps: a timed sleep would round up to the
+            # event-loop timer granularity and silently cap the offered
+            # rate near 1k q/s; yield instead so the flush worker runs.
+            await asyncio.sleep(0)
+        tasks.append(asyncio.create_task(one(i)))
+    await asyncio.gather(*tasks)
+    elapsed = time.perf_counter() - start
+    stats = gateway.stats()
+    completed = len(latencies)
+    return {
+        "arrival_rate": round(float(rate), 1),
+        "offered_qps": round(count / arrivals[-1], 1) if count else 0.0,
+        "queries": count,
+        "completed": completed,
+        "rejected": rejected,
+        "qps": round(completed / elapsed, 1) if elapsed > 0 else 0.0,
+        **_latency_summary(latencies),
+        "batch_occupancy": round(stats["batch_occupancy"], 2),
+        "batches": int(stats["batches"]),
+        "slo_violations": int(stats["rollup"]["slo_violations"]),
+    }
+
+
+def run_serve_gateway_bench(
+    *,
+    distribution: str = "IND",
+    n: int = 20_000,
+    d: int = 4,
+    k: int = 10,
+    algorithm: str = "DL+",
+    queries: int = 512,
+    distinct: int = 32,
+    arrival_rates=None,
+    rate_multipliers=DEFAULT_RATE_MULTIPLIERS,
+    closed_clients: int = 16,
+    max_batch: int = 32,
+    flush_window_ms: float = 2.0,
+    slo_target_ms: float = 10.0,
+    max_pending: int = 4096,
+    seed: int = DEFAULT_SEED,
+    progress=None,
+) -> dict:
+    """Run the gateway load generator; returns the JSON-serializable report.
+
+    ``arrival_rates`` is an explicit list of open-loop rates (q/s); when
+    ``None`` the rates are derived from the measured closed-loop capacity
+    via ``rate_multipliers``, so the curve brackets saturation on any
+    machine.  ``progress`` is an optional ``callable(str)``.
+    """
+    from repro import ALGORITHMS
+    from repro.data import generate
+    from repro.serving import AsyncGateway, QueryEngine
+
+    rng = np.random.default_rng(seed)
+    relation = generate(distribution, n, d, seed=seed)
+    index_class = ALGORITHMS[algorithm]
+    start = time.perf_counter()
+    try:
+        index = index_class(relation, max_layers=k).build()
+    except TypeError:  # algorithm without a max_layers knob
+        index = index_class(relation).build()
+    build_seconds = time.perf_counter() - start
+    # Uncached engine under the gateway: reported occupancy means real
+    # batch-kernel lanes.  The oracle engine is equally uncached.
+    oracle_engine = QueryEngine(index, cache_size=0)
+    weights = [random_weight_vector(d, rng) for _ in range(distinct)]
+    oracle = _Oracle(oracle_engine, weights, k)
+    indices = rng.integers(0, distinct, size=queries).tolist()
+
+    # One worker thread runs every engine call: the event loop stays
+    # responsive to arrivals while the kernel executes, and a single lane
+    # keeps batches serialized exactly like production dispatch.
+    executor = ThreadPoolExecutor(max_workers=1)
+
+    def make_gateway(engine):
+        return AsyncGateway(
+            engine,
+            max_batch=max_batch,
+            flush_window_ms=flush_window_ms,
+            max_pending=max_pending,
+            slo_target_ms=slo_target_ms,
+            executor=executor,
+        )
+
+    async def closed() -> dict:
+        engine = QueryEngine(index, cache_size=0)
+        async with make_gateway(engine) as gateway:
+            return await _closed_loop(
+                gateway, weights, indices, k, closed_clients, oracle
+            )
+
+    closed_summary = asyncio.run(closed())
+    if progress is not None:
+        progress(
+            f"closed loop ({closed_clients} clients): "
+            f"{closed_summary['qps']:.0f} q/s, "
+            f"p50 {closed_summary['p50_ms']:.3f}ms, "
+            f"occupancy {closed_summary['batch_occupancy']:.2f}"
+        )
+
+    if arrival_rates is None:
+        rates = [
+            max(1.0, closed_summary["qps"] * m) for m in rate_multipliers
+        ]
+    else:
+        rates = [float(rate) for rate in arrival_rates]
+
+    open_summaries = []
+    for rate in rates:
+        async def opened(rate=rate) -> dict:
+            engine = QueryEngine(index, cache_size=0)
+            async with make_gateway(engine) as gateway:
+                return await _open_loop(
+                    gateway,
+                    weights,
+                    indices,
+                    k,
+                    rate,
+                    np.random.default_rng(seed + int(rate)),
+                    oracle,
+                )
+
+        summary = asyncio.run(opened())
+        open_summaries.append(summary)
+        if progress is not None:
+            progress(
+                f"open loop @{summary['arrival_rate']:.0f}/s: "
+                f"{summary['qps']:.0f} q/s achieved, "
+                f"p50 {summary['p50_ms']:.3f}ms p99 {summary['p99_ms']:.3f}ms, "
+                f"occupancy {summary['batch_occupancy']:.2f}, "
+                f"rejected {summary['rejected']}"
+            )
+
+    executor.shutdown(wait=True)
+    return {
+        "suite": "serve",
+        "algorithm": algorithm,
+        "distribution": distribution,
+        "n": n,
+        "d": d,
+        "k": k,
+        "queries": queries,
+        "distinct": distinct,
+        "seed": seed,
+        "build_seconds": round(build_seconds, 3),
+        "crosscheck": "bitwise",
+        "gateway": {
+            "max_batch": max_batch,
+            "flush_window_ms": flush_window_ms,
+            "slo_target_ms": slo_target_ms,
+            "max_pending": max_pending,
+        },
+        "closed_loop": closed_summary,
+        "open_loop": open_summaries,
+    }
+
+
+def validate_serve_report(report: dict) -> None:
+    """Schema check for a serve-gateway report; raises ``ValueError`` on drift."""
+    for key in (
+        "suite",
+        "algorithm",
+        "distribution",
+        "n",
+        "d",
+        "k",
+        "seed",
+        "gateway",
+        "closed_loop",
+        "open_loop",
+    ):
+        if key not in report:
+            raise ValueError(f"serve report missing key {key!r}")
+    if report["suite"] != "serve":
+        raise ValueError(f"unexpected suite {report['suite']!r}")
+    gateway = report["gateway"]
+    for key in ("max_batch", "flush_window_ms", "slo_target_ms", "max_pending"):
+        if key not in gateway:
+            raise ValueError(f"gateway config missing key {key!r}")
+    closed = report["closed_loop"]
+    for key in ("clients", "queries", "qps", "p50_ms", "p95_ms", "p99_ms"):
+        if key not in closed:
+            raise ValueError(f"closed_loop summary missing key {key!r}")
+    if closed["qps"] <= 0:
+        raise ValueError("closed_loop qps must be positive")
+    if not report["open_loop"]:
+        raise ValueError("serve report has no open_loop entries")
+    for entry in report["open_loop"]:
+        for key in (
+            "arrival_rate",
+            "queries",
+            "completed",
+            "rejected",
+            "qps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "batch_occupancy",
+            "slo_violations",
+        ):
+            if key not in entry:
+                raise ValueError(f"open_loop entry missing key {key!r}")
+        if entry["completed"] + entry["rejected"] != entry["queries"]:
+            raise ValueError(
+                f"open_loop entry @{entry['arrival_rate']}: completed + "
+                "rejected != queries (requests were lost)"
+            )
+        if entry["completed"] > 0 and entry["qps"] <= 0:
+            raise ValueError(
+                f"open_loop entry @{entry['arrival_rate']}: non-positive qps"
+            )
+        if not (
+            entry["p50_ms"] <= entry["p95_ms"] + 1e-9
+            and entry["p95_ms"] <= entry["p99_ms"] + 1e-9
+        ):
+            raise ValueError(
+                f"open_loop entry @{entry['arrival_rate']}: percentiles "
+                "are not monotone"
+            )

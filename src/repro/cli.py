@@ -11,6 +11,7 @@ Examples::
     repro-topk bench --experiment fig10
     repro-topk compare --distribution ANT --n 5000 --d 4 --k 10
     repro-topk serve-bench --n 20000 --queries 256 --distinct 16
+    repro-topk serve-bench --arrival-rate auto --out BENCH_serve.json
     repro-topk perf-bench --sizes 10000,100000 --out BENCH_query.json
     repro-topk build-bench --sizes 100000 --parallel 4 --out BENCH_build.json
     repro-topk cluster-bench --n 20000 --shards 2,4,8 --out BENCH_cluster.json
@@ -134,6 +135,39 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--cache-size", type=int, default=4096)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--arrival-rate",
+        default=None,
+        help="run the async-gateway load generator instead of the offline "
+        "sweep: comma-separated open-loop Poisson rates in q/s, or 'auto' "
+        "to bracket the measured closed-loop capacity",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32, help="gateway flush size B"
+    )
+    serve.add_argument(
+        "--flush-window-ms",
+        type=float,
+        default=2.0,
+        help="gateway coalescing window in milliseconds",
+    )
+    serve.add_argument(
+        "--slo-ms",
+        type=float,
+        default=10.0,
+        help="end-to-end latency SLO target tracked by the gateway",
+    )
+    serve.add_argument(
+        "--closed-clients",
+        type=int,
+        default=16,
+        help="closed-loop client count (gateway mode only)",
+    )
+    serve.add_argument(
+        "--out",
+        default="BENCH_serve.json",
+        help="output JSON report path (gateway mode only)",
+    )
 
     perf = commands.add_parser(
         "perf-bench",
@@ -167,11 +201,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
     check = commands.add_parser(
         "bench-check",
-        help="gate a fresh perf-bench report against a committed baseline",
+        help="gate a fresh perf-bench/serve-bench report against a "
+        "committed baseline",
     )
     check.add_argument("--fresh", required=True, help="freshly produced report")
     check.add_argument(
-        "--baseline", default="BENCH_query.json", help="committed baseline report"
+        "--baseline",
+        default="BENCH_query.json",
+        help="committed baseline report (a serve-suite --fresh report "
+        "defaults to BENCH_serve.json instead)",
     )
     check.add_argument(
         "--tolerance",
@@ -398,6 +436,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.queries < 1 or args.distinct < 1:
         print("serve-bench needs --queries >= 1 and --distinct >= 1")
         return 1
+    if args.arrival_rate is not None:
+        return _serve_bench_gateway(args)
     rng = np.random.default_rng(args.seed)
     relation = generate_relation(args.distribution, args.n, args.d, seed=args.seed)
     distinct = [random_weight_vector(args.d, rng) for _ in range(args.distinct)]
@@ -468,6 +508,63 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_bench_gateway(args: argparse.Namespace) -> int:
+    """serve-bench --arrival-rate: the async-gateway load generator."""
+    from repro.bench.servegate import (
+        run_serve_gateway_bench,
+        validate_serve_report,
+        write_report,
+    )
+
+    if args.arrival_rate.strip().lower() == "auto":
+        rates = None
+    else:
+        try:
+            rates = [
+                float(part)
+                for part in args.arrival_rate.split(",")
+                if part.strip()
+            ]
+        except ValueError:
+            print(
+                "serve-bench: --arrival-rate takes comma-separated rates "
+                f"in q/s or 'auto', got {args.arrival_rate!r}"
+            )
+            return 1
+        if not rates or any(rate <= 0 for rate in rates):
+            print("serve-bench: --arrival-rate rates must be positive")
+            return 1
+    print(
+        f"serve-bench (gateway): {args.algorithm} over {args.distribution} "
+        f"n={args.n} d={args.d} k={args.k}; {args.queries} queries, "
+        f"B={args.max_batch}, window {args.flush_window_ms}ms, "
+        f"SLO {args.slo_ms}ms"
+    )
+    report = run_serve_gateway_bench(
+        distribution=args.distribution,
+        n=args.n,
+        d=args.d,
+        k=args.k,
+        algorithm=args.algorithm,
+        queries=args.queries,
+        distinct=args.distinct,
+        arrival_rates=rates,
+        closed_clients=args.closed_clients,
+        max_batch=args.max_batch,
+        flush_window_ms=args.flush_window_ms,
+        slo_target_ms=args.slo_ms,
+        seed=args.seed,
+        progress=print,
+    )
+    validate_serve_report(report)
+    write_report(report, args.out)
+    print(
+        f"wrote closed-loop + {len(report['open_loop'])} open-loop "
+        f"entries to {args.out}"
+    )
+    return 0
+
+
 def _cmd_perf_bench(args: argparse.Namespace) -> int:
     from repro.bench.wallclock import (
         run_wallclock,
@@ -494,20 +591,23 @@ def _cmd_perf_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_check(args: argparse.Namespace) -> int:
-    from repro.bench.regression import check_query_regression, load_report
+    from repro.bench.regression import check_regression, load_report
 
     fresh = load_report(args.fresh)
-    baseline = load_report(args.baseline)
-    failures = check_query_regression(
-        fresh, baseline, tolerance=args.tolerance
-    )
+    baseline_path = args.baseline
+    if fresh.get("suite") == "serve" and baseline_path == "BENCH_query.json":
+        # The default baseline is the query suite's; a serve report gates
+        # against the committed serve baseline unless one was named.
+        baseline_path = "BENCH_serve.json"
+    baseline = load_report(baseline_path)
+    failures = check_regression(fresh, baseline, tolerance=args.tolerance)
     if failures:
         print(f"bench-check FAILED ({len(failures)} issue(s)):")
         for failure in failures:
             print(f"  - {failure}")
         return 1
     print(
-        f"bench-check OK: {args.fresh} vs {args.baseline} "
+        f"bench-check OK: {args.fresh} vs {baseline_path} "
         f"(tolerance {args.tolerance:.0%})"
     )
     return 0

@@ -64,6 +64,7 @@ from repro.core.base import TopKResult
 from repro.exceptions import InvalidQueryError, InvalidWeightError, ShardFailedError
 from repro.relation import Relation, normalize_weights
 from repro.serving.cache import ResultCache
+from repro.serving.engine import validate_k
 from repro.serving.metrics import MetricsRegistry, QueryRecord
 from repro.stats import AccessCounter
 
@@ -233,7 +234,7 @@ class ClusterEngine:
         """Serve one top-k query through the cluster cache."""
         raw = np.asarray(weights, dtype=np.float64)
         w = normalize_weights(raw, self.d)
-        self._validate(k, merge)
+        k = self._validate(k, merge)
         with self.metrics.track() as record:
             return self._serve(raw, w, k, record, merge or self.merge)
 
@@ -257,7 +258,7 @@ class ClusterEngine:
             raise InvalidWeightError(
                 f"weight matrix must be 2-D, got shape {matrix.shape}"
             )
-        self._validate(k, merge)
+        k = self._validate(k, merge)
         d = self.d
         n_rows = matrix.shape[0]
         # Fail fast: validate/normalize every row before any query runs.
@@ -361,12 +362,13 @@ class ClusterEngine:
         if not items:
             return []
         d = self.d
+        validated = []
         for weights, k in items:
             normalize_weights(weights, d)
-            self._validate(int(k), merge)
+            validated.append((weights, self._validate(k, merge)))
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             futures = [
-                pool.submit(self.query, w, int(k), merge=merge) for w, k in items
+                pool.submit(self.query, w, k, merge=merge) for w, k in validated
             ]
             return [future.result() for future in futures]
 
@@ -415,13 +417,19 @@ class ClusterEngine:
     # Internals
     # ------------------------------------------------------------------ #
 
-    def _validate(self, k: int, merge: str | None) -> None:
-        if k < 1:
-            raise InvalidQueryError(f"retrieval size k must be >= 1, got {k}")
+    def _validate(self, k, merge: str | None) -> int:
+        """Validate ``(k, merge)``; returns k as a plain int.
+
+        Shares :func:`~repro.serving.engine.validate_k` with the
+        single-node engine so a non-integral k raises here too instead of
+        being truncated by a later ``int(k)``.
+        """
+        value = validate_k(k)
         if merge is not None and merge not in MERGE_STRATEGIES:
             raise InvalidQueryError(
                 f"merge must be one of {MERGE_STRATEGIES}, got {merge!r}"
             )
+        return value
 
     def _serve(
         self, raw: np.ndarray, w: np.ndarray, k: int, record: QueryRecord, merge: str

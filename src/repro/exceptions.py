@@ -63,3 +63,17 @@ class ShardFailedError(ReproError):
     catches it to retry on a replica or to degrade to a flagged partial
     result (see :mod:`repro.cluster`).
     """
+
+
+class GatewayOverloadError(ReproError):
+    """The serving gateway fast-rejected a request at admission.
+
+    Raised *before* the request is queued — either the bounded pending
+    queue is full or the in-flight cap is reached — so overload surfaces
+    to the caller immediately (load shedding) instead of growing an
+    unbounded backlog whose tail latencies blow every SLO.
+    """
+
+
+class GatewayClosedError(ReproError):
+    """A request arrived at a gateway that has been shut down."""

@@ -5,7 +5,11 @@ is its substrate.  A :class:`QueryEngine` fronts one built index and serves
 query traffic with an LRU result cache (keyed so mutations can never serve
 stale answers), batched execution that amortizes per-query numpy overhead,
 a thread-pool path over the frozen read-only layer structure, and a metrics
-registry (latency percentiles, Definition 9 cost, hit rate, queue depth).
+registry (latency percentiles, Definition 9 cost, hit rate, queue depth,
+SLO violations).  :class:`AsyncGateway` sits in front of either engine and
+coalesces concurrent single-query traffic into batch-kernel lanes (flush
+at B or the window deadline, whichever first) with per-tenant fair-share
+scheduling and admission control — see :mod:`repro.serving.gateway`.
 
 Quickstart::
 
@@ -20,7 +24,15 @@ Quickstart::
 """
 
 from repro.serving.cache import ResultCache
-from repro.serving.engine import QueryEngine
+from repro.serving.engine import QueryEngine, validate_k
+from repro.serving.gateway import AsyncGateway
 from repro.serving.metrics import MetricsRegistry, QueryRecord
 
-__all__ = ["MetricsRegistry", "QueryEngine", "QueryRecord", "ResultCache"]
+__all__ = [
+    "AsyncGateway",
+    "MetricsRegistry",
+    "QueryEngine",
+    "QueryRecord",
+    "ResultCache",
+    "validate_k",
+]

@@ -36,8 +36,10 @@ CacheKey = tuple[bytes, int, int]
 class ResultCache:
     """Thread-safe LRU cache of ``(ids, scores)`` top-k answers.
 
-    ``capacity=0`` disables caching (every lookup misses, nothing is
-    stored), which the serving engine uses to benchmark uncached paths.
+    ``capacity=0`` disables caching — lookups return ``None`` without
+    counting a miss and stores are dropped, so a disabled cache's stats
+    stay all-zero (the serving engine uses ``capacity=0`` to benchmark
+    uncached paths without polluting hit-rate dashboards).
     """
 
     def __init__(self, capacity: int = 1024, *, decimals: int = 12) -> None:
@@ -62,7 +64,15 @@ class ResultCache:
         return (quantized.tobytes(), int(k), int(version))
 
     def get(self, key: CacheKey) -> tuple[np.ndarray, np.ndarray] | None:
-        """``(ids, scores)`` copies on a hit (refreshing LRU order), else None."""
+        """``(ids, scores)`` copies on a hit (refreshing LRU order), else None.
+
+        With caching disabled (``capacity=0``) the lookup short-circuits
+        without touching the miss counter: a disabled cache reports
+        ``hits == misses == 0``, so a 0% hit rate on a dashboard always
+        means a *thrashing* cache, never a deliberately absent one.
+        """
+        if self.capacity == 0:
+            return None
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:

@@ -52,6 +52,39 @@ from repro.serving.metrics import MetricsRegistry, QueryRecord
 from repro.stats import AccessCounter
 
 
+def validate_k(k) -> int:
+    """Validate a retrieval size and return it as a plain ``int``.
+
+    Accepts anything integral (``int``, ``np.int64``, ``2.0``) and raises
+    :class:`~repro.exceptions.InvalidQueryError` on non-integral values —
+    ``np.asarray(k, dtype=np.int64)`` used to silently truncate ``k=2.5``
+    to ``k=2`` on the batched path, so a malformed request returned two
+    results instead of failing.  Shared by the engine, the cluster
+    coordinator, and the gateway so every serving entry point enforces the
+    same contract.  Strings and booleans are rejected even when ``float``
+    would coerce them — ``k="5"`` or ``k=True`` in a request is a caller
+    bug, not a retrieval size.
+    """
+    if isinstance(k, (str, bytes, bool)):
+        raise InvalidQueryError(
+            f"retrieval size k must be an integer, got {k!r}"
+        )
+    try:
+        as_float = float(k)
+    except (TypeError, ValueError) as exc:
+        raise InvalidQueryError(
+            f"retrieval size k must be an integer, got {k!r}"
+        ) from exc
+    if not as_float.is_integer():
+        raise InvalidQueryError(
+            f"retrieval size k must be an integer, got {k!r}"
+        )
+    value = int(as_float)
+    if value < 1:
+        raise InvalidQueryError(f"retrieval size k must be >= 1, got {k}")
+    return value
+
+
 class QueryEngine:
     """Serve top-k queries against one index with caching and batching.
 
@@ -155,7 +188,7 @@ class QueryEngine:
     def query(self, weights: np.ndarray, k: int) -> TopKResult:
         """Serve one top-k query through the cache."""
         w = normalize_weights(weights, self.d)
-        self._validate_k(k)
+        k = validate_k(k)
         with self.metrics.track() as record:
             return self._serve(w, k, record)
 
@@ -181,18 +214,21 @@ class QueryEngine:
                 f"weight matrix must be 2-D, got shape {matrix.shape}"
             )
         n_rows = matrix.shape[0]
-        ks = np.asarray(k, dtype=np.int64)
-        if ks.ndim == 0:
-            self._validate_k(int(ks))
-            ks = np.broadcast_to(ks, (n_rows,))
-        elif ks.shape != (n_rows,):
+        # Validate k *before* any integer conversion: casting to int64 up
+        # front would truncate a non-integral k (2.5 -> 2) and silently
+        # serve the wrong retrieval size instead of raising.
+        ks_input = np.asarray(k)
+        if ks_input.ndim == 0:
+            ks = np.full(n_rows, validate_k(ks_input[()]), dtype=np.int64)
+        elif ks_input.shape != (n_rows,):
             raise InvalidQueryError(
                 f"per-row k must have one entry per weight row: "
-                f"got {ks.shape} for {n_rows} rows"
+                f"got {ks_input.shape} for {n_rows} rows"
             )
         else:
-            for row in range(n_rows):
-                self._validate_k(int(ks[row]))
+            ks = np.asarray(
+                [validate_k(value) for value in ks_input], dtype=np.int64
+            )
         d = self.d
         # Fail fast: every row is validated/normalized before any query runs.
         normalized = [normalize_weights(matrix[row], d) for row in range(n_rows)]
@@ -330,20 +366,17 @@ class QueryEngine:
         if not items:
             return []
         d = self.d
+        validated = []
         for weights, k in items:
             normalize_weights(weights, d)
-            self._validate_k(int(k))
+            validated.append((weights, validate_k(k)))
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            futures = [pool.submit(self.query, w, int(k)) for w, k in items]
+            futures = [pool.submit(self.query, w, k) for w, k in validated]
             return [future.result() for future in futures]
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-
-    def _validate_k(self, k: int) -> None:
-        if k < 1:
-            raise InvalidQueryError(f"retrieval size k must be >= 1, got {k}")
 
     def _serve(self, w: np.ndarray, k: int, record: QueryRecord) -> TopKResult:
         """Core cached path: ``w`` is already normalized."""

@@ -20,7 +20,7 @@ from repro.stats import LatencyWindow
 class QueryRecord:
     """Mutable per-query record the engine fills in while serving."""
 
-    __slots__ = ("hit", "cost", "batched")
+    __slots__ = ("hit", "cost", "batched", "slo_violated")
 
     def __init__(self) -> None:
         #: True when the answer came from the result cache.
@@ -29,6 +29,9 @@ class QueryRecord:
         self.cost = 0
         #: True when the query arrived through ``query_batch``.
         self.batched = False
+        #: True when the query's end-to-end latency missed its SLO target
+        #: (only the gateway sets this — offline paths have no SLO).
+        self.slo_violated = False
 
 
 class MetricsRegistry:
@@ -53,6 +56,10 @@ class MetricsRegistry:
         self.max_cost = 0
         self.queue_depth = 0
         self.max_queue_depth = 0
+        #: Queries whose end-to-end latency missed the SLO target (set per
+        #: query by the gateway via :class:`QueryRecord.slo_violated` or
+        #: :meth:`record_external`).
+        self.slo_violations = 0
         self.batches = 0
         self.batch_rows = 0
         self.max_batch_size = 0
@@ -88,6 +95,8 @@ class MetricsRegistry:
                     self.cache_misses += 1
                 if record.batched:
                     self.batched_queries += 1
+                if record.slo_violated:
+                    self.slo_violations += 1
                 self.total_cost += record.cost
                 if record.cost > self.max_cost:
                     self.max_cost = record.cost
@@ -100,6 +109,7 @@ class MetricsRegistry:
         seconds: float | None = None,
         hit: bool = False,
         batched: bool = False,
+        slo_violated: bool = False,
     ) -> None:
         """Fold in one query served outside :meth:`track`.
 
@@ -120,6 +130,8 @@ class MetricsRegistry:
                 self.cache_misses += 1
             if batched:
                 self.batched_queries += 1
+            if slo_violated:
+                self.slo_violations += 1
             self.total_cost += cost
             if cost > self.max_cost:
                 self.max_cost = cost
@@ -155,19 +167,25 @@ class MetricsRegistry:
         Counters add; queue depths take the max; latency percentiles are
         computed over the union of every registry's latency window, so the
         roll-up reflects the pooled query population rather than an
-        average of percentiles.  Each registry is snapshotted under its
+        average of percentiles.  Throughput is likewise pooled — total
+        queries over the elapsed time since the *earliest* registry
+        started — matching what single-engine ``stats()`` reports as
+        ``throughput_qps`` (summing per-registry rates would double-count
+        the shared wall clock).  Each registry is snapshotted under its
         own lock.
         """
         queries = hits = misses = batched = 0
         total_cost = 0
         max_cost = 0
         queue_depth = max_queue_depth = 0
+        slo_violations = 0
         batches = batch_rows = max_batch_size = 0
         batch_hist: dict[int, int] = {}
         samples: list[float] = []
         amortized: list[float] = []
         total_seconds = 0.0
         lifetime = 0
+        earliest_start: float | None = None
         for registry in registries:
             with registry._lock:
                 queries += registry.queries
@@ -178,6 +196,7 @@ class MetricsRegistry:
                 max_cost = max(max_cost, registry.max_cost)
                 queue_depth = max(queue_depth, registry.queue_depth)
                 max_queue_depth = max(max_queue_depth, registry.max_queue_depth)
+                slo_violations += registry.slo_violations
                 batches += registry.batches
                 batch_rows += registry.batch_rows
                 max_batch_size = max(max_batch_size, registry.max_batch_size)
@@ -187,6 +206,13 @@ class MetricsRegistry:
                 amortized.extend(registry._batch_amortized._samples)
                 total_seconds += registry._latency.total
                 lifetime += registry._latency.count
+                if earliest_start is None or registry.started_at < earliest_start:
+                    earliest_start = registry.started_at
+        elapsed = (
+            time.perf_counter() - earliest_start
+            if earliest_start is not None
+            else 0.0
+        )
         from repro.stats.latency import percentile
 
         scaled = [s * 1e3 for s in samples]
@@ -205,8 +231,10 @@ class MetricsRegistry:
             "latency_ms_p95": percentile(scaled, 95.0),
             "latency_ms_p99": percentile(scaled, 99.0),
             "latency_ms_max": max(scaled) if scaled else 0.0,
+            "throughput_qps": queries / elapsed if elapsed > 0 else 0.0,
             "queue_depth": float(queue_depth),
             "max_queue_depth": float(max_queue_depth),
+            "slo_violations": float(slo_violations),
             "batches": float(batches),
             "batch_rows": float(batch_rows),
             "batch_size_mean": batch_rows / batches if batches else 0.0,
@@ -254,6 +282,7 @@ class MetricsRegistry:
                 "latency_ms_max": latency["max"],
                 "queue_depth": float(self.queue_depth),
                 "max_queue_depth": float(self.max_queue_depth),
+                "slo_violations": float(self.slo_violations),
                 "batches": float(self.batches),
                 "batch_rows": float(self.batch_rows),
                 "batch_size_mean": (
@@ -279,6 +308,7 @@ class MetricsRegistry:
             self.total_cost = 0
             self.max_cost = 0
             self.max_queue_depth = self.queue_depth
+            self.slo_violations = 0
             self.batches = 0
             self.batch_rows = 0
             self.max_batch_size = 0

@@ -9,6 +9,8 @@ import pytest
 from repro.bench.regression import (
     NOISE_FLOOR_MS,
     check_query_regression,
+    check_regression,
+    check_serve_regression,
     load_report,
 )
 
@@ -117,6 +119,139 @@ def test_load_report_validates(tmp_path):
     path.write_text(json.dumps({"suite": "wallclock"}))
     with pytest.raises((ValueError, KeyError)):
         load_report(str(path))
+
+
+def make_serve_report(*, n=20_000, closed_qps=1500.0, top_occupancy=12.0):
+    def entry(rate, occupancy):
+        return {
+            "arrival_rate": rate,
+            "offered_qps": rate,
+            "queries": 512,
+            "completed": 512,
+            "rejected": 0,
+            "qps": min(rate, closed_qps),
+            "p50_ms": 3.0,
+            "p95_ms": 8.0,
+            "p99_ms": 20.0,
+            "batch_occupancy": occupancy,
+            "batches": 100,
+            "slo_violations": 5,
+        }
+
+    return {
+        "suite": "serve",
+        "algorithm": "DL+",
+        "distribution": "IND",
+        "n": n,
+        "d": 4,
+        "k": 10,
+        "queries": 512,
+        "distinct": 32,
+        "seed": 7,
+        "build_seconds": 1.0,
+        "crosscheck": "bitwise",
+        "gateway": {
+            "max_batch": 32,
+            "flush_window_ms": 2.0,
+            "slo_target_ms": 10.0,
+            "max_pending": 4096,
+        },
+        "closed_loop": {
+            "clients": 16,
+            "queries": 512,
+            "qps": closed_qps,
+            "p50_ms": 5.0,
+            "p95_ms": 12.0,
+            "p99_ms": 25.0,
+            "batch_occupancy": 16.0,
+        },
+        "open_loop": [
+            entry(closed_qps * 0.5, 3.0),
+            entry(closed_qps * 2.0, top_occupancy),
+        ],
+    }
+
+
+def test_serve_identical_reports_pass():
+    report = make_serve_report()
+    assert check_serve_regression(report, report) == []
+
+
+def test_serve_matched_workload_capacity_drop_fails():
+    baseline = make_serve_report(closed_qps=1500.0)
+    fresh = make_serve_report(closed_qps=1500.0 / 1.3)
+    failures = check_serve_regression(fresh, baseline)
+    assert any("closed-loop capacity" in f for f in failures)
+    within = make_serve_report(closed_qps=1500.0 / 1.2)
+    assert check_serve_regression(within, baseline) == []
+
+
+def test_serve_no_overlap_skips_capacity_comparison():
+    """A smoke report at a different n must not gate on absolute q/s —
+    only the scale-free occupancy invariant applies."""
+    baseline = make_serve_report(n=20_000, closed_qps=1500.0)
+    smoke = make_serve_report(n=1500, closed_qps=100.0)
+    assert check_serve_regression(smoke, baseline) == []
+
+
+def test_serve_occupancy_invariant_trips():
+    baseline = make_serve_report()
+    degenerate = make_serve_report(top_occupancy=1.0)
+    failures = check_serve_regression(degenerate, baseline)
+    assert any("occupancy" in f for f in failures)
+
+
+def test_serve_missing_crosscheck_marker_rejected():
+    baseline = make_serve_report()
+    unchecked = copy.deepcopy(baseline)
+    del unchecked["crosscheck"]
+    failures = check_serve_regression(unchecked, baseline)
+    assert any("crosscheck" in f for f in failures)
+
+
+def test_check_regression_dispatches_by_suite():
+    query = make_report()
+    serve = make_serve_report()
+    assert check_regression(query, query) == []
+    assert check_regression(serve, serve) == []
+    failures = check_regression(serve, query)
+    assert any("suite mismatch" in f for f in failures)
+
+
+def test_load_report_dispatches_serve_validator(tmp_path):
+    path = tmp_path / "serve.json"
+    path.write_text(json.dumps(make_serve_report()))
+    assert load_report(str(path))["suite"] == "serve"
+    broken = make_serve_report()
+    broken["open_loop"][0]["completed"] = 1  # completed+rejected != queries
+    path.write_text(json.dumps(broken))
+    with pytest.raises(ValueError):
+        load_report(str(path))
+
+
+def test_bench_check_cli_routes_serve_reports(tmp_path, capsys):
+    from repro.cli import main
+
+    fresh = tmp_path / "fresh_serve.json"
+    baseline = tmp_path / "baseline_serve.json"
+    fresh.write_text(json.dumps(make_serve_report()))
+    baseline.write_text(json.dumps(make_serve_report()))
+    assert (
+        main(
+            ["bench-check", "--fresh", str(fresh), "--baseline", str(baseline)]
+        )
+        == 0
+    )
+    assert "bench-check OK" in capsys.readouterr().out
+
+    fresh.write_text(json.dumps(make_serve_report(top_occupancy=0.9)))
+    assert (
+        main(
+            ["bench-check", "--fresh", str(fresh), "--baseline", str(baseline)]
+        )
+        == 1
+    )
+    assert "occupancy" in capsys.readouterr().out
 
 
 def test_bench_check_cli_exit_codes(tmp_path, capsys):

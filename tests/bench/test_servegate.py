@@ -1,0 +1,85 @@
+"""Serve-gateway load generator: tiny end-to-end run + schema validator."""
+
+import copy
+
+import pytest
+
+from repro.bench.servegate import (
+    run_serve_gateway_bench,
+    validate_serve_report,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_serve_gateway_bench(
+        distribution="IND",
+        n=400,
+        d=3,
+        k=5,
+        queries=48,
+        distinct=8,
+        arrival_rates=[400.0],
+        closed_clients=4,
+        max_batch=8,
+        flush_window_ms=2.0,
+        slo_target_ms=50.0,
+        seed=3,
+    )
+
+
+def test_tiny_run_produces_valid_report(tiny_report):
+    validate_serve_report(tiny_report)
+    assert tiny_report["suite"] == "serve"
+    assert tiny_report["crosscheck"] == "bitwise"
+    assert tiny_report["closed_loop"]["qps"] > 0
+    assert len(tiny_report["open_loop"]) == 1
+    entry = tiny_report["open_loop"][0]
+    assert entry["arrival_rate"] == 400.0
+    assert entry["completed"] + entry["rejected"] == 48
+    # The load generator cross-checks every answer bitwise against
+    # engine.query internally; reaching here means none diverged.
+
+
+def test_closed_loop_coalesces(tiny_report):
+    # 4 back-to-back clients against one serial engine lane: flushes must
+    # carry more than one query on average.
+    assert tiny_report["closed_loop"]["batch_occupancy"] > 1.0
+
+
+def test_auto_rates_derive_from_closed_loop_capacity():
+    report = run_serve_gateway_bench(
+        distribution="IND",
+        n=300,
+        d=3,
+        k=4,
+        queries=24,
+        distinct=4,
+        arrival_rates=None,
+        rate_multipliers=(0.5, 2.0),
+        closed_clients=4,
+        max_batch=8,
+        seed=5,
+    )
+    validate_serve_report(report)
+    rates = [entry["arrival_rate"] for entry in report["open_loop"]]
+    assert len(rates) == 2 and rates[0] < rates[1]
+    capacity = report["closed_loop"]["qps"]
+    assert rates[0] == pytest.approx(max(1.0, capacity * 0.5), rel=0.01)
+    assert rates[1] == pytest.approx(max(1.0, capacity * 2.0), rel=0.01)
+
+
+def test_validator_rejects_drift(tiny_report):
+    for mutate in (
+        lambda r: r.pop("gateway"),
+        lambda r: r.update(suite="wallclock"),
+        lambda r: r["closed_loop"].update(qps=0.0),
+        lambda r: r.update(open_loop=[]),
+        lambda r: r["open_loop"][0].update(completed=0, rejected=0),
+        lambda r: r["open_loop"][0].update(p50_ms=99.0, p95_ms=1.0),
+        lambda r: r["gateway"].pop("max_batch"),
+    ):
+        broken = copy.deepcopy(tiny_report)
+        mutate(broken)
+        with pytest.raises(ValueError):
+            validate_serve_report(broken)

@@ -82,6 +82,26 @@ def test_invalid_queries_raise():
         ClusterEngine(relation, shards=2, merge="zipper")
 
 
+def test_non_integral_k_rejected_cluster_wide():
+    """Regression companion to the engine-side fix: the coordinator used
+    to pre-truncate k with int() before scattering, so k=2.5 silently
+    served k=2 across every shard."""
+    relation = generate("IND", 60, 2, seed=2)
+    cluster = ClusterEngine(relation, shards=2)
+    w = np.array([0.5, 0.5])
+    with pytest.raises(InvalidQueryError):
+        cluster.query(w, 2.5)
+    with pytest.raises(InvalidQueryError):
+        cluster.query_batch(np.vstack([w, w]), 2.5)
+    with pytest.raises(InvalidQueryError):
+        cluster.query_many([(w, 5), (w, 2.5)])
+    # Integral floats stay accepted and serve the same bytes.
+    a = cluster.query(w, np.float64(5.0))
+    b = cluster.query(w, 5)
+    assert a.ids.tobytes() == b.ids.tobytes()
+    assert a.scores.tobytes() == b.scores.tobytes()
+
+
 # ---------------------------------------------------------------------- #
 # Batch / concurrent surfaces
 # ---------------------------------------------------------------------- #

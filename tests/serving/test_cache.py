@@ -85,6 +85,69 @@ def test_zero_capacity_disables_caching():
     assert len(cache) == 0
 
 
+def test_disabled_cache_stats_contract():
+    """Regression: lookups on a capacity=0 cache used to increment the
+    miss counter, so a deliberately disabled cache dashboarded as a 100%-
+    missing (thrashing) one.  Contract: disabled means hits == misses ==
+    evictions == 0, no matter how much traffic flows through."""
+    cache = ResultCache(0)
+    key = cache.make_key(np.array([0.5, 0.5]), 3, 0)
+    for _ in range(10):
+        assert cache.get(key) is None
+        cache.put(key, *entry(3))
+    stats = cache.stats()
+    assert stats == {
+        "entries": 0,
+        "capacity": 0,
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+    }
+
+
+def test_prune_racing_put_during_version_bump():
+    """Concurrency: writer threads keep putting old-version entries while
+    the owner prunes to the new version (the engine does exactly this on
+    a mutation).  The race must never corrupt the cache: a final prune
+    leaves only current-version entries and they read back intact."""
+    import threading
+
+    cache = ResultCache(256)
+    old, new = 0, 1
+    stop = threading.Event()
+    errors: list[Exception] = []
+
+    def writer(seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        try:
+            while not stop.is_set():
+                w = rng.random(2)
+                version = old if rng.random() < 0.5 else new
+                cache.put(cache.make_key(w, 3, version), *entry(3))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(s,)) for s in range(3)]
+    for thread in threads:
+        thread.start()
+    for _ in range(200):
+        cache.prune(new)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    cache.prune(new)  # writers stopped: this sweep is final
+    remaining = cache.stats()["entries"]
+    assert remaining == len(cache)
+    with cache._lock:
+        assert all(key[2] == new for key in cache._entries)
+    known = cache.make_key(np.array([0.25, 0.75]), 3, new)
+    cache.put(known, *entry(3))
+    got = cache.get(known)
+    assert got is not None
+    np.testing.assert_array_equal(got[0], entry(3)[0])
+
+
 def test_invalid_parameters():
     with pytest.raises(ValueError):
         ResultCache(-1)

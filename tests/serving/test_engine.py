@@ -259,6 +259,81 @@ def test_query_many_validates_before_spawning():
     assert len(engine.cache) == 0
 
 
+def test_non_integral_k_rejected_everywhere():
+    """Regression: a non-integral k used to be silently truncated by the
+    int64 cast in query_batch (k=2.5 served the k=2 answer).  Every
+    serving entry point must reject it instead — scalar, per-row, and
+    query_many — while integral floats still pass."""
+    relation = generate("IND", 200, 3, seed=47)
+    engine = QueryEngine(DLPlusIndex(relation).build(), cache_size=0)
+    rng = np.random.default_rng(47)
+    weights = random_weights(rng, 3, 4)
+    w = weights[0]
+    with pytest.raises(InvalidQueryError):
+        engine.query(w, 2.5)
+    with pytest.raises(InvalidQueryError):
+        engine.query_batch(weights, 2.5)  # scalar k
+    with pytest.raises(InvalidQueryError):
+        engine.query_batch(weights, [5, 5, 2.5, 5])  # per-row k
+    with pytest.raises(InvalidQueryError):
+        engine.query_batch(weights, np.array([5.0, 5.0, 2.5, 5.0]))
+    with pytest.raises(InvalidQueryError):
+        engine.query_many([(w, 5), (w, 2.5)])
+    with pytest.raises(InvalidQueryError):
+        engine.query(w, "5")
+    assert engine.metrics.queries == 0  # nothing was served
+    # Integral floats are unambiguous and stay accepted.
+    a = engine.query(w, 3.0)
+    b = engine.query(w, 3)
+    assert a.ids.tobytes() == b.ids.tobytes()
+    c = engine.query_batch(weights, np.float64(4.0))
+    d = engine.query_batch(weights, 4)
+    for x, y in zip(c, d):
+        assert x.ids.tobytes() == y.ids.tobytes()
+
+
+def test_query_batch_concurrent_deferred_duplicates():
+    """Concurrency: batches full of duplicate rows (the deferred-duplicate
+    path that resolves repeats from the cache fill of the first
+    occurrence) stay bitwise-correct when many threads share one engine."""
+    import threading
+
+    relation = generate("ANT", 300, 3, seed=53)
+    index = DLPlusIndex(relation).build()
+    engine = QueryEngine(index, cache_size=128)
+    oracle = QueryEngine(index, cache_size=0)
+    rng = np.random.default_rng(53)
+    distinct = random_weights(rng, 3, 6)
+    # Each thread's batch repeats every distinct vector several times.
+    batch = np.vstack([distinct, distinct, distinct])
+    expected = [oracle.query(w, 7) for w in batch]
+    failures: list[str] = []
+    barrier = threading.Barrier(4)
+
+    def worker() -> None:
+        barrier.wait()
+        for _ in range(5):
+            results = engine.query_batch(batch, 7)
+            for got, ref in zip(results, expected):
+                if (
+                    got.ids.tobytes() != ref.ids.tobytes()
+                    or got.scores.tobytes() != ref.scores.tobytes()
+                ):
+                    failures.append("bitwise mismatch under concurrency")
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert failures == []
+    metrics = engine.metrics
+    assert metrics.queries == 4 * 5 * len(batch)
+    assert metrics.cache_hits + metrics.cache_misses == metrics.queries
+    # Duplicates beyond each batch's first occurrence hit the cache.
+    assert metrics.cache_hits >= metrics.queries // 2
+
+
 def test_engine_kernel_selector():
     """The reference-kernel engine serves byte-identical answers to the
     default CSR engine; an unknown kernel name is rejected."""

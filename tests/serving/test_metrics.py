@@ -157,6 +157,43 @@ def test_aggregate_pools_registries():
     assert empty["queries"] == 0.0 and empty["latency_ms_p50"] == 0.0
 
 
+def test_slo_violations_counted_and_reset():
+    registry = MetricsRegistry()
+    registry.record_external(cost=5, seconds=0.002, slo_violated=True)
+    registry.record_external(cost=5, seconds=0.001)
+    with registry.track() as record:
+        record.cost = 3
+        record.slo_violated = True
+    assert registry.slo_violations == 2
+    assert registry.as_dict()["slo_violations"] == 2.0
+    registry.reset()
+    assert registry.slo_violations == 0
+    assert registry.as_dict()["slo_violations"] == 0.0
+
+
+def test_aggregate_pools_throughput_and_slo():
+    """Regression: the roll-up used to omit throughput entirely.  Pooled
+    semantics: total queries over the window since the *earliest* registry
+    started — summing per-registry rates would double-count the shared
+    wall clock."""
+    import time
+
+    a, b = MetricsRegistry(), MetricsRegistry()
+    now = time.perf_counter()
+    a.started_at = now - 2.0  # earliest: defines the pooled window
+    b.started_at = now - 1.0
+    for _ in range(6):
+        a.record_external(cost=1, seconds=0.001)
+    for _ in range(4):
+        b.record_external(cost=1, seconds=0.001, slo_violated=True)
+    rollup = MetricsRegistry.aggregate([a, b])
+    assert rollup["queries"] == 10.0
+    assert rollup["slo_violations"] == 4.0
+    # 10 queries over the ~2s pooled window — not 6/2 + 4/1 = 7 q/s.
+    assert rollup["throughput_qps"] == pytest.approx(5.0, rel=0.05)
+    assert MetricsRegistry.aggregate([])["throughput_qps"] == 0.0
+
+
 def test_record_batch_histogram_and_amortized_latency():
     registry = MetricsRegistry()
     registry.record_batch(1, seconds=0.001)
