@@ -30,12 +30,14 @@ from __future__ import annotations
 import json
 
 from repro.bench.servegate import validate_serve_report
+from repro.bench.snapshotbench import validate_snapshot_report
 from repro.bench.wallclock import validate_query_report
 
 __all__ = [
     "check_query_regression",
     "check_regression",
     "check_serve_regression",
+    "check_snapshot_regression",
     "load_report",
 ]
 
@@ -44,6 +46,7 @@ __all__ = [
 _VALIDATORS = {
     "wallclock": validate_query_report,
     "serve": validate_serve_report,
+    "snapshot": validate_snapshot_report,
 }
 
 
@@ -224,6 +227,85 @@ def check_serve_regression(
     return failures
 
 
+#: Minimum pickle-vs-snapshot cold-open ratio a full-scale report must
+#: hold (the acceptance criterion); reports measured below this n are
+#: smoke runs where the constant per-file open cost dominates and only
+#: the scale-free invariants gate.
+SNAPSHOT_SPEEDUP_FLOOR = 10.0
+SNAPSHOT_FULL_SCALE_N = 100_000
+
+
+def _check_snapshot_invariants(report: dict, label: str) -> list[str]:
+    """Scale-free + full-scale invariants of one snapshot report.
+
+    Scale-free (any n, any machine): pruning never *increases* cost and
+    actually bites — strictly fewer tuples at some k <= 10 cell (the
+    bound table's reason to exist).  Full-scale (n >= 100k): the
+    cold-open speedup holds the acceptance floor — deserializing O(n)
+    arrays must lose to reading O(1) headers by at least 10x.
+    """
+    failures: list[str] = []
+    strict = False
+    for cell in report["pruning"]:
+        if cell["pruned_cost"] > cell["unpruned_cost"]:
+            failures.append(
+                f"{label}: pruning at k={cell['k']} increased cost "
+                f"({cell['pruned_cost']} > {cell['unpruned_cost']})"
+            )
+        if cell["k"] <= 10 and cell["pruned_cost"] < cell["unpruned_cost"]:
+            strict = True
+    if not strict:
+        failures.append(
+            f"{label}: layer-bound skipping saved nothing at any k<=10 "
+            "cell — the bound table is not pruning"
+        )
+    if report["n"] >= SNAPSHOT_FULL_SCALE_N:
+        speedup = report["open"]["speedup"]
+        if speedup < SNAPSHOT_SPEEDUP_FLOOR:
+            failures.append(
+                f"{label}: cold-open speedup {speedup:.1f}x < "
+                f"{SNAPSHOT_SPEEDUP_FLOOR:.0f}x at n={report['n']}"
+            )
+    return failures
+
+
+def check_snapshot_regression(
+    fresh: dict, baseline: dict, *, tolerance: float = 0.25
+) -> list[str]:
+    """Gate a fresh snapshot report against the committed baseline.
+
+    Both reports must be schema-valid, carry the bitwise cross-check
+    marker, and hold the snapshot invariants (pruning monotone + biting,
+    >= 10x cold open at full scale) — checking the *baseline* too keeps
+    the committed ``BENCH_snapshot.json`` honest: a hand-edited or stale
+    baseline fails the gate just like a regressed fresh run.  When both
+    reports measured the same cell, the fresh cold-open speedup may not
+    fall more than ``tolerance`` below the baseline's.
+    """
+    validate_snapshot_report(fresh)
+    validate_snapshot_report(baseline)
+    failures: list[str] = []
+    for report, label in ((fresh, "fresh"), (baseline, "baseline")):
+        if report.get("crosscheck") != "bitwise":
+            failures.append(
+                f"{label} snapshot report lacks the 'crosscheck: bitwise' "
+                "marker — it was produced without oracle verification"
+            )
+        failures.extend(_check_snapshot_invariants(report, label))
+    same_cell = all(
+        fresh[key] == baseline[key] for key in ("distribution", "d", "n")
+    )
+    if same_cell:
+        floor = baseline["open"]["speedup"] / (1.0 + tolerance)
+        if fresh["open"]["speedup"] < floor:
+            failures.append(
+                f"cold-open speedup {fresh['open']['speedup']:.1f}x < "
+                f"baseline {baseline['open']['speedup']:.1f}x "
+                f"-{tolerance:.0%}"
+            )
+    return failures
+
+
 def check_regression(
     fresh: dict, baseline: dict, *, tolerance: float = 0.25
 ) -> list[str]:
@@ -243,4 +325,6 @@ def check_regression(
         ]
     if fresh_suite == "serve":
         return check_serve_regression(fresh, baseline, tolerance=tolerance)
+    if fresh_suite == "snapshot":
+        return check_snapshot_regression(fresh, baseline, tolerance=tolerance)
     return check_query_regression(fresh, baseline, tolerance=tolerance)

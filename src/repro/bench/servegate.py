@@ -170,6 +170,7 @@ def run_serve_gateway_bench(
     slo_target_ms: float = 10.0,
     max_pending: int = 4096,
     seed: int = DEFAULT_SEED,
+    snapshot: str | None = None,
     progress=None,
 ) -> dict:
     """Run the gateway load generator; returns the JSON-serializable report.
@@ -177,21 +178,35 @@ def run_serve_gateway_bench(
     ``arrival_rates`` is an explicit list of open-loop rates (q/s); when
     ``None`` the rates are derived from the measured closed-loop capacity
     via ``rate_multipliers``, so the curve brackets saturation on any
-    machine.  ``progress`` is an optional ``callable(str)``.
+    machine.  ``snapshot`` names a prebuilt snapshot directory to serve
+    (mmap'd) instead of generating data and rebuilding — ``n``/``d`` are
+    taken from the snapshot and ``build_seconds`` becomes the open time.
+    ``progress`` is an optional ``callable(str)``.
     """
     from repro import ALGORITHMS
     from repro.data import generate
     from repro.serving import AsyncGateway, QueryEngine
 
     rng = np.random.default_rng(seed)
-    relation = generate(distribution, n, d, seed=seed)
-    index_class = ALGORITHMS[algorithm]
-    start = time.perf_counter()
-    try:
-        index = index_class(relation, max_layers=k).build()
-    except TypeError:  # algorithm without a max_layers knob
-        index = index_class(relation).build()
-    build_seconds = time.perf_counter() - start
+    if snapshot is not None:
+        from repro.io.snapshot import open_snapshot
+
+        start = time.perf_counter()
+        index = open_snapshot(snapshot)
+        build_seconds = time.perf_counter() - start
+        algorithm = index.algorithm
+        distribution = f"snapshot:{snapshot}"
+        n = index.relation.n
+        d = index.relation.d
+    else:
+        relation = generate(distribution, n, d, seed=seed)
+        index_class = ALGORITHMS[algorithm]
+        start = time.perf_counter()
+        try:
+            index = index_class(relation, max_layers=k).build()
+        except TypeError:  # algorithm without a max_layers knob
+            index = index_class(relation).build()
+        build_seconds = time.perf_counter() - start
     # Uncached engine under the gateway: reported occupancy means real
     # batch-kernel lanes.  The oracle engine is equally uncached.
     oracle_engine = QueryEngine(index, cache_size=0)

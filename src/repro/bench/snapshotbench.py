@@ -1,0 +1,300 @@
+"""Snapshot benchmark: cold-open latency, multi-process RSS, pruning wins.
+
+Three measurements, one report (committed as ``BENCH_snapshot.json``):
+
+* **cold open** — the same built index persisted twice, as a pickle
+  (:func:`~repro.io.save_index`) and as an mmap snapshot
+  (:func:`~repro.io.snapshot.save_snapshot`); opening the pickle
+  deserializes and copies every array, opening the snapshot reads a JSON
+  manifest and maps one data file.  The report carries both open
+  times and their ratio — the restart/failover speedup the snapshot tier
+  exists for (the acceptance gate holds it at >= 10x for n >= 100k).
+* **serving tier** — a :class:`~repro.serving.SnapshotEngine` at 1/2/4
+  workers serving the query grid; per-worker RSS is reported to show the
+  flat-memory property (N processes share one page-cache copy), along
+  with pooled throughput.
+* **pruning frontier** — per-k mean Definition 9 cost with and without
+  layer-bound skipping (``prune=True`` on the CSR kernel).  Savings
+  concentrate at small k, where the k-th score tightens early.
+
+Every measured answer — mmap-served, pruned, and batch-pruned — is checked
+**bitwise** (ids and score bytes) against
+:func:`~repro.core.query.process_top_k_reference` on the in-memory index;
+a mismatch raises instead of reporting, and the ``crosscheck: "bitwise"``
+marker the regression gate requires is only ever written after all checks
+pass.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.workload import DEFAULT_SEED, Workload, write_report
+from repro.core.query import process_top_k, process_top_k_reference
+from repro.io import load_index, save_index
+from repro.io.snapshot import open_snapshot, save_snapshot, snapshot_nbytes
+from repro.relation import normalize_weights
+from repro.stats import AccessCounter
+
+__all__ = [
+    "DEFAULT_KS",
+    "DEFAULT_WORKERS",
+    "run_snapshot_bench",
+    "validate_snapshot_report",
+    "write_report",
+]
+
+#: Retrieval sizes of the pruning frontier (savings concentrate at k<=10).
+DEFAULT_KS = (1, 5, 10)
+#: Worker counts of the serving-tier sweep.
+DEFAULT_WORKERS = (1, 2, 4)
+#: Open-latency repeats (min is reported; opening is deserialize-bound for
+#: pickle and header-bound for the snapshot, so min removes scheduler noise
+#: without hiding anything).
+_OPEN_REPEATS = 3
+
+
+def _time_min(fn, repeats: int = _OPEN_REPEATS) -> float:
+    """Best-of wall-clock of ``fn()`` in milliseconds."""
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def run_snapshot_bench(
+    *,
+    distribution: str = "IND",
+    d: int = 4,
+    n: int = 100_000,
+    ks=DEFAULT_KS,
+    queries: int = 24,
+    workers=DEFAULT_WORKERS,
+    algorithm: str = "DL+",
+    seed: int = DEFAULT_SEED,
+    progress=None,
+) -> dict:
+    """Run the snapshot suite; returns the JSON-serializable report.
+
+    ``progress`` is an optional ``callable(str)``; the CLI passes ``print``.
+    """
+    from repro import ALGORITHMS
+    from repro.serving import SnapshotEngine
+
+    ks = tuple(int(k) for k in ks)
+    workers = tuple(int(w) for w in workers)
+    index_class = ALGORITHMS[algorithm]
+    workload = Workload.make(distribution, n, d, queries, seed)
+
+    start = time.perf_counter()
+    try:
+        index = index_class(workload.relation, max_layers=max(ks)).build()
+    except TypeError:  # algorithm without a max_layers knob
+        index = index_class(workload.relation).build()
+    build_seconds = time.perf_counter() - start
+    structure = index.structure
+    if progress is not None:
+        progress(
+            f"{algorithm} over {distribution} n={n} d={d}: "
+            f"built in {build_seconds:.2f}s"
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        pickle_path = tmp / "index.pkl"
+        snapshot_path = tmp / "index.snapshot"
+        save_index(index, pickle_path)
+        save_snapshot(index, snapshot_path)
+
+        pickle_ms = _time_min(lambda: load_index(pickle_path))
+        snapshot_ms = _time_min(lambda: open_snapshot(snapshot_path))
+        open_summary = {
+            "pickle_bytes": pickle_path.stat().st_size,
+            "snapshot_bytes": snapshot_nbytes(snapshot_path),
+            "pickle_open_ms": round(pickle_ms, 3),
+            "snapshot_open_ms": round(snapshot_ms, 3),
+            "speedup": round(pickle_ms / snapshot_ms, 1),
+        }
+        if progress is not None:
+            progress(
+                f"cold open: pickle {pickle_ms:.1f}ms vs snapshot "
+                f"{snapshot_ms:.2f}ms ({open_summary['speedup']}x)"
+            )
+
+        # ---------------- pruning frontier + bitwise crosscheck -------- #
+        snap = open_snapshot(snapshot_path)
+        pruning_cells = []
+        for k in ks:
+            unpruned = pruned = 0
+            for w in workload.weights:
+                c_ref = AccessCounter()
+                ids_ref, scores_ref = process_top_k_reference(
+                    structure, w, k, c_ref
+                )
+                c_plain = AccessCounter()
+                ids_m, scores_m = process_top_k(
+                    snap.structure, w, k, c_plain
+                )
+                c_prune = AccessCounter()
+                ids_p, scores_p = process_top_k(
+                    snap.structure, w, k, c_prune, prune=True
+                )
+                for ids, scores, label in (
+                    (ids_m, scores_m, "mmap"),
+                    (ids_p, scores_p, "pruned"),
+                ):
+                    if not np.array_equal(ids_ref, ids) or (
+                        scores_ref.tobytes() != scores.tobytes()
+                    ):
+                        raise AssertionError(
+                            f"{label} answer diverged from the reference "
+                            f"oracle at {distribution} n={n} d={d} k={k}"
+                        )
+                if c_prune.total > c_plain.total:
+                    raise AssertionError(
+                        f"pruning increased cost at k={k}: "
+                        f"{c_prune.total} > {c_plain.total}"
+                    )
+                unpruned += c_plain.total
+                pruned += c_prune.total
+            reduction = 100.0 * (1.0 - pruned / unpruned) if unpruned else 0.0
+            pruning_cells.append(
+                {
+                    "k": k,
+                    "unpruned_cost": round(unpruned / queries, 2),
+                    "pruned_cost": round(pruned / queries, 2),
+                    "reduction_pct": round(reduction, 2),
+                    "bitwise_equal": True,
+                }
+            )
+            if progress is not None:
+                progress(
+                    f"k={k}: cost {unpruned / queries:.1f} -> "
+                    f"{pruned / queries:.1f} tuples "
+                    f"({reduction:.1f}% skipped)"
+                )
+
+        # ---------------- multi-process serving tier -------------------- #
+        weight_matrix = np.vstack(workload.weights)
+        serve_k = max(ks)
+        # The serving tier normalizes each row before the kernel sees it;
+        # feed the oracle the same bits.
+        expected = [
+            process_top_k_reference(
+                structure, normalize_weights(w, d), serve_k, AccessCounter()
+            )
+            for w in workload.weights
+        ]
+        serving_cells = []
+        for worker_count in workers:
+            with SnapshotEngine(
+                snapshot_path, workers=worker_count, prune=True
+            ) as engine:
+                # Warm the pool (workers open the snapshot lazily on first
+                # task) before timing throughput.
+                rss = engine.worker_rss_kib()
+                start = time.perf_counter()
+                results = engine.query_batch(weight_matrix, serve_k)
+                elapsed = time.perf_counter() - start
+            for (ids_ref, scores_ref), result in zip(expected, results):
+                if not np.array_equal(ids_ref, result.ids) or (
+                    scores_ref.tobytes() != result.scores.tobytes()
+                ):
+                    raise AssertionError(
+                        f"snapshot pool answer diverged from the reference "
+                        f"oracle at workers={worker_count}"
+                    )
+            serving_cells.append(
+                {
+                    "workers": worker_count,
+                    "rss_kib_mean": round(float(np.mean(rss)), 1),
+                    "rss_kib_max": int(np.max(rss)),
+                    "qps": round(queries / elapsed, 1) if elapsed > 0 else 0.0,
+                }
+            )
+            if progress is not None:
+                progress(
+                    f"workers={worker_count}: mean RSS "
+                    f"{np.mean(rss) / 1024:.1f} MiB/worker, "
+                    f"{serving_cells[-1]['qps']:.0f} q/s"
+                )
+
+    return {
+        "suite": "snapshot",
+        "algorithm": algorithm,
+        "distribution": distribution,
+        "d": d,
+        "n": n,
+        "ks": list(ks),
+        "queries": queries,
+        "seed": seed,
+        "build_seconds": round(build_seconds, 3),
+        "crosscheck": "bitwise",
+        "open": open_summary,
+        "pruning": pruning_cells,
+        "serving": serving_cells,
+    }
+
+
+def validate_snapshot_report(report: dict) -> None:
+    """Schema check for a snapshot-bench report; raises ``ValueError`` on drift."""
+    for key in (
+        "suite",
+        "algorithm",
+        "distribution",
+        "d",
+        "n",
+        "ks",
+        "queries",
+        "seed",
+        "open",
+        "pruning",
+        "serving",
+    ):
+        if key not in report:
+            raise ValueError(f"snapshot report missing key {key!r}")
+    if report["suite"] != "snapshot":
+        raise ValueError(f"unexpected suite {report['suite']!r}")
+    opened = report["open"]
+    for key in (
+        "pickle_bytes",
+        "snapshot_bytes",
+        "pickle_open_ms",
+        "snapshot_open_ms",
+        "speedup",
+    ):
+        if key not in opened:
+            raise ValueError(f"open summary missing key {key!r}")
+        if opened[key] <= 0:
+            raise ValueError(f"open summary has non-positive {key}")
+    if not report["pruning"]:
+        raise ValueError("snapshot report has no pruning cells")
+    for cell in report["pruning"]:
+        for key in ("k", "unpruned_cost", "pruned_cost", "reduction_pct"):
+            if key not in cell:
+                raise ValueError(f"pruning cell missing key {key!r}")
+        if cell.get("bitwise_equal") is not True:
+            raise ValueError(
+                f"pruning cell k={cell.get('k')} is not bitwise-equal to "
+                "the reference oracle"
+            )
+        if cell["pruned_cost"] > cell["unpruned_cost"]:
+            raise ValueError(
+                f"pruning cell k={cell['k']}: pruned cost exceeds unpruned"
+            )
+    if not report["serving"]:
+        raise ValueError("snapshot report has no serving cells")
+    for cell in report["serving"]:
+        for key in ("workers", "rss_kib_mean", "rss_kib_max", "qps"):
+            if key not in cell:
+                raise ValueError(f"serving cell missing key {key!r}")
+        if cell["qps"] <= 0:
+            raise ValueError(
+                f"serving cell workers={cell['workers']}: non-positive qps"
+            )

@@ -15,6 +15,8 @@ Examples::
     repro-topk perf-bench --sizes 10000,100000 --out BENCH_query.json
     repro-topk build-bench --sizes 100000 --parallel 4 --out BENCH_build.json
     repro-topk cluster-bench --n 20000 --shards 2,4,8 --out BENCH_cluster.json
+    repro-topk snapshot --index index.pkl --out index.snapshot
+    repro-topk snapshot-bench --n 100000 --out BENCH_snapshot.json
 """
 
 from __future__ import annotations
@@ -50,6 +52,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench-check": _cmd_bench_check,
         "build-bench": _cmd_build_bench,
         "cluster-bench": _cmd_cluster_bench,
+        "snapshot": _cmd_snapshot,
+        "snapshot-bench": _cmd_snapshot_bench,
     }[args.command]
     return handler(args)
 
@@ -168,6 +172,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default="BENCH_serve.json",
         help="output JSON report path (gateway mode only)",
     )
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        help="serve a prebuilt snapshot directory instead of generating "
+        "data and rebuilding (overrides --distribution/--n/--d)",
+    )
 
     perf = commands.add_parser(
         "perf-bench",
@@ -272,6 +282,47 @@ def _build_parser() -> argparse.ArgumentParser:
     clusterb.add_argument("--seed", type=int, default=20120401)
     clusterb.add_argument(
         "--out", default="BENCH_cluster.json", help="output JSON report path"
+    )
+    clusterb.add_argument(
+        "--snapshot",
+        default=None,
+        help="snapshot cache directory: shard indexes found there are "
+        "re-opened instead of rebuilt (and written there on first run)",
+    )
+
+    snap = commands.add_parser(
+        "snapshot",
+        help="persist a built index (or a relation build) as an mmap snapshot",
+    )
+    snap.add_argument("--index", default=None, help="built index .pkl path")
+    snap.add_argument("--data", default=None, help="relation .npz path (builds)")
+    snap.add_argument("--algorithm", default="DL+", choices=sorted(ALGORITHMS))
+    snap.add_argument("--max-layers", type=int, default=None)
+    snap.add_argument("--out", required=True, help="output snapshot directory")
+
+    snapb = commands.add_parser(
+        "snapshot-bench",
+        help="benchmark snapshot cold-open, multi-process RSS, and "
+        "layer-bound pruning",
+    )
+    snapb.add_argument("--distribution", default="IND", help="IND|ANT|COR|CLU")
+    snapb.add_argument("--d", type=int, default=4)
+    snapb.add_argument("--n", type=int, default=100000)
+    snapb.add_argument(
+        "--ks", default="1,5,10", help="comma-separated retrieval sizes"
+    )
+    snapb.add_argument(
+        "--queries", type=int, default=24, help="weight vectors per cell"
+    )
+    snapb.add_argument(
+        "--workers",
+        default="1,2,4",
+        help="comma-separated SnapshotEngine worker counts",
+    )
+    snapb.add_argument("--algorithm", default="DL+", choices=sorted(ALGORITHMS))
+    snapb.add_argument("--seed", type=int, default=20120401)
+    snapb.add_argument(
+        "--out", default="BENCH_snapshot.json", help="output JSON report path"
     )
 
     compare = commands.add_parser(
@@ -439,19 +490,35 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.arrival_rate is not None:
         return _serve_bench_gateway(args)
     rng = np.random.default_rng(args.seed)
-    relation = generate_relation(args.distribution, args.n, args.d, seed=args.seed)
+    if args.snapshot is not None:
+        import time as _time
+
+        from repro.io.snapshot import open_snapshot
+
+        start = _time.perf_counter()
+        index = open_snapshot(args.snapshot)
+        open_seconds = _time.perf_counter() - start
+        args.n, args.d = index.relation.n, index.relation.d
+        source = f"snapshot {args.snapshot} (opened in {open_seconds * 1e3:.1f}ms)"
+    else:
+        relation = generate_relation(
+            args.distribution, args.n, args.d, seed=args.seed
+        )
+        index = ALGORITHMS[args.algorithm](relation).build()
+        source = (
+            f"{args.distribution} "
+            f"(built in {index.build_stats.seconds:.2f}s)"
+        )
     distinct = [random_weight_vector(args.d, rng) for _ in range(args.distinct)]
     # Repeated weight vectors model the weight-vector locality of real
     # workloads (same preferences recur across users); shuffle so repeats
     # are interleaved rather than back-to-back.
     sequence = [distinct[int(i)] for i in rng.integers(0, args.distinct, args.queries)]
 
-    index = ALGORITHMS[args.algorithm](relation).build()
     print(
-        f"serve-bench: {args.algorithm} over {args.distribution} "
+        f"serve-bench: {index.name} over {source} "
         f"n={args.n} d={args.d} k={args.k}; {args.queries} queries, "
-        f"{args.distinct} distinct weight vectors "
-        f"(built in {index.build_stats.seconds:.2f}s)"
+        f"{args.distinct} distinct weight vectors"
     )
 
     # Baseline: one query at a time, no cache, no batching.
@@ -554,6 +621,7 @@ def _serve_bench_gateway(args: argparse.Namespace) -> int:
         flush_window_ms=args.flush_window_ms,
         slo_target_ms=args.slo_ms,
         seed=args.seed,
+        snapshot=args.snapshot,
         progress=print,
     )
     validate_serve_report(report)
@@ -595,10 +663,14 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
 
     fresh = load_report(args.fresh)
     baseline_path = args.baseline
-    if fresh.get("suite") == "serve" and baseline_path == "BENCH_query.json":
-        # The default baseline is the query suite's; a serve report gates
-        # against the committed serve baseline unless one was named.
-        baseline_path = "BENCH_serve.json"
+    if baseline_path == "BENCH_query.json":
+        # The default baseline is the query suite's; other suites gate
+        # against their own committed baseline unless one was named.
+        suite_defaults = {
+            "serve": "BENCH_serve.json",
+            "snapshot": "BENCH_snapshot.json",
+        }
+        baseline_path = suite_defaults.get(fresh.get("suite"), baseline_path)
     baseline = load_report(baseline_path)
     failures = check_regression(fresh, baseline, tolerance=args.tolerance)
     if failures:
@@ -654,11 +726,63 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         partitioner=args.partitioner,
         seed=args.seed,
         algorithm=args.algorithm,
+        snapshot_dir=args.snapshot,
         progress=print,
     )
     validate_cluster_report(report)
     write_report(report, args.out)
     print(f"wrote {len(report['cells'])} cells to {args.out}")
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.io.snapshot import save_snapshot, snapshot_nbytes
+
+    if (args.index is None) == (args.data is None):
+        print("snapshot: pass exactly one of --index or --data")
+        return 1
+    if args.index is not None:
+        index = load_index(args.index)
+    else:
+        relation = load_relation(args.data)
+        kwargs = {}
+        if args.max_layers is not None:
+            kwargs["max_layers"] = args.max_layers
+        index = ALGORITHMS[args.algorithm](relation, **kwargs).build()
+    path = save_snapshot(index, args.out)
+    print(
+        f"wrote {index.name} snapshot "
+        f"(n={index.relation.n}, d={index.relation.d}, "
+        f"{snapshot_nbytes(path) / 1024:.0f} KiB) to {path}"
+    )
+    return 0
+
+
+def _cmd_snapshot_bench(args: argparse.Namespace) -> int:
+    from repro.bench.snapshotbench import (
+        run_snapshot_bench,
+        validate_snapshot_report,
+        write_report,
+    )
+
+    report = run_snapshot_bench(
+        distribution=args.distribution,
+        d=args.d,
+        n=args.n,
+        ks=tuple(int(s) for s in args.ks.split(",") if s),
+        queries=args.queries,
+        workers=tuple(int(s) for s in args.workers.split(",") if s),
+        algorithm=args.algorithm,
+        seed=args.seed,
+        progress=print,
+    )
+    validate_snapshot_report(report)
+    write_report(report, args.out)
+    print(
+        f"wrote snapshot report to {args.out} "
+        f"(cold open {report['open']['speedup']}x, "
+        f"best pruning {max(c['reduction_pct'] for c in report['pruning'])}%)"
+    )
     return 0
 
 

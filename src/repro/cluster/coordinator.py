@@ -122,6 +122,13 @@ class ClusterEngine:
         Default merge strategy (overridable per query).
     replicate:
         Attach a serialization-hydrated replica to every shard.
+    snapshot_dir:
+        When given, every shard lives at ``<snapshot_dir>/shard-<i>`` and
+        is served mmap'd: a matching snapshot already on disk is re-opened
+        *instead of rebuilding* (instant cluster restart/failover), a
+        missing or stale one is built once and persisted.  Primaries'
+        arrays stay in the page cache and replicas hydrate by path instead
+        of pickle bytes (see ``repro-topk cluster-bench --snapshot``).
     cache_size / quantize_decimals / latency_window:
         Coordinator result-cache and metrics knobs (as on
         :class:`~repro.serving.QueryEngine`).
@@ -144,6 +151,7 @@ class ClusterEngine:
         kernel: str = "auto",
         merge: str = "threshold",
         replicate: bool = False,
+        snapshot_dir=None,
         cache_size: int = 1024,
         quantize_decimals: int = 12,
         latency_window: int = 4096,
@@ -172,6 +180,7 @@ class ClusterEngine:
             engine_kwargs=engine_kwargs,
             replicate=replicate,
             build_workers=build_workers,
+            snapshot_dir=snapshot_dir,
         )
         self.cache = ResultCache(cache_size, decimals=quantize_decimals)
         self.metrics = MetricsRegistry(latency_window=latency_window)

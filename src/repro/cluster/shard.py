@@ -11,19 +11,26 @@ Replicas are hydrated through the serialization round-trip
 (:func:`repro.io.index_to_bytes` / :func:`repro.io.index_from_bytes`) —
 exactly the bytes a real deployment would ship to a standby node — and are
 re-hydrated after every maintenance rebuild, so a failover can never serve
-a stale structure.  :class:`FailingShard` wraps a shard to inject the
+a stale structure.  A shard made snapshot-backed via :meth:`Shard.snapshot_to`
+hydrates replicas *by path* instead: its primary is an mmap'd
+:class:`~repro.io.snapshot.SnapshotIndex`, whose pickle reduces to the
+snapshot path, so the very same round-trip ships a few bytes and the
+replica re-opens the shared page-cache copy — zero deserialization, zero
+duplicate arrays.  :class:`FailingShard` wraps a shard to inject the
 primary-node failure the coordinator's retry path is tested against.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 import numpy as np
 
 from repro.core.cursor import TopKCursor
-from repro.exceptions import InvalidQueryError, ShardFailedError
-from repro.io import index_from_bytes, index_to_bytes
+from repro.exceptions import InvalidQueryError, SerializationError, ShardFailedError
+from repro.io import index_from_bytes, index_to_bytes, open_snapshot
+from repro.io.snapshot import read_manifest, save_snapshot
 from repro.relation import Relation
 from repro.serving import QueryEngine
 
@@ -108,6 +115,12 @@ class Shard:
     engine_kwargs:
         Keyword arguments for the shard's :class:`QueryEngine`;
         ``cache_size`` defaults to 0 (coordinator-level caching only).
+    snapshot_dir:
+        When given, the shard serves mmap'd from a snapshot at this
+        directory: an existing snapshot whose values match the shard's
+        relation is re-opened *instead of rebuilding* (instant restart);
+        otherwise the shard builds once and persists there for the next
+        process.
     """
 
     def __init__(
@@ -119,6 +132,7 @@ class Shard:
         index_class,
         index_kwargs: dict | None = None,
         engine_kwargs: dict | None = None,
+        snapshot_dir: str | Path | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.index_class = index_class
@@ -133,7 +147,12 @@ class Shard:
             )
         self.relation = relation
         self.replica: QueryEngine | None = None
+        self.snapshot_path: Path | None = None
+        if snapshot_dir is not None and self._reopen_snapshot(Path(snapshot_dir)):
+            return
         self.engine = self._build_engine(relation)
+        if snapshot_dir is not None:
+            self.snapshot_to(snapshot_dir)
 
     # ------------------------------------------------------------------ #
     # Construction / replication
@@ -142,6 +161,42 @@ class Shard:
     def _build_engine(self, relation: Relation) -> QueryEngine:
         index = self.index_class(relation, **self.index_kwargs)
         return QueryEngine(index, **self.engine_kwargs)
+
+    def _reopen_snapshot(self, path: Path) -> bool:
+        """Adopt an existing snapshot at ``path`` if it matches our rows.
+
+        The match is exact — same shape *and* same bytes as the shard's
+        relation — so a stale snapshot from different data can never be
+        served; it is simply rebuilt over.
+        """
+        try:
+            read_manifest(path)
+            index = open_snapshot(path)
+        except SerializationError:
+            return False
+        if not np.array_equal(index.relation.matrix, self.relation.matrix):
+            return False
+        self.snapshot_path = path
+        self.engine = QueryEngine(index, **self.engine_kwargs)
+        return True
+
+    def snapshot_to(self, directory: str | Path) -> Path:
+        """Persist the primary as a snapshot and serve it mmap'd.
+
+        The built index is written to ``directory`` with
+        :func:`~repro.io.snapshot.save_snapshot` and the primary engine is
+        re-pointed at the re-opened :class:`~repro.io.snapshot.SnapshotIndex`
+        — byte-identical arrays, now backed by the page cache.  Any replica
+        (current or future) hydrates by path for free: the snapshot index's
+        pickle *is* its path.  Maintenance rebuilds re-snapshot to the same
+        directory, so the path stays valid across mutations.
+        """
+        path = save_snapshot(self.engine.index, directory)
+        self.snapshot_path = path
+        self.engine = QueryEngine(open_snapshot(path), **self.engine_kwargs)
+        if self.replica is not None:
+            self.attach_replica()
+        return path
 
     def attach_replica(self) -> None:
         """Hydrate (or re-hydrate) a replica from the primary's bytes.
@@ -275,7 +330,11 @@ class Shard:
             np.ascontiguousarray(matrix), self.relation.schema, check_domain=False
         )
         self.engine = self._build_engine(self.relation)
-        if self.replica is not None:
+        if self.snapshot_path is not None:
+            # Snapshot-backed shard: persist the new structure and keep
+            # serving mmap'd (also re-hydrates any replica by path).
+            self.snapshot_to(self.snapshot_path)
+        elif self.replica is not None:
             self.attach_replica()
 
     def metrics_registry(self):
@@ -348,12 +407,16 @@ def build_shards(
     engine_kwargs: dict | None = None,
     replicate: bool = False,
     build_workers: int | None = None,
+    snapshot_dir: str | Path | None = None,
 ) -> list[Shard]:
     """Build every shard of a partitioning, optionally in parallel.
 
     ``build_workers > 1`` constructs shard indexes on a thread pool — the
     vectorized build pipeline spends its time in numpy kernels that release
     the GIL, so concurrent shard builds overlap on multicore hosts.
+    ``snapshot_dir`` gives every shard a ``<snapshot_dir>/shard-<i>``
+    snapshot home (reused when present, written otherwise — see
+    :class:`Shard`).
     """
 
     def make(shard_id: int) -> Shard:
@@ -364,6 +427,11 @@ def build_shards(
             index_class=index_class,
             index_kwargs=index_kwargs,
             engine_kwargs=engine_kwargs,
+            snapshot_dir=(
+                Path(snapshot_dir) / f"shard-{shard_id}"
+                if snapshot_dir is not None
+                else None
+            ),
         )
         if replicate:
             shard.attach_replica()

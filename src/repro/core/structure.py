@@ -374,6 +374,8 @@ class StructureBuilder:
             e_children, e_parents, n_nodes
         )
 
+        layer_bounds = compute_layer_bounds(values, coarse_levels, fine_levels)
+
         return LayerStructure(
             values=values,
             n_real=self.n_real,
@@ -389,7 +391,73 @@ class StructureBuilder:
             fine_levels=fine_levels,
             num_coarse_layers=self.num_coarse_layers,
             complete=self.complete,
+            layer_bounds=layer_bounds,
         )
+
+
+#: Nodes per bound block (see :func:`compute_layer_bounds`).  Small blocks
+#: keep the per-block minima close to their members' actual values — the
+#: measured skip rate roughly halves at 8 and halves again at 16 — while a
+#: block of 4 still keeps the metadata table at a quarter of the data size.
+BOUND_BLOCK_SIZE = 4
+
+
+def compute_layer_bounds(
+    values: np.ndarray,
+    coarse_levels: np.ndarray,
+    fine_levels: np.ndarray,
+    block_size: int = BOUND_BLOCK_SIZE,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The dual-resolution layer bound table: ``(block_of, block_mins)``.
+
+    Every placed node is assigned to a *bound block*: within each
+    ``(coarse, fine)`` sublayer, members are sorted by value (lexicographic
+    over attributes, node id as the final tie-break — fully deterministic)
+    and chunked into runs of ``block_size``.  ``block_mins[b]`` holds the
+    per-attribute minima of block ``b``'s members, so for strictly positive
+    weights ``block_mins[b] @ w`` lower-bounds the score of every member —
+    the same small-metadata-over-sorted-data trick as columnar zonemaps,
+    with the sort making neighbours value-coherent and the bound therefore
+    tight.  The pruned kernels (:func:`repro.core.query.process_top_k`)
+    consult the bound of a just-opened node's block and skip the node when
+    the bound already exceeds the running k-th score.
+
+    ``block_of`` is ``-1`` for unplaced nodes, and ``block_mins`` carries a
+    trailing sentinel row of ``-inf`` so that fancy-indexing with ``-1``
+    lands on a bound no finite score can beat: unplaced nodes are never
+    skipped.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    d = values.shape[1] if values.ndim == 2 else 0
+    block_of = np.full(n, -1, dtype=np.intp)
+    placed = np.nonzero(coarse_levels >= 0)[0]
+    if placed.shape[0] == 0:
+        return block_of, np.full((1, d), -np.inf, dtype=np.float64)
+    # lexsort: last key is primary — (coarse, fine, v_0 .. v_{d-1}, id).
+    keys = (placed,) + tuple(
+        values[placed, j] for j in range(d - 1, -1, -1)
+    ) + (fine_levels[placed], coarse_levels[placed])
+    order = np.lexsort(keys)
+    nodes = placed[order]
+    cl = coarse_levels[nodes]
+    fl = fine_levels[nodes]
+    m = nodes.shape[0]
+    new_group = np.empty(m, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = (cl[1:] != cl[:-1]) | (fl[1:] != fl[:-1])
+    group_id = np.cumsum(new_group) - 1
+    starts = np.nonzero(new_group)[0]
+    chunk = (np.arange(m) - starts[group_id]) // block_size
+    new_block = new_group.copy()
+    new_block[1:] |= chunk[1:] != chunk[:-1]
+    block_id = np.cumsum(new_block) - 1
+    n_blocks = int(block_id[-1]) + 1
+    mins = np.full((n_blocks + 1, d), np.inf, dtype=np.float64)
+    np.minimum.at(mins, block_id, values[nodes])
+    mins[n_blocks] = -np.inf  # sentinel row for block_of == -1
+    block_of[nodes] = block_id
+    return block_of, mins
 
 
 class LayerStructure:
@@ -430,6 +498,7 @@ class LayerStructure:
         fine_levels: np.ndarray,
         num_coarse_layers: int,
         complete: bool,
+        layer_bounds: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> None:
         self.values = values
         self.n_real = n_real
@@ -445,6 +514,10 @@ class LayerStructure:
         self.fine_levels = fine_levels
         self.num_coarse_layers = num_coarse_layers
         self.complete = complete
+        # Layer bound table (see :func:`compute_layer_bounds`).  Frozen
+        # builds pass it eagerly; old pickles and hand-built structures fall
+        # back to lazy computation in :meth:`layer_bound_table`.
+        self._layer_bounds = layer_bounds
         # Lazily extracted ``values[static_seeds]`` block shared by every
         # query (see :meth:`seed_block`); benign to race on — all writers
         # compute the identical array.
@@ -467,6 +540,8 @@ class LayerStructure:
         state.setdefault("_seed_values", None)
         state.setdefault("_indptr_lists", None)
         state.setdefault("_gate_state", None)
+        # Pickles from before the layer bound table existed: recompute lazily.
+        state.setdefault("_layer_bounds", None)
         self.__dict__.update(state)
 
     @property
@@ -556,6 +631,24 @@ class LayerStructure:
             cached = self.forall_parent_count.astype(dtype)
             cached[self.exists_gated] += self.n_nodes + 1
             self._gate_state = cached
+        return cached
+
+    def layer_bound_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(block_of, block_mins)`` — the dual-resolution bound table.
+
+        See :func:`compute_layer_bounds`.  ``block_mins[block_of[v]] @ w``
+        (with the kernel's own einsum contraction, so the rounding tree
+        matches score computation) is a bitwise-safe lower bound on node
+        ``v``'s score — the basis for the opt-in layer-bound skipping fast
+        path.  Computed at freeze time; old pickles rebuild it here on
+        first use (benign-race caching, like the other derived caches).
+        """
+        cached = self._layer_bounds
+        if cached is None:
+            cached = compute_layer_bounds(
+                self.values, self.coarse_levels, self.fine_levels
+            )
+            self._layer_bounds = cached
         return cached
 
     def edge_counts(self) -> dict[str, int]:

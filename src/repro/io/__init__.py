@@ -1,4 +1,4 @@
-"""Persistence: relations to npz/CSV, built indexes to pickle files/bytes."""
+"""Persistence: relations to npz/CSV, indexes to pickle or mmap snapshots."""
 
 from repro.io.serialize import (
     index_from_bytes,
@@ -8,12 +8,28 @@ from repro.io.serialize import (
     save_index,
     save_relation,
 )
+from repro.io.snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    SnapshotIndex,
+    open_snapshot,
+    read_manifest,
+    save_snapshot,
+    snapshot_nbytes,
+)
 
 __all__ = [
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "SnapshotIndex",
     "index_from_bytes",
     "index_to_bytes",
     "load_index",
     "load_relation",
+    "open_snapshot",
+    "read_manifest",
     "save_index",
     "save_relation",
+    "snapshot_nbytes",
+    "save_snapshot",
 ]

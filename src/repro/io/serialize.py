@@ -24,9 +24,24 @@ from repro.relation import Relation, Schema
 _MAGIC = "repro-index-v1"
 
 
+def _npz_path(path: str | Path) -> Path:
+    """Normalize a relation path to its on-disk ``.npz`` name.
+
+    ``np.savez_compressed("foo")`` silently writes ``foo.npz``; before this
+    normalization a suffix-less save/load round-trip through the *same*
+    path string raised :class:`SerializationError` because the loader
+    looked for ``foo``.  Appending the suffix on both sides keeps the two
+    functions pointing at the same file whatever the caller passes.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
 def save_relation(relation: Relation, path: str | Path) -> None:
     """Write a relation to ``.npz`` (values + attribute names)."""
-    path = Path(path)
+    path = _npz_path(path)
     np.savez_compressed(
         path,
         matrix=relation.matrix,
@@ -36,7 +51,7 @@ def save_relation(relation: Relation, path: str | Path) -> None:
 
 def load_relation(path: str | Path) -> Relation:
     """Read a relation written by :func:`save_relation`."""
-    path = Path(path)
+    path = _npz_path(path)
     try:
         with np.load(path, allow_pickle=True) as data:
             matrix = data["matrix"]
@@ -62,7 +77,22 @@ def index_from_bytes(payload_bytes: bytes, *, source: str = "<bytes>") -> TopKIn
     """Deserialize an index produced by :func:`index_to_bytes` (trusted only)."""
     try:
         payload = pickle.loads(payload_bytes)
-    except (pickle.UnpicklingError, EOFError, AttributeError, ValueError) as exc:
+    except (
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ValueError,
+        TypeError,
+        IndexError,
+        ImportError,
+        MemoryError,
+        UnicodeDecodeError,
+    ) as exc:
+        # Truncated or garbage payloads surface far more than
+        # UnpicklingError: a cut-off varint raises EOFError, a corrupted
+        # opcode argument TypeError/IndexError/UnicodeDecodeError, a bogus
+        # length MemoryError, a renamed class AttributeError/ImportError.
+        # All of them mean "not a valid index payload".
         raise SerializationError(f"cannot load index from {source}: {exc}") from exc
     if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
         raise SerializationError(f"{source} is not a repro index file")

@@ -1,0 +1,405 @@
+"""Zero-copy mmap snapshots of built indexes (the memory-tiered format).
+
+The CSR freeze reduced every index to a handful of flat numpy arrays; a
+*snapshot* persists exactly those arrays back-to-back in one raw data
+file, next to a small JSON manifest recording each array's byte offset::
+
+    snapshot/
+      MANIFEST.json    magic, version, scalars, {offset, nbytes,
+                       dtype, shape} per array
+      data.bin         all arrays, each starting 64-byte aligned
+
+:func:`open_snapshot` maps ``data.bin`` **once** with ``mmap`` and carves
+the arrays out as views at their manifest offsets: opening costs one file
+handle plus one JSON parse regardless of ``n`` — no per-array header
+reads, no deserialization — and **N processes serving the same snapshot
+share one page-cache copy of the index**.  Per-process RSS stays flat as
+workers are added, and restart/failover is an ``open()`` instead of a
+rebuild.  Every offset is padded to a 64-byte boundary so mmap'd rows
+stay aligned for vector loads (the mapping itself is page-aligned).
+
+Pickling an opened :class:`SnapshotIndex` reduces to its path: worker
+pools and shard replicas that would otherwise ship a full pickle of the
+structure (``index_to_bytes``) transparently re-open the snapshot in the
+receiving process instead — the zero-copy hydration path the cluster and
+serving tiers build on.  The obvious caveat applies: the path must be
+readable wherever the pickle lands (same machine or shared filesystem).
+
+Seed selectors are *not* pickled into the format.  Static seeds are an
+array; the only stateful selector the builders install — the 2-D
+weight-range binary search — is reconstructed from its two chain arrays
+(breakpoints are recomputed deterministically).  Unknown selector types
+are rejected at save time rather than smuggled through pickle.
+
+Like :mod:`repro.io.serialize`, snapshots are a trusted-input format:
+the data file holds raw numbers only (no pickled objects anywhere), so a
+corrupt or malicious snapshot can fail loudly but cannot execute code.
+Every manifest offset/extent is bounds-checked against the mapped file
+before a view is created, so a truncated ``data.bin`` raises
+:class:`~repro.exceptions.SerializationError` instead of SIGBUS-ing on
+first touch.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.base import TopKIndex
+from repro.core.structure import LayerStructure
+from repro.core.zero_layer import PartitionSeedSelector
+from repro.exceptions import SerializationError
+from repro.geometry.weight_ranges import WeightRangePartition
+from repro.relation import Relation, Schema
+
+#: Format marker stored in every snapshot manifest.
+SNAPSHOT_MAGIC = "repro-snapshot"
+#: Bumped on any layout change; readers reject newer majors.
+SNAPSHOT_VERSION = 1
+#: Manifest filename inside the snapshot directory.
+MANIFEST_NAME = "MANIFEST.json"
+#: Data filename inside the snapshot directory (all arrays, one file).
+DATA_NAME = "data.bin"
+#: Array starts are padded to this boundary inside the data file.
+_ALIGN = 64
+
+#: LayerStructure attribute -> blob name for the plain array fields.
+_STRUCTURE_BLOBS = (
+    "values",
+    "forall_parent_count",
+    "forall_indptr",
+    "forall_indices",
+    "exists_gated",
+    "exists_indptr",
+    "exists_indices",
+    "static_seeds",
+    "coarse_levels",
+    "fine_levels",
+)
+#: Blobs holding the freeze-time layer bound table (block id per node,
+#: per-block per-attribute minima with the trailing -inf sentinel row).
+_BOUND_BLOBS = ("bound_block_of", "bound_block_mins")
+
+
+class SnapshotIndex(TopKIndex):
+    """A built index backed by an mmap'd snapshot directory.
+
+    Behaves exactly like the index it was saved from — same
+    :class:`~repro.core.structure.LayerStructure` arrays (byte-identical),
+    same kernels, same bitwise answers — but its arrays are read-only views
+    into the page cache rather than private heap copies.  ``prune``-mode
+    queries work out of the box: the layer bound table is part of the
+    snapshot, so no O(n) recompute touches the mapped pages.
+    """
+
+    name = "snapshot"
+
+    def __init__(
+        self,
+        relation: Relation,
+        structure: LayerStructure,
+        *,
+        algorithm: str,
+        path: str | Path,
+    ) -> None:
+        super().__init__(relation)
+        self.structure = structure
+        self.algorithm = algorithm
+        self.path = Path(path)
+        self.name = f"snapshot[{algorithm}]"
+        self.build_stats.algorithm = self.name
+        self._built = True
+        self.version = 1
+
+    def _build(self) -> None:
+        """Snapshots are frozen; (re)build is a no-op."""
+
+    def _query(self, weights, k, counter):
+        from repro.core.query import process_top_k
+
+        return process_top_k(self.structure, weights, k, counter)
+
+    def __reduce__(self):
+        # Pickling ships the *path*, not the arrays: the receiving process
+        # re-opens the snapshot and shares the page-cache copy.
+        return (open_snapshot, (str(self.path),))
+
+
+def _seed_selector_spec(structure: LayerStructure) -> tuple[dict, dict]:
+    """``(manifest_entry, extra_blobs)`` describing the seed selector."""
+    selector = structure.seed_selector
+    if selector is None:
+        return {"type": "static"}, {}
+    if isinstance(selector, PartitionSeedSelector):
+        partition = selector.partition
+        return (
+            {"type": "weight_range"},
+            {
+                "chain_points": np.asarray(partition.chain_points, dtype=np.float64),
+                "chain_ids": np.asarray(partition.chain_ids, dtype=np.intp),
+            },
+        )
+    raise SerializationError(
+        f"cannot snapshot index with seed selector {type(selector).__name__}: "
+        "only static seeds and the 2-D weight-range selector have a "
+        "snapshot representation"
+    )
+
+
+def save_snapshot(index: TopKIndex, path: str | Path) -> Path:
+    """Write a built index as an mmap-openable snapshot directory.
+
+    ``index`` must expose a frozen :class:`LayerStructure` (DL/DL+ and the
+    gate-graph baselines all do); it is built first if needed.  Returns the
+    snapshot directory path.  Overwrites an existing snapshot at ``path``
+    atomically enough for our purposes (manifest is written last, so a
+    partial snapshot has no manifest and is rejected by the opener).
+    """
+    if not index._built:
+        index.build()
+    if isinstance(index, SnapshotIndex):
+        root = Path(path)
+        if root.resolve() == index.path.resolve():
+            # Re-snapshotting an open snapshot over itself would truncate
+            # the very blobs its arrays are mapped from; it is also a
+            # no-op — the directory already holds these bytes.
+            return root
+    structure = getattr(index, "structure", None)
+    if not isinstance(structure, LayerStructure):
+        raise SerializationError(
+            f"{type(index).__name__} does not expose a LayerStructure; "
+            "only gate-graph indexes can be snapshotted"
+        )
+    selector_entry, selector_blobs = _seed_selector_spec(structure)
+
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    stale = root / MANIFEST_NAME
+    if stale.exists():
+        stale.unlink()  # invalidate any previous snapshot before rewriting
+
+    block_of, block_mins = structure.layer_bound_table()
+    blobs: dict[str, np.ndarray] = {
+        name: np.asarray(getattr(structure, name)) for name in _STRUCTURE_BLOBS
+    }
+    blobs["bound_block_of"] = np.asarray(block_of)
+    blobs["bound_block_mins"] = np.asarray(block_mins)
+    blobs.update(selector_blobs)
+
+    arrays = {}
+    with (root / DATA_NAME).open("wb") as handle:
+        for name, array in blobs.items():
+            array = np.ascontiguousarray(array)
+            pad = (-handle.tell()) % _ALIGN
+            if pad:
+                handle.write(b"\x00" * pad)
+            arrays[name] = {
+                "offset": handle.tell(),
+                "nbytes": int(array.nbytes),
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+            }
+            handle.write(array.tobytes())
+
+    manifest = {
+        "magic": SNAPSHOT_MAGIC,
+        "version": SNAPSHOT_VERSION,
+        "algorithm": getattr(index, "algorithm", None) or index.name,
+        "attributes": list(index.relation.schema.attributes),
+        "n_real": int(structure.n_real),
+        "n_nodes": int(structure.n_nodes),
+        "d": int(index.relation.d),
+        "num_coarse_layers": int(structure.num_coarse_layers),
+        "complete": bool(structure.complete),
+        "seed_selector": selector_entry,
+        "arrays": arrays,
+    }
+    with (root / MANIFEST_NAME).open("w") as handle:
+        json.dump(manifest, handle, indent=1, sort_keys=True)
+    return root
+
+
+def read_manifest(path: str | Path) -> dict:
+    """Parse and validate a snapshot directory's manifest."""
+    root = Path(path)
+    manifest_path = root / MANIFEST_NAME
+    try:
+        with manifest_path.open("r") as handle:
+            manifest = json.load(handle)
+    except OSError as exc:
+        raise SerializationError(
+            f"cannot open snapshot at {root}: {exc}"
+        ) from exc
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SerializationError(
+            f"snapshot manifest at {manifest_path} is corrupt: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or manifest.get("magic") != SNAPSHOT_MAGIC:
+        raise SerializationError(f"{root} is not a repro snapshot")
+    if manifest.get("version") != SNAPSHOT_VERSION:
+        raise SerializationError(
+            f"snapshot {root} has format version {manifest.get('version')!r}; "
+            f"this reader supports version {SNAPSHOT_VERSION}"
+        )
+    if not isinstance(manifest.get("arrays"), dict):
+        raise SerializationError(f"snapshot {root} manifest lacks an array table")
+    return manifest
+
+
+def _map_data(root: Path, *, mmap: bool) -> np.ndarray:
+    """Open the snapshot data file as one flat byte buffer (mapped or read)."""
+    data_path = root / DATA_NAME
+    try:
+        if mmap:
+            buffer = np.memmap(data_path, dtype=np.uint8, mode="r")
+        else:
+            buffer = np.fromfile(data_path, dtype=np.uint8)
+            buffer.setflags(write=False)
+    except (OSError, ValueError) as exc:
+        raise SerializationError(
+            f"snapshot data file {data_path} is unreadable: {exc}"
+        ) from exc
+    return buffer
+
+
+def _carve_blob(
+    root: Path, manifest: dict, buffer: np.ndarray, name: str
+) -> np.ndarray:
+    """A zero-copy view of one array inside the mapped data buffer.
+
+    Offsets and extents come from an untrusted manifest, so everything is
+    bounds- and consistency-checked *before* the view exists: a lying or
+    truncated snapshot raises here, not mid-query.
+    """
+    entry = manifest["arrays"].get(name)
+    if entry is None:
+        raise SerializationError(f"snapshot {root} is missing array {name!r}")
+    try:
+        offset = int(entry["offset"])
+        nbytes = int(entry["nbytes"])
+        dtype = np.dtype(str(entry["dtype"]))
+        shape = tuple(int(dim) for dim in entry["shape"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"snapshot {root}: array entry {name!r} is malformed: {exc}"
+        ) from exc
+    expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+    if nbytes != expected:
+        raise SerializationError(
+            f"snapshot {root}: array {name!r} declares {nbytes} bytes but "
+            f"dtype {dtype.str} x shape {list(shape)} needs {expected}"
+        )
+    if offset < 0 or offset % dtype.itemsize or offset + nbytes > buffer.size:
+        raise SerializationError(
+            f"snapshot {root}: array {name!r} at [{offset}, {offset + nbytes}) "
+            f"falls outside the {buffer.size}-byte data file (truncated "
+            "snapshot?)"
+        )
+    return np.asarray(buffer[offset : offset + nbytes]).view(dtype).reshape(shape)
+
+
+def _as_index_dtype(array: np.ndarray) -> np.ndarray:
+    """Cast id arrays to the platform ``np.intp`` (copying only off-platform)."""
+    if array.dtype == np.intp:
+        return array
+    return array.astype(np.intp)
+
+
+def open_snapshot(path: str | Path, *, mmap: bool = True) -> SnapshotIndex:
+    """Open a snapshot directory as a ready-to-query :class:`SnapshotIndex`.
+
+    With ``mmap=True`` (the default) the data file is mapped once and
+    every array is a read-only view at its manifest offset — no bytes are
+    copied at open time, and pages are faulted in lazily as queries touch
+    them.  ``mmap=False`` reads the data file into private memory (useful
+    when the snapshot will be replaced while open).
+    """
+    root = Path(path)
+    manifest = read_manifest(root)
+    buffer = _map_data(root, mmap=mmap)
+
+    def blob(name: str) -> np.ndarray:
+        return _carve_blob(root, manifest, buffer, name)
+
+    values = blob("values")
+    selector_entry = manifest.get("seed_selector") or {"type": "static"}
+    selector_type = selector_entry.get("type")
+    if selector_type == "static":
+        seed_selector = None
+    elif selector_type == "weight_range":
+        # Chain arrays are tiny: materialize them and rebuild the partition
+        # (breakpoints recompute deterministically from the points).
+        partition = WeightRangePartition(
+            np.array(blob("chain_points")),
+            _as_index_dtype(np.array(blob("chain_ids"))),
+        )
+        seed_selector = PartitionSeedSelector(partition)
+    else:
+        raise SerializationError(
+            f"snapshot {root} names unknown seed selector {selector_type!r}"
+        )
+
+    structure = LayerStructure(
+        values=values,
+        n_real=int(manifest["n_real"]),
+        forall_parent_count=blob("forall_parent_count"),
+        forall_indptr=_as_index_dtype(blob("forall_indptr")),
+        forall_indices=_as_index_dtype(blob("forall_indices")),
+        exists_gated=blob("exists_gated"),
+        exists_indptr=_as_index_dtype(blob("exists_indptr")),
+        exists_indices=_as_index_dtype(blob("exists_indices")),
+        static_seeds=_as_index_dtype(blob("static_seeds")),
+        seed_selector=seed_selector,
+        coarse_levels=blob("coarse_levels"),
+        fine_levels=blob("fine_levels"),
+        num_coarse_layers=int(manifest["num_coarse_layers"]),
+        complete=bool(manifest["complete"]),
+        layer_bounds=(
+            _as_index_dtype(blob("bound_block_of")),
+            blob("bound_block_mins"),
+        ),
+    )
+    if structure.n_nodes != int(manifest["n_nodes"]):
+        raise SerializationError(
+            f"snapshot {root}: values blob holds {structure.n_nodes} nodes, "
+            f"manifest says {manifest['n_nodes']}"
+        )
+
+    attributes = tuple(str(a) for a in manifest["attributes"])
+    # The relation is a zero-copy view of the real rows of the mapped
+    # values blob.  The trusted constructor skips the finiteness re-scan:
+    # it would fault in every page of the mapping just to re-prove what
+    # the normal constructor proved before the snapshot was written.
+    relation = Relation.wrap_unchecked(
+        values[: structure.n_real], Schema(attributes)
+    )
+    return SnapshotIndex(
+        relation,
+        structure,
+        algorithm=str(manifest["algorithm"]),
+        path=root,
+    )
+
+
+def snapshot_nbytes(path: str | Path) -> int:
+    """Total on-disk size of a snapshot directory (manifest + data file)."""
+    root = Path(path)
+    read_manifest(root)  # reject non-snapshots before reporting a size
+    return (
+        (root / MANIFEST_NAME).stat().st_size + (root / DATA_NAME).stat().st_size
+    )
+
+
+__all__ = [
+    "DATA_NAME",
+    "MANIFEST_NAME",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "SnapshotIndex",
+    "open_snapshot",
+    "read_manifest",
+    "save_snapshot",
+    "snapshot_nbytes",
+]

@@ -68,6 +68,39 @@ class Relation:
     # ------------------------------------------------------------------ #
 
     @classmethod
+    def wrap_unchecked(cls, matrix: np.ndarray, schema: Schema) -> "Relation":
+        """Wrap an already-validated float64 matrix without copying it.
+
+        Trusted constructor for deserializers (the mmap snapshot opener):
+        the bytes were validated by the normal constructor when the
+        relation was first built, so re-scanning them here would fault in
+        every page of a lazily-mapped file just to re-prove finiteness.
+        Only the O(1) shape/dtype invariants are checked.  The matrix is
+        marked read-only; callers must not mutate it afterwards.
+        """
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[1] < 1:
+            raise SchemaError(
+                f"relation values must be 2-D with >= 1 column, got shape "
+                f"{matrix.shape}"
+            )
+        if matrix.dtype != np.float64:
+            raise SchemaError(
+                f"wrap_unchecked requires float64 values, got {matrix.dtype}"
+            )
+        if schema.d != matrix.shape[1]:
+            raise SchemaError(
+                f"schema has {schema.d} attributes but values have "
+                f"{matrix.shape[1]} columns"
+            )
+        relation = cls.__new__(cls)
+        if matrix.flags.writeable:
+            matrix.setflags(write=False)
+        relation._matrix = matrix
+        relation._schema = schema
+        return relation
+
+    @classmethod
     def from_raw(
         cls, values: np.ndarray | Sequence[Sequence[float]], schema: Schema | None = None
     ) -> "Relation":

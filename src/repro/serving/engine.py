@@ -121,6 +121,14 @@ class QueryEngine:
         fronted index's ``parallel`` knob before the initial build and for
         every index that exposes one.  Parallel builds are array-equal to
         sequential ones, so this only changes build wall-clock.
+    prune:
+        Enable layer-bound skipping in the CSR and batch kernels (see
+        :func:`~repro.core.query.process_top_k`): children whose bound-table
+        score bound already beats the running k-th score are dropped before
+        they are scored.  Answers stay bitwise identical; only the access
+        counts shrink.  When the dispatcher would pick the ``reference``
+        kernel (which has no pruning path), it is promoted to ``csr`` so
+        the skip actually runs.
     """
 
     def __init__(
@@ -132,6 +140,7 @@ class QueryEngine:
         latency_window: int = 4096,
         kernel: str = "auto",
         build_parallel: int | None = None,
+        prune: bool = False,
     ) -> None:
         if kernel not in VALID_KERNELS:
             raise InvalidQueryError(
@@ -144,6 +153,7 @@ class QueryEngine:
             index.build()
         self.index = index
         self.kernel = kernel
+        self.prune = bool(prune)
         # Reusable (n_nodes, B) gate-state scratch for the batch kernel;
         # owned by the engine because the frozen structure is immutable by
         # contract and cannot cache mutable state.
@@ -296,6 +306,7 @@ class QueryEngine:
                     effective_k,
                     counters,
                     workspace=self._workspace,
+                    prune=self.prune,
                 )
                 elapsed = time.perf_counter() - start
                 self.metrics.record_batch(width, elapsed)
@@ -413,7 +424,11 @@ class QueryEngine:
                 if kernel == "auto":
                     kernel = select_kernel(structure)
                 if kernel == "reference":
-                    return process_top_k_reference(structure, w, k, counter)
+                    if not self.prune:
+                        return process_top_k_reference(structure, w, k, counter)
+                    # The reference kernel has no pruning path; the CSR
+                    # kernel is bitwise identical, so promote.
+                    kernel = "csr"
                 if kernel == "batch":
                     # Forced batch kernel on a single query: one lane.
                     outputs = process_top_k_batch(
@@ -422,9 +437,10 @@ class QueryEngine:
                         k,
                         [counter],
                         workspace=self._workspace,
+                        prune=self.prune,
                     )
                     return outputs[0]
-                return process_top_k(structure, w, k, counter)
+                return process_top_k(structure, w, k, counter, prune=self.prune)
             result = self.index.query(w, k, counter=counter)
             return result.ids, result.scores
         # Duck-typed mutable index (DynamicDualLayerIndex): returns ids

@@ -1,0 +1,205 @@
+"""Multi-process serving over one mmap'd snapshot (the zero-copy tier).
+
+:class:`SharedPointsPool` proved the pattern for the parallel *build*:
+workers attach a shared buffer in their pool initializer and tasks ship
+only small arrays.  :class:`SnapshotEngine` extends it to *serving*: each
+worker process opens the same snapshot directory with
+:func:`~repro.io.snapshot.open_snapshot` in its initializer, so all
+workers (and the parent, if it also opens the snapshot) share a single
+page-cache copy of the index — adding a worker adds file handles and a
+private result cache, not another copy of the arrays.  Queries ship a
+weight vector and k; answers ship the ``(ids, scores, real, pseudo)``
+tuple back.
+
+Answers are bitwise identical to querying the snapshot (or the original
+index) in-process: workers run the same kernels over byte-identical
+arrays.  The pool is deliberately stateless between calls — a crashed
+worker is replaced by the executor and re-opens the snapshot in its
+initializer, which is the restart-is-an-open() failover story the
+snapshot format exists for.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.base import TopKResult
+from repro.io.snapshot import open_snapshot, read_manifest
+from repro.serving.engine import QueryEngine, validate_k
+from repro.stats import AccessCounter
+
+#: Worker-process global: the QueryEngine over the worker's mmap'd snapshot.
+_WORKER_ENGINE: QueryEngine | None = None
+
+
+def _open_worker_engine(
+    path: str, kernel: str, prune: bool, cache_size: int
+) -> None:
+    """Pool initializer: mmap the snapshot and build the worker's engine."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = QueryEngine(
+        open_snapshot(path),
+        kernel=kernel,
+        prune=prune,
+        cache_size=cache_size,
+    )
+
+
+def _worker_engine() -> QueryEngine:
+    if _WORKER_ENGINE is None:
+        raise RuntimeError(
+            "snapshot worker used outside a SnapshotEngine pool"
+        )
+    return _WORKER_ENGINE
+
+
+def _worker_query(
+    weights: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray, int, int]:
+    result = _worker_engine().query(weights, k)
+    return result.ids, result.scores, result.counter.real, result.counter.pseudo
+
+
+def _worker_query_batch(
+    matrix: np.ndarray, ks: np.ndarray
+) -> list[tuple[np.ndarray, np.ndarray, int, int]]:
+    results = _worker_engine().query_batch(matrix, ks)
+    return [
+        (r.ids, r.scores, r.counter.real, r.counter.pseudo) for r in results
+    ]
+
+
+def _worker_rss_kib() -> int:
+    """Resident set size of this worker in KiB (self-reported)."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    import resource
+
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _result(
+    payload: tuple[np.ndarray, np.ndarray, int, int]
+) -> TopKResult:
+    ids, scores, real, pseudo = payload
+    counter = AccessCounter()
+    counter.count_real(real)
+    counter.count_pseudo(pseudo)
+    return TopKResult(ids=ids, scores=scores, counter=counter)
+
+
+class SnapshotEngine:
+    """Serve one snapshot from N worker processes sharing its pages.
+
+    >>> with SnapshotEngine("idx.snapshot", workers=2) as engine:
+    ...     result = engine.query(w, k)          # one worker answers
+    ...     results = engine.query_batch(W, k)   # rows split across workers
+
+    Parameters
+    ----------
+    path:
+        Snapshot directory written by :func:`~repro.io.snapshot.save_snapshot`.
+        Validated eagerly (manifest magic/version) so a bad path fails at
+        construction, not inside the first worker.
+    workers:
+        Process count.  RSS stays roughly flat as this grows because every
+        worker maps the same blobs.
+    kernel / prune / cache_size:
+        Forwarded to each worker's :class:`QueryEngine`.  Caching defaults
+        off: with N independent caches a hit rate measured on one worker
+        would be misleading, so opt in explicitly.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        workers: int = 2,
+        kernel: str = "auto",
+        prune: bool = False,
+        cache_size: int = 0,
+    ) -> None:
+        self.path = Path(path)
+        manifest = read_manifest(self.path)  # fail fast on corrupt snapshots
+        self.d = int(manifest["d"])
+        self.n = int(manifest["n_real"])
+        self.workers = max(1, int(workers))
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_open_worker_engine,
+            initargs=(str(self.path), kernel, bool(prune), int(cache_size)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serving paths
+    # ------------------------------------------------------------------ #
+
+    def query(self, weights: np.ndarray, k: int) -> TopKResult:
+        """Answer one query on some worker; bitwise equal to in-process."""
+        k = validate_k(k)
+        payload = self._pool.submit(
+            _worker_query, np.asarray(weights, dtype=np.float64), k
+        ).result()
+        return _result(payload)
+
+    def query_batch(self, weights_matrix: np.ndarray, k) -> list[TopKResult]:
+        """Split the rows across workers; results in input order."""
+        matrix = np.asarray(weights_matrix, dtype=np.float64)
+        if matrix.ndim == 1:
+            matrix = matrix[None, :]
+        n_rows = matrix.shape[0]
+        ks_input = np.asarray(k)
+        if ks_input.ndim == 0:
+            ks = np.full(n_rows, validate_k(ks_input[()]), dtype=np.int64)
+        else:
+            ks = np.asarray(
+                [validate_k(value) for value in ks_input], dtype=np.int64
+            )
+        if not n_rows:
+            return []
+        chunks = np.array_split(np.arange(n_rows), min(self.workers, n_rows))
+        futures = [
+            self._pool.submit(_worker_query_batch, matrix[chunk], ks[chunk])
+            for chunk in chunks
+            if chunk.shape[0]
+        ]
+        results: list[TopKResult] = []
+        for future in futures:
+            results.extend(_result(payload) for payload in future.result())
+        return results
+
+    def worker_rss_kib(self) -> list[int]:
+        """Per-worker resident set sizes in KiB (one probe per worker).
+
+        Submits ``workers`` probe tasks; with an idle pool each lands on a
+        distinct process, giving the per-process memory picture the
+        snapshot bench reports.
+        """
+        futures = [
+            self._pool.submit(_worker_rss_kib) for _ in range(self.workers)
+        ]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "SnapshotEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["SnapshotEngine"]

@@ -1,0 +1,94 @@
+"""Snapshot bench suite: report schema, oracle discipline, regression gate."""
+
+import copy
+
+import pytest
+
+from repro.bench.regression import (
+    check_regression,
+    check_snapshot_regression,
+)
+from repro.bench.snapshotbench import (
+    run_snapshot_bench,
+    validate_snapshot_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_snapshot_bench(
+        distribution="IND",
+        d=3,
+        n=2000,
+        ks=(1, 5, 10),
+        queries=8,
+        workers=(1, 2),
+    )
+
+
+def test_report_is_schema_valid(report):
+    validate_snapshot_report(report)
+    assert report["suite"] == "snapshot"
+    assert report["crosscheck"] == "bitwise"
+    assert [cell["k"] for cell in report["pruning"]] == [1, 5, 10]
+    assert [cell["workers"] for cell in report["serving"]] == [1, 2]
+    assert report["open"]["speedup"] > 0
+
+
+def test_self_gate_passes(report):
+    """A fresh small-scale report gates cleanly against itself (the
+    full-scale speedup floor only applies at n >= 100k)."""
+    assert check_snapshot_regression(report, report) == []
+    assert check_regression(report, report) == []
+
+
+def test_validator_rejects_drift(report):
+    broken = copy.deepcopy(report)
+    del broken["open"]["speedup"]
+    with pytest.raises(ValueError, match="speedup"):
+        validate_snapshot_report(broken)
+
+    unverified = copy.deepcopy(report)
+    unverified["pruning"][0]["bitwise_equal"] = False
+    with pytest.raises(ValueError, match="bitwise"):
+        validate_snapshot_report(unverified)
+
+    costlier = copy.deepcopy(report)
+    costlier["pruning"][0]["pruned_cost"] = (
+        costlier["pruning"][0]["unpruned_cost"] + 1
+    )
+    with pytest.raises(ValueError, match="exceeds"):
+        validate_snapshot_report(costlier)
+
+
+def test_gate_requires_crosscheck_marker(report):
+    stale = copy.deepcopy(report)
+    stale.pop("crosscheck")
+    failures = check_snapshot_regression(report, stale)
+    assert any("crosscheck" in failure for failure in failures)
+
+
+def test_gate_holds_speedup_floor_at_full_scale(report):
+    """An n >= 100k report with a sub-10x cold open fails — on the baseline
+    side too, which keeps a hand-edited committed report from passing."""
+    slow = copy.deepcopy(report)
+    slow["n"] = 100_000
+    slow["open"]["speedup"] = 5.0
+    failures = check_snapshot_regression(slow, slow)
+    assert any("cold-open speedup" in failure for failure in failures)
+    assert any(failure.startswith("baseline") for failure in failures)
+
+
+def test_gate_flags_dead_pruning(report):
+    dead = copy.deepcopy(report)
+    for cell in dead["pruning"]:
+        cell["pruned_cost"] = cell["unpruned_cost"]
+    failures = check_snapshot_regression(dead, report)
+    assert any("not pruning" in failure for failure in failures)
+
+
+def test_gate_flags_speedup_regression(report):
+    regressed = copy.deepcopy(report)
+    regressed["open"]["speedup"] = report["open"]["speedup"] / 10.0
+    failures = check_snapshot_regression(regressed, report)
+    assert any("baseline" in failure and "x" in failure for failure in failures)

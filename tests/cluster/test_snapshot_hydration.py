@@ -1,0 +1,102 @@
+"""Shard/cluster snapshot hydration: build-or-reopen, bitwise answers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterEngine
+from repro.cluster.shard import Shard
+from repro.core import DLPlusIndex
+from repro.data import generate
+from repro.io.snapshot import MANIFEST_NAME, SnapshotIndex, read_manifest
+
+
+@pytest.fixture()
+def relation():
+    return generate("IND", 400, 3, seed=17)
+
+
+def _shard(relation, **kwargs):
+    return Shard(
+        0, relation, np.arange(relation.n), index_class=DLPlusIndex, **kwargs
+    )
+
+
+def assert_answers_agree(shards, d, *, queries=6, seed=5, k=5):
+    rng = np.random.default_rng(seed)
+    for _ in range(queries):
+        w = rng.dirichlet(np.ones(d))
+        answers = [shard.topk(w, k) for shard in shards]
+        first = answers[0]
+        for other in answers[1:]:
+            np.testing.assert_array_equal(first.global_ids, other.global_ids)
+            assert first.scores.tobytes() == other.scores.tobytes()
+
+
+def test_shard_builds_then_reopens_snapshot(relation, tmp_path):
+    home = tmp_path / "shard0"
+    first = _shard(relation, snapshot_dir=home)
+    assert first.snapshot_path == home
+    assert (home / MANIFEST_NAME).exists()
+    assert isinstance(first.engine.index, SnapshotIndex)
+
+    # A second shard over the same data adopts the snapshot instead of
+    # rebuilding; answers stay bitwise identical to a plain build.
+    second = _shard(relation, snapshot_dir=home)
+    assert isinstance(second.engine.index, SnapshotIndex)
+    assert_answers_agree([_shard(relation), first, second], 3)
+
+
+def test_shard_rejects_stale_snapshot(relation, tmp_path):
+    """A snapshot of *different* data at the path must be rebuilt, never
+    served."""
+    home = tmp_path / "shard0"
+    _shard(relation, snapshot_dir=home)
+    other = generate("ANT", 400, 3, seed=99)
+    rebuilt = _shard(other, snapshot_dir=home)
+    reopened = _shard(other, snapshot_dir=home)  # now adopts the new bytes
+    assert_answers_agree([_shard(other), rebuilt, reopened], 3, seed=6)
+
+
+def test_shard_maintenance_resnapshots(relation, tmp_path):
+    home = tmp_path / "shard0"
+    shard = _shard(relation, snapshot_dir=home)
+    plain = _shard(relation)
+    row = np.array([0.4, 0.2, 0.6])
+    shard.insert(relation.n, row)
+    plain.insert(relation.n, row)
+    # the rebuild refreshed the on-disk snapshot too
+    assert read_manifest(home)["n_real"] == relation.n + 1
+    assert isinstance(shard.engine.index, SnapshotIndex)
+    assert_answers_agree([plain, shard], 3, seed=7, queries=4)
+
+
+def test_cluster_snapshot_dir_roundtrip(relation, tmp_path):
+    plain = ClusterEngine(
+        relation, shards=2, index_class=DLPlusIndex, cache_size=0
+    )
+    built = ClusterEngine(
+        relation,
+        shards=2,
+        index_class=DLPlusIndex,
+        cache_size=0,
+        snapshot_dir=tmp_path / "cluster",
+    )
+    reopened = ClusterEngine(
+        relation,
+        shards=2,
+        index_class=DLPlusIndex,
+        cache_size=0,
+        snapshot_dir=tmp_path / "cluster",
+    )
+    for shard in reopened.shards:
+        assert isinstance(shard.engine.index, SnapshotIndex)
+    rng = np.random.default_rng(8)
+    for _ in range(6):
+        w = rng.dirichlet(np.ones(3))
+        k = int(rng.integers(1, 9))
+        a = plain.query(w, k)
+        b = built.query(w, k)
+        c = reopened.query(w, k)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_array_equal(a.ids, c.ids)
+        assert a.scores.tobytes() == b.scores.tobytes() == c.scores.tobytes()

@@ -140,3 +140,75 @@ def test_index_bytes_roundtrip_matches_file_roundtrip(rng):
     assert a.scores.tobytes() == b.scores.tobytes()
     with pytest.raises(SerializationError):
         index_from_bytes(b"garbage")
+
+
+def test_relation_roundtrip_without_suffix(tmp_path):
+    """Regression: np.savez_compressed silently appends ``.npz``, so a
+    suffix-less path used to save to ``rel.npz`` but load from ``rel`` and
+    raise.  Both sides now normalize to the same on-disk name."""
+    relation = generate("COR", 80, 3, seed=4)
+    path = tmp_path / "rel"  # no .npz suffix
+    save_relation(relation, path)
+    assert not path.exists()
+    assert path.with_name("rel.npz").exists()
+    loaded = load_relation(path)
+    np.testing.assert_array_equal(loaded.matrix, relation.matrix)
+    assert loaded.schema.attributes == relation.schema.attributes
+
+
+def test_relation_roundtrip_foreign_suffix(tmp_path):
+    """A non-.npz suffix gets the same normalization (save and load agree)."""
+    relation = generate("IND", 60, 2, seed=5)
+    path = tmp_path / "rel.dat"
+    save_relation(relation, path)
+    loaded = load_relation(path)
+    np.testing.assert_array_equal(loaded.matrix, relation.matrix)
+
+
+@pytest.mark.parametrize(
+    "corrupt",
+    [
+        b"",  # empty file
+        b"\x80",  # lone pickle protocol opcode, then EOF
+        b"not a pickle at all",
+        b"\x80\x04\x95\xff\xff\xff\xff",  # frame header promising 4GiB
+    ],
+    ids=["empty", "truncated-opcode", "garbage", "bogus-frame"],
+)
+def test_index_from_bytes_corrupt_payloads(corrupt):
+    """Every flavor of corruption maps to SerializationError — the except
+    clause must cover EOFError/ValueError/MemoryError etc., not just
+    UnpicklingError."""
+    from repro.io import index_from_bytes
+
+    with pytest.raises(SerializationError):
+        index_from_bytes(corrupt)
+
+
+def test_index_from_bytes_truncated_valid_payload():
+    """A prefix of a real payload (a cut-short download) must also raise."""
+    from repro.io import index_from_bytes, index_to_bytes
+
+    payload = index_to_bytes(DLIndex(generate("IND", 60, 2, seed=7)).build())
+    for cut in (1, len(payload) // 2, len(payload) - 1):
+        with pytest.raises(SerializationError):
+            index_from_bytes(payload[:cut])
+
+
+def test_index_from_bytes_non_dict_payload():
+    import pickle
+
+    from repro.io import index_from_bytes
+
+    with pytest.raises(SerializationError, match="not a repro index"):
+        index_from_bytes(pickle.dumps([1, 2, 3]))
+
+
+def test_index_from_bytes_magic_without_index():
+    import pickle
+
+    from repro.io import index_from_bytes
+
+    payload = pickle.dumps({"magic": "repro-index-v1", "index": 42})
+    with pytest.raises(SerializationError, match="TopKIndex"):
+        index_from_bytes(payload)

@@ -1,0 +1,308 @@
+"""The mmap snapshot format: round-trips, corruption, cross-process sharing."""
+
+import json
+import os
+import pickle
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import DLIndex, DLPlusIndex
+from repro.core.query import process_top_k, process_top_k_reference
+from repro.data import generate, toy_hotels
+from repro.exceptions import SerializationError
+from repro.io import open_snapshot, save_snapshot, snapshot_nbytes
+from repro.io.snapshot import DATA_NAME, MANIFEST_NAME, SnapshotIndex, read_manifest
+from repro.stats import AccessCounter
+
+
+def assert_same_answers(structure_a, structure_b, d, *, queries=8, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(queries):
+        w = rng.dirichlet(np.ones(d))
+        k = int(rng.integers(1, 21))
+        ids_a, scores_a = process_top_k_reference(structure_a, w, k, AccessCounter())
+        ids_b, scores_b = process_top_k(structure_b, w, k, AccessCounter())
+        ids_p, scores_p = process_top_k(
+            structure_b, w, k, AccessCounter(), prune=True
+        )
+        assert np.array_equal(ids_a, ids_b)
+        assert scores_a.tobytes() == scores_b.tobytes()
+        assert np.array_equal(ids_a, ids_p)
+        assert scores_a.tobytes() == scores_p.tobytes()
+
+
+@pytest.mark.parametrize("index_class", [DLIndex, DLPlusIndex], ids=["DL", "DL+"])
+def test_snapshot_roundtrip_bitwise(index_class, tmp_path):
+    relation = generate("IND", 300, 3, seed=4)
+    index = index_class(relation).build()
+    snap = open_snapshot(save_snapshot(index, tmp_path / "snap"))
+    assert isinstance(snap, SnapshotIndex)
+    assert snap.algorithm == index.name
+    assert snap.name == f"snapshot[{index.name}]"
+    np.testing.assert_array_equal(snap.relation.matrix, relation.matrix)
+    assert snap.relation.schema.attributes == relation.schema.attributes
+    assert_same_answers(index.structure, snap.structure, 3)
+
+
+def test_snapshot_roundtrip_2d_weight_range_selector(tmp_path):
+    """The 2-D chain selector is rebuilt from its chain arrays."""
+    index = DLPlusIndex(toy_hotels()).build()
+    snap = open_snapshot(save_snapshot(index, tmp_path / "snap"))
+    assert snap.structure.seed_selector is not None
+    assert_same_answers(index.structure, snap.structure, 2)
+    # the reconstructed selector picks the same seeds
+    rng = np.random.default_rng(1)
+    for _ in range(6):
+        w = rng.dirichlet(np.ones(2))
+        np.testing.assert_array_equal(
+            index.structure.seed_selector(w), snap.structure.seed_selector(w)
+        )
+
+
+def test_snapshot_arrays_are_readonly_mmap_views(tmp_path):
+    index = DLIndex(generate("IND", 120, 2, seed=6)).build()
+    snap = open_snapshot(save_snapshot(index, tmp_path / "snap"))
+    assert not snap.structure.values.flags.writeable
+    assert not snap.relation.matrix.flags.writeable
+    with pytest.raises((ValueError, OSError)):
+        snap.structure.values[0, 0] = 0.5
+
+
+def test_snapshot_mmap_false_copies(tmp_path):
+    index = DLIndex(generate("ANT", 120, 2, seed=7)).build()
+    root = save_snapshot(index, tmp_path / "snap")
+    snap = open_snapshot(root, mmap=False)
+    assert_same_answers(index.structure, snap.structure, 2)
+
+
+def test_snapshot_pickles_by_path(tmp_path):
+    """Pickling ships the path; unpickling re-opens the snapshot."""
+    index = DLPlusIndex(generate("IND", 200, 3, seed=8)).build()
+    snap = open_snapshot(save_snapshot(index, tmp_path / "snap"))
+    clone = pickle.loads(pickle.dumps(snap))
+    assert isinstance(clone, SnapshotIndex)
+    assert clone.path == snap.path
+    assert_same_answers(index.structure, clone.structure, 3)
+
+
+def test_save_unbuilt_index_builds_first(tmp_path):
+    index = DLIndex(generate("IND", 80, 2, seed=3))
+    save_snapshot(index, tmp_path / "snap")
+    assert index._built
+
+
+def test_resnapshot_over_own_directory_is_noop(tmp_path):
+    """Re-snapshotting an open snapshot onto itself must not truncate the
+    data file its arrays are mapped from."""
+    index = DLIndex(generate("IND", 100, 2, seed=5)).build()
+    root = save_snapshot(index, tmp_path / "snap")
+    snap = open_snapshot(root)
+    before = (root / DATA_NAME).stat().st_size
+    assert save_snapshot(snap, root) == root
+    assert (root / DATA_NAME).stat().st_size == before
+    assert_same_answers(index.structure, snap.structure, 2)
+
+
+def test_snapshot_nbytes_and_manifest(tmp_path):
+    index = DLIndex(generate("IND", 100, 2, seed=5)).build()
+    root = save_snapshot(index, tmp_path / "snap")
+    manifest = read_manifest(root)
+    assert manifest["n_real"] == 100
+    assert manifest["d"] == 2
+    on_disk = (root / MANIFEST_NAME).stat().st_size + (root / DATA_NAME).stat().st_size
+    assert snapshot_nbytes(root) == on_disk
+    # every array starts 64-byte aligned inside the data file
+    for entry in manifest["arrays"].values():
+        assert entry["offset"] % 64 == 0
+
+
+def test_snapshot_rejects_index_without_structure(tmp_path):
+    class Fake:
+        _built = True
+        structure = None
+
+    with pytest.raises(SerializationError):
+        save_snapshot(Fake(), tmp_path / "snap")
+
+
+# --------------------------------------------------------------------- #
+# Corruption taxonomy: every broken snapshot raises SerializationError,
+# never SIGBUS / silent garbage.
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def snapshot_dir(tmp_path):
+    index = DLPlusIndex(generate("IND", 150, 3, seed=12)).build()
+    return save_snapshot(index, tmp_path / "snap")
+
+
+def _copy(snapshot_dir, tmp_path, name):
+    clone = tmp_path / name
+    shutil.copytree(snapshot_dir, clone)
+    return clone
+
+
+def _edit_manifest(root, mutate):
+    manifest = json.loads((root / MANIFEST_NAME).read_text())
+    mutate(manifest)
+    (root / MANIFEST_NAME).write_text(json.dumps(manifest))
+
+
+def test_open_missing_directory(tmp_path):
+    with pytest.raises(SerializationError):
+        open_snapshot(tmp_path / "nope")
+
+
+def test_open_missing_manifest(snapshot_dir, tmp_path):
+    root = _copy(snapshot_dir, tmp_path, "c")
+    (root / MANIFEST_NAME).unlink()
+    with pytest.raises(SerializationError):
+        open_snapshot(root)
+
+
+def test_open_corrupt_manifest_json(snapshot_dir, tmp_path):
+    root = _copy(snapshot_dir, tmp_path, "c")
+    (root / MANIFEST_NAME).write_text("{truncated")
+    with pytest.raises(SerializationError):
+        open_snapshot(root)
+
+
+def test_open_wrong_magic(snapshot_dir, tmp_path):
+    root = _copy(snapshot_dir, tmp_path, "c")
+    _edit_manifest(root, lambda m: m.update(magic="other-format"))
+    with pytest.raises(SerializationError):
+        open_snapshot(root)
+
+
+def test_open_future_version(snapshot_dir, tmp_path):
+    root = _copy(snapshot_dir, tmp_path, "c")
+    _edit_manifest(root, lambda m: m.update(version=999))
+    with pytest.raises(SerializationError):
+        open_snapshot(root)
+
+
+def test_open_missing_data_file(snapshot_dir, tmp_path):
+    root = _copy(snapshot_dir, tmp_path, "c")
+    (root / DATA_NAME).unlink()
+    with pytest.raises(SerializationError):
+        open_snapshot(root)
+
+
+def test_open_truncated_data_file(snapshot_dir, tmp_path):
+    root = _copy(snapshot_dir, tmp_path, "c")
+    payload = (root / DATA_NAME).read_bytes()
+    (root / DATA_NAME).write_bytes(payload[: len(payload) // 3])
+    with pytest.raises(SerializationError, match="outside"):
+        open_snapshot(root)
+
+
+def test_open_missing_array_entry(snapshot_dir, tmp_path):
+    root = _copy(snapshot_dir, tmp_path, "c")
+    _edit_manifest(root, lambda m: m["arrays"].pop("forall_indptr"))
+    with pytest.raises(SerializationError, match="missing array"):
+        open_snapshot(root)
+
+
+def test_open_inconsistent_dtype_entry(snapshot_dir, tmp_path):
+    """A dtype that disagrees with the recorded extent is caught before
+    any view exists."""
+    root = _copy(snapshot_dir, tmp_path, "c")
+    _edit_manifest(root, lambda m: m["arrays"]["values"].update(dtype="<f4"))
+    with pytest.raises(SerializationError):
+        open_snapshot(root)
+
+
+def test_open_bogus_dtype_string(snapshot_dir, tmp_path):
+    root = _copy(snapshot_dir, tmp_path, "c")
+    _edit_manifest(root, lambda m: m["arrays"]["values"].update(dtype="not-a-dtype"))
+    with pytest.raises(SerializationError, match="malformed"):
+        open_snapshot(root)
+
+
+def test_open_node_count_mismatch(snapshot_dir, tmp_path):
+    root = _copy(snapshot_dir, tmp_path, "c")
+    _edit_manifest(root, lambda m: m.update(n_nodes=m["n_nodes"] + 1))
+    with pytest.raises(SerializationError, match="nodes"):
+        open_snapshot(root)
+
+
+def test_open_unknown_seed_selector(snapshot_dir, tmp_path):
+    root = _copy(snapshot_dir, tmp_path, "c")
+    _edit_manifest(root, lambda m: m.update(seed_selector={"type": "quantum"}))
+    with pytest.raises(SerializationError, match="seed selector"):
+        open_snapshot(root)
+
+
+def test_partial_snapshot_without_manifest_rejected(snapshot_dir, tmp_path):
+    """save_snapshot writes the manifest last; a directory with only a data
+    file (a crashed save) must be rejected, not half-opened."""
+    root = tmp_path / "partial"
+    root.mkdir()
+    shutil.copy(snapshot_dir / DATA_NAME, root / DATA_NAME)
+    with pytest.raises(SerializationError):
+        open_snapshot(root)
+
+
+# --------------------------------------------------------------------- #
+# Cross-process: a second interpreter opens the snapshot and answers the
+# query grid byte-identically with the exact platform dtypes.
+# --------------------------------------------------------------------- #
+
+_CHILD_SOURCE = """
+import json, sys
+import numpy as np
+from repro.io import open_snapshot
+from repro.core.query import process_top_k
+from repro.stats import AccessCounter
+
+snap = open_snapshot(sys.argv[1])
+d = snap.relation.d
+rng = np.random.default_rng(int(sys.argv[2]))
+cells = []
+for _ in range(int(sys.argv[3])):
+    w = rng.dirichlet(np.ones(d))
+    k = int(rng.integers(1, 21))
+    ids, scores = process_top_k(snap.structure, w, k, AccessCounter(), prune=True)
+    cells.append({
+        "ids": [int(i) for i in ids],
+        "score_hex": scores.tobytes().hex(),
+        "ids_dtype": ids.dtype.str,
+        "scores_dtype": scores.dtype.str,
+    })
+print(json.dumps(cells))
+"""
+
+
+def test_second_process_answers_bitwise(tmp_path):
+    index = DLPlusIndex(generate("ANT", 250, 3, seed=21)).build()
+    root = save_snapshot(index, tmp_path / "snap")
+
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parents[2] / "src"
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_SOURCE, str(root), "21", "10"],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    child_cells = json.loads(proc.stdout)
+
+    rng = np.random.default_rng(21)
+    for cell in child_cells:
+        w = rng.dirichlet(np.ones(3))
+        k = int(rng.integers(1, 21))
+        ids, scores = process_top_k_reference(
+            index.structure, w, k, AccessCounter()
+        )
+        assert cell["ids"] == [int(i) for i in ids]
+        assert cell["score_hex"] == scores.tobytes().hex()
+        assert cell["ids_dtype"] == np.dtype(np.intp).str
+        assert cell["scores_dtype"] == np.dtype(np.float64).str

@@ -351,3 +351,43 @@ def test_engine_kernel_selector():
         assert a.cost == b.cost
     with pytest.raises(InvalidQueryError):
         QueryEngine(index, kernel="simd")
+
+
+def test_prune_mode_is_bitwise_and_no_costlier():
+    """prune=True engines answer byte-identically with cost <= the plain
+    engine's, for single queries and batches alike."""
+    relation = generate("IND", 800, 3, seed=23)
+    index = DLPlusIndex(relation, max_layers=12).build()
+    plain = QueryEngine(index, cache_size=0)
+    pruned = QueryEngine(index, cache_size=0, prune=True)
+    rng = np.random.default_rng(24)
+    weights = random_weights(rng, 3, 10)
+    for w in weights:
+        a = plain.query(w, 8)
+        b = pruned.query(w, 8)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        assert a.scores.tobytes() == b.scores.tobytes()
+        assert b.cost <= a.cost
+    batch_plain = plain.query_batch(weights, 8)
+    batch_pruned = pruned.query_batch(weights, 8)
+    total_plain = sum(r.cost for r in batch_plain)
+    total_pruned = sum(r.cost for r in batch_pruned)
+    assert total_pruned <= total_plain
+    for a, b in zip(batch_plain, batch_pruned):
+        np.testing.assert_array_equal(a.ids, b.ids)
+        assert a.scores.tobytes() == b.scores.tobytes()
+
+
+def test_prune_promotes_reference_kernel_to_csr():
+    """kernel="reference" has no pruning path; a pruned engine promotes to
+    the bitwise-identical CSR kernel instead of silently not pruning."""
+    relation = generate("ANT", 300, 3, seed=25)
+    index = DLPlusIndex(relation).build()
+    reference = QueryEngine(index, cache_size=0, kernel="reference")
+    promoted = QueryEngine(index, cache_size=0, kernel="reference", prune=True)
+    w = np.array([0.5, 0.25, 0.25])
+    a = reference.query(w, 9)
+    b = promoted.query(w, 9)
+    np.testing.assert_array_equal(a.ids, b.ids)
+    assert a.scores.tobytes() == b.scores.tobytes()
+    assert b.cost <= a.cost

@@ -1,0 +1,83 @@
+"""SnapshotEngine: a process pool serving one mmap'd snapshot."""
+
+import numpy as np
+import pytest
+
+from repro.core import DLPlusIndex
+from repro.core.query import process_top_k_reference
+from repro.data import generate
+from repro.exceptions import SerializationError
+from repro.io import save_snapshot
+from repro.relation import normalize_weights
+from repro.serving import QueryEngine, SnapshotEngine
+from repro.stats import AccessCounter
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    relation = generate("IND", 600, 3, seed=14)
+    index = DLPlusIndex(relation, max_layers=12).build()
+    root = save_snapshot(index, tmp_path_factory.mktemp("pool") / "snap")
+    return root, index
+
+
+def test_pool_answers_match_reference_bitwise(snapshot):
+    root, index = snapshot
+    rng = np.random.default_rng(3)
+    weights = rng.random((6, 3))
+    with SnapshotEngine(root, workers=2, prune=True) as engine:
+        assert engine.d == 3
+        assert engine.n == 600
+        results = engine.query_batch(weights, 5)
+        single = engine.query(weights[0], 5)
+    for w, result in zip(weights, results):
+        ids_ref, scores_ref = process_top_k_reference(
+            index.structure, normalize_weights(w, 3), 5, AccessCounter()
+        )
+        np.testing.assert_array_equal(result.ids, ids_ref)
+        assert result.scores.tobytes() == scores_ref.tobytes()
+        assert result.cost > 0
+    np.testing.assert_array_equal(single.ids, results[0].ids)
+    assert single.scores.tobytes() == results[0].scores.tobytes()
+
+
+def test_pool_matches_in_process_engine(snapshot):
+    """Pooled answers equal the in-process QueryEngine over the same
+    snapshot — process boundaries add no drift."""
+    root, index = snapshot
+    from repro.io import open_snapshot
+
+    local = QueryEngine(open_snapshot(root), cache_size=0, prune=True)
+    rng = np.random.default_rng(4)
+    weights = rng.random((4, 3))
+    ks = [1, 3, 7, 11]
+    with SnapshotEngine(root, workers=2, prune=True) as engine:
+        pooled = engine.query_batch(weights, ks)
+    for w, k, result in zip(weights, ks, pooled):
+        expected = local.query(w, k)
+        np.testing.assert_array_equal(result.ids, expected.ids)
+        assert result.scores.tobytes() == expected.scores.tobytes()
+        assert result.cost == expected.cost
+
+
+def test_pool_single_row_batch_and_validation(snapshot):
+    root, _ = snapshot
+    with SnapshotEngine(root, workers=1) as engine:
+        results = engine.query_batch(np.array([0.2, 0.3, 0.5]), 4)
+        assert len(results) == 1
+        assert results[0].ids.shape == (4,)
+        with pytest.raises(Exception):
+            engine.query(np.array([0.2, 0.3, 0.5]), 0)  # invalid k
+
+
+def test_pool_worker_rss_probe(snapshot):
+    root, _ = snapshot
+    with SnapshotEngine(root, workers=2) as engine:
+        rss = engine.worker_rss_kib()
+    assert len(rss) == 2
+    assert all(r > 0 for r in rss)
+
+
+def test_pool_rejects_non_snapshot_path(tmp_path):
+    with pytest.raises(SerializationError):
+        SnapshotEngine(tmp_path / "nothing-here")
