@@ -90,12 +90,20 @@ def _check_matched(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
             base_timing = base_batch.get(timing["B"])
             if base_timing is None:
                 continue
-            floor = base_timing["qps"] / (1.0 + tolerance)
-            if timing["qps"] < floor:
+            # Compare on amortized per-query latency with the same
+            # noise floor as the kernel p50s: batch lanes amortize to
+            # the 0.03–0.3ms range where scheduler jitter alone can
+            # exceed the relative tolerance, and a pure qps ratio has
+            # no absolute slack to absorb it.
+            fresh_ms = 1000.0 / timing["qps"]
+            base_ms = 1000.0 / base_timing["qps"]
+            limit = base_ms * (1.0 + tolerance) + NOISE_FLOOR_MS
+            if fresh_ms > limit:
                 failures.append(
-                    f"{_cell_key(cell)} batch B={timing['B']}: qps "
-                    f"{timing['qps']:.0f} < baseline "
-                    f"{base_timing['qps']:.0f} -{tolerance:.0%}"
+                    f"{_cell_key(cell)} batch B={timing['B']}: amortized "
+                    f"{fresh_ms:.4f}ms/query > baseline "
+                    f"{base_ms:.4f}ms +{tolerance:.0%} "
+                    f"(+{NOISE_FLOOR_MS}ms floor)"
                 )
     if not matched:
         failures.append("__no_overlap__")
@@ -239,25 +247,46 @@ def _check_snapshot_invariants(report: dict, label: str) -> list[str]:
     """Scale-free + full-scale invariants of one snapshot report.
 
     Scale-free (any n, any machine): pruning never *increases* cost and
-    actually bites — strictly fewer tuples at some k <= 10 cell (the
-    bound table's reason to exist).  Full-scale (n >= 100k): the
-    cold-open speedup holds the acceptance floor — deserializing O(n)
-    arrays must lose to reading O(1) headers by at least 10x.
+    actually bites — strictly fewer tuples at some cell inside the
+    must-bite window (the bound table's reason to exist).  The window is
+    k <= 10 for v1-era reports (block bounds only) and k <= 64 for
+    snapshot-format v2 reports, whose hierarchical sublayer table and
+    reordered block minima keep saving accesses well past small k; a v2
+    report measured at full scale must additionally show a bite at some
+    k > 10 cell, pinning the "not just small k" acceptance criterion on
+    the committed baseline.  Full-scale (n >= 100k): the cold-open
+    speedup holds the acceptance floor — deserializing O(n) arrays must
+    lose to reading O(1) headers by at least 10x.
     """
     failures: list[str] = []
-    strict = False
+    v2 = int(report.get("snapshot_version", 1)) >= 2
+    bite_window = 64 if v2 else 10
+    strict = strict_large = False
     for cell in report["pruning"]:
         if cell["pruned_cost"] > cell["unpruned_cost"]:
             failures.append(
                 f"{label}: pruning at k={cell['k']} increased cost "
                 f"({cell['pruned_cost']} > {cell['unpruned_cost']})"
             )
-        if cell["k"] <= 10 and cell["pruned_cost"] < cell["unpruned_cost"]:
+        bites = cell["pruned_cost"] < cell["unpruned_cost"]
+        if cell["k"] <= bite_window and bites:
             strict = True
+        if cell["k"] > 10 and bites:
+            strict_large = True
     if not strict:
         failures.append(
-            f"{label}: layer-bound skipping saved nothing at any k<=10 "
-            "cell — the bound table is not pruning"
+            f"{label}: layer-bound skipping saved nothing at any "
+            f"k<={bite_window} cell — the bound table is not pruning"
+        )
+    if (
+        v2
+        and report["n"] >= SNAPSHOT_FULL_SCALE_N
+        and any(cell["k"] > 10 for cell in report["pruning"])
+        and not strict_large
+    ):
+        failures.append(
+            f"{label}: v2 hierarchical bounds saved nothing at any k>10 "
+            "cell at full scale — pruning degenerated to small k only"
         )
     if report["n"] >= SNAPSHOT_FULL_SCALE_N:
         speedup = report["open"]["speedup"]

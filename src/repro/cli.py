@@ -309,7 +309,7 @@ def _build_parser() -> argparse.ArgumentParser:
     snapb.add_argument("--d", type=int, default=4)
     snapb.add_argument("--n", type=int, default=100000)
     snapb.add_argument(
-        "--ks", default="1,5,10", help="comma-separated retrieval sizes"
+        "--ks", default="1,5,10,64", help="comma-separated retrieval sizes"
     )
     snapb.add_argument(
         "--queries", type=int, default=24, help="weight vectors per cell"

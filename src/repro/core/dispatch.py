@@ -18,12 +18,25 @@ everywhere:
 
 ``select_kernel`` encodes those calibrated crossover points so
 ``kernel="auto"`` (the serving/cluster default) picks the right kernel
-from structure size, dimensionality, and batch width.
+from structure size, dimensionality, batch width, and — when pruning is
+requested — whether the structure actually carries a bound table
+(structures frozen without bounds cannot serve a pruning-dependent
+plan, so ``auto`` falls back to a bound-free kernel there).
+
+A fourth kernel slot, ``"jit"``, is registration-only scaffolding for a
+numba-compiled walker (the ROADMAP JIT item): this environment has no
+numba, so nothing registers by default and an explicit
+``kernel="jit"`` request raises
+:class:`~repro.exceptions.KernelUnavailableError` with a clear message.
+``auto`` never selects it.
 """
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from repro.core.structure import LayerStructure
+from repro.exceptions import KernelUnavailableError
 
 #: Node-count threshold below which (at low d) the per-node reference
 #: kernel beats the vectorized CSR kernel. Calibrated from
@@ -42,7 +55,40 @@ AUTO_SMALL_STRUCTURE_DIM = 2
 #: committed cell, while B<8 round overheads can lose on small cells.
 AUTO_BATCH_MIN_LANES = 8
 
-VALID_KERNELS = ("auto", "reference", "csr", "batch")
+VALID_KERNELS = ("auto", "reference", "csr", "batch", "jit")
+
+#: Registered JIT-compiled solo kernel, or ``None``. The slot is filled
+#: by :func:`register_jit_kernel` from an environment that has numba (or
+#: any compiled walker honouring the ``process_top_k`` signature); this
+#: container ships without one.
+_JIT_KERNEL: Optional[Callable] = None
+
+
+def register_jit_kernel(kernel: Optional[Callable]) -> None:
+    """Install (or with ``None``, clear) the ``kernel="jit"`` implementation.
+
+    The callable must honour the :func:`repro.core.query.process_top_k`
+    signature and its bitwise-identity contract — registration is a
+    promise, not a check; the equivalence suites are the check.
+    """
+    global _JIT_KERNEL
+    _JIT_KERNEL = kernel
+
+
+def get_jit_kernel() -> Callable:
+    """Return the registered JIT kernel or raise :class:`KernelUnavailableError`.
+
+    ``auto`` never dispatches here; only an explicit ``kernel="jit"``
+    request reaches this lookup, so the error names the remedy.
+    """
+    if _JIT_KERNEL is None:
+        raise KernelUnavailableError(
+            "kernel='jit' requested but no JIT kernel is registered: numba "
+            "is not available in this environment; call "
+            "repro.core.dispatch.register_jit_kernel() with a compiled "
+            "walker, or use kernel='auto'"
+        )
+    return _JIT_KERNEL
 
 
 def select_kernel(
@@ -51,22 +97,37 @@ def select_kernel(
     n_nodes: int | None = None,
     d: int | None = None,
     batch_width: int = 1,
+    prune: bool = False,
+    has_bounds: bool | None = None,
 ) -> str:
     """Pick the concrete kernel for an ``auto`` dispatch.
 
     Pass either a built ``structure`` or explicit ``n_nodes``/``d``
     (both required in that case). ``batch_width`` is the number of
     queries sharing one traversal opportunity (same effective k).
+    ``prune`` says the caller wants layer-bound skipping; pruning is a
+    property of the csr/batch kernels only, and only on structures that
+    carry a bound table, so ``prune=True`` with bounds present steers
+    the small-structure case to ``"csr"`` (the reference kernel cannot
+    prune), while ``prune=True`` without bounds changes nothing — the
+    caller must run unpruned anyway. ``has_bounds`` overrides the
+    structure's own :attr:`~repro.core.structure.LayerStructure.has_layer_bounds`
+    when dispatching from shape alone.
 
-    Returns one of ``"batch"``, ``"reference"``, ``"csr"``.
+    Returns one of ``"batch"``, ``"reference"``, ``"csr"`` — never
+    ``"auto"`` or ``"jit"``.
     """
     if structure is not None:
         n_nodes = structure.n_nodes
         d = structure.values.shape[1]
+        if has_bounds is None:
+            has_bounds = structure.has_layer_bounds
     if n_nodes is None or d is None:
         raise ValueError("select_kernel needs a structure or both n_nodes and d")
+    if has_bounds is None:
+        has_bounds = False
     if batch_width >= AUTO_BATCH_MIN_LANES:
         return "batch"
     if n_nodes <= AUTO_SMALL_STRUCTURE_NODES and d <= AUTO_SMALL_STRUCTURE_DIM:
-        return "reference"
+        return "csr" if (prune and has_bounds) else "reference"
     return "csr"

@@ -375,6 +375,9 @@ class StructureBuilder:
         )
 
         layer_bounds = compute_layer_bounds(values, coarse_levels, fine_levels)
+        sublayer_bounds = compute_sublayer_bounds(
+            values, coarse_levels, fine_levels
+        )
 
         return LayerStructure(
             values=values,
@@ -392,6 +395,7 @@ class StructureBuilder:
             num_coarse_layers=self.num_coarse_layers,
             complete=self.complete,
             layer_bounds=layer_bounds,
+            sublayer_bounds=sublayer_bounds,
         )
 
 
@@ -426,6 +430,19 @@ def compute_layer_bounds(
     trailing sentinel row of ``-inf`` so that fancy-indexing with ``-1``
     lands on a bound no finite score can beat: unplaced nodes are never
     skipped.
+
+    Within a sublayer, members are ordered by their **value sum** (total
+    across attributes) before chunking.  The bound the kernel compares is
+    ``block_mins[b] @ w`` with positive normalized weights, i.e. a
+    weighted mean of the per-attribute minima — grouping tuples whose
+    totals are close keeps every attribute's block minimum near the
+    members' actual values simultaneously, where the former lexicographic
+    order only kept the *first* attribute coherent and let the minima of
+    the remaining attributes collapse toward the sublayer floor.  Tighter
+    minima raise the bound, which is what lets pruning keep biting at
+    k=64 instead of only at k<=10.  Ties fall back to the full value
+    lexicographic order and finally the node id, so the assignment stays
+    fully deterministic.
     """
     values = np.asarray(values, dtype=np.float64)
     n = values.shape[0]
@@ -434,10 +451,10 @@ def compute_layer_bounds(
     placed = np.nonzero(coarse_levels >= 0)[0]
     if placed.shape[0] == 0:
         return block_of, np.full((1, d), -np.inf, dtype=np.float64)
-    # lexsort: last key is primary — (coarse, fine, v_0 .. v_{d-1}, id).
+    # lexsort: last key is primary — (coarse, fine, sum, v_0 .. v_{d-1}, id).
     keys = (placed,) + tuple(
         values[placed, j] for j in range(d - 1, -1, -1)
-    ) + (fine_levels[placed], coarse_levels[placed])
+    ) + (values[placed].sum(axis=1), fine_levels[placed], coarse_levels[placed])
     order = np.lexsort(keys)
     nodes = placed[order]
     cl = coarse_levels[nodes]
@@ -458,6 +475,55 @@ def compute_layer_bounds(
     mins[n_blocks] = -np.inf  # sentinel row for block_of == -1
     block_of[nodes] = block_id
     return block_of, mins
+
+
+def compute_sublayer_bounds(
+    values: np.ndarray,
+    coarse_levels: np.ndarray,
+    fine_levels: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The coarse level of the bound hierarchy: ``(sublayer_of, sublayer_mins)``.
+
+    One row of per-attribute minima per ``(coarse, fine)`` sublayer —
+    hundreds of rows where the block table has tens of thousands.  Since a
+    sublayer's minimum is <= every one of its blocks' minima, a sublayer
+    bound that already exceeds the running k-th score proves *every* block
+    inside it prunable; the pruned solo kernel caches that verdict per
+    query (the k-th floor only descends, so it can never be invalidated)
+    and skips the per-node block gather for the whole sublayer from then
+    on.  Conversely a sublayer that fails the test costs one extra small
+    gather before the exact block check — the drop *set* is always
+    identical to block-only pruning, which is what keeps the batch kernel
+    (block-only) count-compatible with the solo kernel.
+
+    ``sublayer_of`` is ``-1`` for unplaced nodes and ``sublayer_mins``
+    carries the same trailing ``-inf`` sentinel row as the block table, so
+    unplaced nodes can never be skipped.  Depends only on placements and
+    values — v1 snapshots (which persist no sublayer arrays) rebuild it
+    lazily with bounds identical to a freeze-time computation.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = values.shape[0]
+    d = values.shape[1] if values.ndim == 2 else 0
+    sublayer_of = np.full(n, -1, dtype=np.intp)
+    placed = np.nonzero(coarse_levels >= 0)[0]
+    if placed.shape[0] == 0:
+        return sublayer_of, np.full((1, d), -np.inf, dtype=np.float64)
+    order = np.lexsort((fine_levels[placed], coarse_levels[placed]))
+    nodes = placed[order]
+    cl = coarse_levels[nodes]
+    fl = fine_levels[nodes]
+    m = nodes.shape[0]
+    new_group = np.empty(m, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = (cl[1:] != cl[:-1]) | (fl[1:] != fl[:-1])
+    group_id = np.cumsum(new_group) - 1
+    n_subs = int(group_id[-1]) + 1
+    mins = np.full((n_subs + 1, d), np.inf, dtype=np.float64)
+    np.minimum.at(mins, group_id, values[nodes])
+    mins[n_subs] = -np.inf  # sentinel row for sublayer_of == -1
+    sublayer_of[nodes] = group_id
+    return sublayer_of, mins
 
 
 class LayerStructure:
@@ -499,6 +565,7 @@ class LayerStructure:
         num_coarse_layers: int,
         complete: bool,
         layer_bounds: tuple[np.ndarray, np.ndarray] | None = None,
+        sublayer_bounds: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> None:
         self.values = values
         self.n_real = n_real
@@ -518,6 +585,12 @@ class LayerStructure:
         # builds pass it eagerly; old pickles and hand-built structures fall
         # back to lazy computation in :meth:`layer_bound_table`.
         self._layer_bounds = layer_bounds
+        # Sublayer-level bound table (see :func:`compute_sublayer_bounds`);
+        # same eager-at-freeze / lazy-for-old-pickles contract.
+        self._sublayer_bounds = sublayer_bounds
+        # Lazy "no (parent, child) pair carries both edge kinds" flag (see
+        # :meth:`edges_disjoint`); benign to race on.
+        self._edges_disjoint: bool | None = None
         # Lazily extracted ``values[static_seeds]`` block shared by every
         # query (see :meth:`seed_block`); benign to race on — all writers
         # compute the identical array.
@@ -542,6 +615,8 @@ class LayerStructure:
         state.setdefault("_gate_state", None)
         # Pickles from before the layer bound table existed: recompute lazily.
         state.setdefault("_layer_bounds", None)
+        state.setdefault("_sublayer_bounds", None)
+        state.setdefault("_edges_disjoint", None)
         self.__dict__.update(state)
 
     @property
@@ -649,6 +724,66 @@ class LayerStructure:
                 self.values, self.coarse_levels, self.fine_levels
             )
             self._layer_bounds = cached
+        return cached
+
+    @property
+    def has_layer_bounds(self) -> bool:
+        """True when the bound tables were attached at freeze/open time.
+
+        Dispatch consults this before choosing a pruning-dependent plan:
+        a structure without eager bounds (an old pickle, a hand-assembled
+        graph) *could* prune via the lazy rebuild, but the O(n log n)
+        first-use cost is the opposite of what ``prune=True`` promises, so
+        ``auto`` declines instead.
+        """
+        return self._layer_bounds is not None
+
+    def sublayer_bound_table(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(sublayer_of, sublayer_mins)`` — the coarse bound level.
+
+        See :func:`compute_sublayer_bounds`.  Computed at freeze time;
+        v1 snapshots and old pickles rebuild it here on first use (the
+        table depends only on placements and values, so the lazy result is
+        identical to the freeze-time one).
+        """
+        cached = self._sublayer_bounds
+        if cached is None:
+            cached = compute_sublayer_bounds(
+                self.values, self.coarse_levels, self.fine_levels
+            )
+            self._sublayer_bounds = cached
+        return cached
+
+    def edges_disjoint(self) -> bool:
+        """True when no ``(parent, child)`` pair carries both edge kinds.
+
+        Disjoint edge sets let a kernel fuse the ∀-decrement and ∃-ungate
+        of one pop into a single gather (no node's state is written twice
+        in the round).  All four shipped algorithms produce disjoint sets;
+        the check is O(edges) and cached on the structure so both the
+        batch and solo workspaces share one verdict.
+        """
+        cached = self._edges_disjoint
+        if cached is None:
+            n = np.int64(self.n_nodes)
+            f_keys = (
+                np.repeat(
+                    np.arange(self.n_nodes, dtype=np.int64),
+                    np.diff(self.forall_indptr),
+                )
+                * n
+                + self.forall_indices
+            )
+            e_keys = (
+                np.repeat(
+                    np.arange(self.n_nodes, dtype=np.int64),
+                    np.diff(self.exists_indptr),
+                )
+                * n
+                + self.exists_indices
+            )
+            cached = bool(np.intersect1d(f_keys, e_keys).shape[0] == 0)
+            self._edges_disjoint = cached
         return cached
 
     def edge_counts(self) -> dict[str, int]:

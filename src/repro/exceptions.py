@@ -77,3 +77,13 @@ class GatewayOverloadError(ReproError):
 
 class GatewayClosedError(ReproError):
     """A request arrived at a gateway that has been shut down."""
+
+
+class KernelUnavailableError(ReproError):
+    """A requested kernel cannot run in this environment.
+
+    Raised when ``kernel="jit"`` is requested but no JIT-compiled kernel
+    has been registered (numba is absent from the environment, or the
+    optional registration hook was never called).  ``kernel="auto"``
+    never selects unavailable kernels, so only explicit requests see it.
+    """

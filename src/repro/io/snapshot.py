@@ -57,7 +57,15 @@ from repro.relation import Relation, Schema
 #: Format marker stored in every snapshot manifest.
 SNAPSHOT_MAGIC = "repro-snapshot"
 #: Bumped on any layout change; readers reject newer majors.
-SNAPSHOT_VERSION = 1
+#: v1: structure arrays + block bound table.
+#: v2: adds the sublayer bound table (coarse level of the hierarchical
+#: two-level pruning check) — v1 snapshots still open; the sublayer
+#: table is recomputed lazily from the mapped arrays on first pruned
+#: query.
+SNAPSHOT_VERSION = 2
+#: Format versions this reader opens (older versions open with lazy
+#: fallbacks for the arrays they lack; newer versions are rejected).
+SNAPSHOT_COMPAT_VERSIONS = (1, 2)
 #: Manifest filename inside the snapshot directory.
 MANIFEST_NAME = "MANIFEST.json"
 #: Data filename inside the snapshot directory (all arrays, one file).
@@ -81,6 +89,10 @@ _STRUCTURE_BLOBS = (
 #: Blobs holding the freeze-time layer bound table (block id per node,
 #: per-block per-attribute minima with the trailing -inf sentinel row).
 _BOUND_BLOBS = ("bound_block_of", "bound_block_mins")
+#: v2-only blobs holding the sublayer bound table (sublayer id per node,
+#: per-sublayer per-attribute minima with the trailing -inf sentinel
+#: row) — the coarse level of the hierarchical pruning check.
+_SUBLAYER_BLOBS = ("bound_sublayer_of", "bound_sublayer_mins")
 
 
 class SnapshotIndex(TopKIndex):
@@ -181,11 +193,14 @@ def save_snapshot(index: TopKIndex, path: str | Path) -> Path:
         stale.unlink()  # invalidate any previous snapshot before rewriting
 
     block_of, block_mins = structure.layer_bound_table()
+    sublayer_of, sublayer_mins = structure.sublayer_bound_table()
     blobs: dict[str, np.ndarray] = {
         name: np.asarray(getattr(structure, name)) for name in _STRUCTURE_BLOBS
     }
     blobs["bound_block_of"] = np.asarray(block_of)
     blobs["bound_block_mins"] = np.asarray(block_mins)
+    blobs["bound_sublayer_of"] = np.asarray(sublayer_of)
+    blobs["bound_sublayer_mins"] = np.asarray(sublayer_mins)
     blobs.update(selector_blobs)
 
     arrays = {}
@@ -238,10 +253,10 @@ def read_manifest(path: str | Path) -> dict:
         ) from exc
     if not isinstance(manifest, dict) or manifest.get("magic") != SNAPSHOT_MAGIC:
         raise SerializationError(f"{root} is not a repro snapshot")
-    if manifest.get("version") != SNAPSHOT_VERSION:
+    if manifest.get("version") not in SNAPSHOT_COMPAT_VERSIONS:
         raise SerializationError(
             f"snapshot {root} has format version {manifest.get('version')!r}; "
-            f"this reader supports version {SNAPSHOT_VERSION}"
+            f"this reader supports versions {SNAPSHOT_COMPAT_VERSIONS}"
         )
     if not isinstance(manifest.get("arrays"), dict):
         raise SerializationError(f"snapshot {root} manifest lacks an array table")
@@ -341,6 +356,18 @@ def open_snapshot(path: str | Path, *, mmap: bool = True) -> SnapshotIndex:
             f"snapshot {root} names unknown seed selector {selector_type!r}"
         )
 
+    # v1 snapshots predate the sublayer table: open them with the blob
+    # absent and let the structure recompute it lazily (the table depends
+    # only on placements/values, so the lazy result is identical to a
+    # freeze-time one — v1 answers stay bitwise-identical).
+    if all(name in manifest["arrays"] for name in _SUBLAYER_BLOBS):
+        sublayer_bounds = (
+            _as_index_dtype(blob("bound_sublayer_of")),
+            blob("bound_sublayer_mins"),
+        )
+    else:
+        sublayer_bounds = None
+
     structure = LayerStructure(
         values=values,
         n_real=int(manifest["n_real"]),
@@ -360,6 +387,7 @@ def open_snapshot(path: str | Path, *, mmap: bool = True) -> SnapshotIndex:
             _as_index_dtype(blob("bound_block_of")),
             blob("bound_block_mins"),
         ),
+        sublayer_bounds=sublayer_bounds,
     )
     if structure.n_nodes != int(manifest["n_nodes"]):
         raise SerializationError(
@@ -396,6 +424,7 @@ __all__ = [
     "DATA_NAME",
     "MANIFEST_NAME",
     "SNAPSHOT_MAGIC",
+    "SNAPSHOT_COMPAT_VERSIONS",
     "SNAPSHOT_VERSION",
     "SnapshotIndex",
     "open_snapshot",

@@ -38,9 +38,10 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.core.base import TopKIndex, TopKResult
-from repro.core.dispatch import VALID_KERNELS, select_kernel
+from repro.core.dispatch import VALID_KERNELS, get_jit_kernel, select_kernel
 from repro.core.query import (
     BatchWorkspace,
+    QueryWorkspace,
     process_top_k,
     process_top_k_batch,
     process_top_k_reference,
@@ -115,7 +116,11 @@ class QueryEngine:
         Every kernel returns bitwise-identical answers, so this switch only
         changes wall-clock behaviour — it exists for A/B latency
         measurements (``repro-topk perf-bench``) and for ruling individual
-        kernels in or out when debugging.
+        kernels in or out when debugging.  ``"jit"`` dispatches to a
+        registered compiled walker (see
+        :func:`~repro.core.dispatch.register_jit_kernel`) and raises
+        :class:`~repro.exceptions.KernelUnavailableError` when none is
+        registered; ``auto`` never selects it.
     build_parallel:
         Worker count for (re)builds the engine triggers: applied to the
         fronted index's ``parallel`` knob before the initial build and for
@@ -158,6 +163,11 @@ class QueryEngine:
         # owned by the engine because the frozen structure is immutable by
         # contract and cannot cache mutable state.
         self._workspace = BatchWorkspace()
+        # Reusable solo gate-state scratch for the CSR kernel (undo-log
+        # checkout/reset; concurrent query_many threads that lose the
+        # non-blocking checkout fall back to a fresh allocation and are
+        # counted — see stats()["workspace_fallbacks"]).
+        self._solo_workspace = QueryWorkspace()
         self.cache = ResultCache(cache_size, decimals=quantize_decimals)
         self.metrics = MetricsRegistry(latency_window=latency_window)
         self._seen_version = self.version
@@ -189,6 +199,8 @@ class QueryEngine:
         for key, value in self.cache.stats().items():
             snapshot[f"cache_{key}"] = float(value)
         snapshot["throughput_qps"] = self.metrics.throughput()
+        snapshot["workspace_checkouts"] = float(self._solo_workspace.checkouts)
+        snapshot["workspace_fallbacks"] = float(self._solo_workspace.fallbacks)
         return snapshot
 
     # ------------------------------------------------------------------ #
@@ -290,7 +302,7 @@ class QueryEngine:
             kernel = self.kernel
             if kernel == "auto":
                 kernel = (
-                    select_kernel(structure, batch_width=width)
+                    select_kernel(structure, batch_width=width, prune=self.prune)
                     if batchable
                     else "csr"
                 )
@@ -422,12 +434,18 @@ class QueryEngine:
                 # the same answers whichever kernel runs).
                 kernel = self.kernel
                 if kernel == "auto":
-                    kernel = select_kernel(structure)
+                    kernel = select_kernel(structure, prune=self.prune)
+                if kernel == "jit":
+                    # Registered compiled walker (raises a clear
+                    # KernelUnavailableError when nothing is registered —
+                    # numba is an optional, absent dependency here).
+                    return get_jit_kernel()(structure, w, k, counter)
                 if kernel == "reference":
-                    if not self.prune:
+                    if not (self.prune and structure.has_layer_bounds):
                         return process_top_k_reference(structure, w, k, counter)
                     # The reference kernel has no pruning path; the CSR
-                    # kernel is bitwise identical, so promote.
+                    # kernel is bitwise identical, so promote when the
+                    # frozen bound table makes pruning worthwhile.
                     kernel = "csr"
                 if kernel == "batch":
                     # Forced batch kernel on a single query: one lane.
@@ -440,7 +458,14 @@ class QueryEngine:
                         prune=self.prune,
                     )
                     return outputs[0]
-                return process_top_k(structure, w, k, counter, prune=self.prune)
+                return process_top_k(
+                    structure,
+                    w,
+                    k,
+                    counter,
+                    prune=self.prune,
+                    workspace=self._solo_workspace,
+                )
             result = self.index.query(w, k, counter=counter)
             return result.ids, result.scores
         # Duck-typed mutable index (DynamicDualLayerIndex): returns ids

@@ -62,9 +62,63 @@ def test_missing_shape_rejected():
 
 
 def test_valid_kernels_registry():
-    assert set(VALID_KERNELS) == {"auto", "reference", "csr", "batch"}
-    # select_kernel only ever returns concrete (non-auto) kernels.
+    assert set(VALID_KERNELS) == {"auto", "reference", "csr", "batch", "jit"}
+    # select_kernel only ever returns concrete runnable kernels — never
+    # "auto", and never "jit" (registration-only; may be unavailable).
     for n in (100, AUTO_SMALL_STRUCTURE_NODES + 1):
         for d in (2, 4):
             for width in (1, AUTO_BATCH_MIN_LANES):
-                assert select_kernel(n_nodes=n, d=d, batch_width=width) in VALID_KERNELS[1:]
+                for prune in (False, True):
+                    for has_bounds in (False, True):
+                        picked = select_kernel(
+                            n_nodes=n,
+                            d=d,
+                            batch_width=width,
+                            prune=prune,
+                            has_bounds=has_bounds,
+                        )
+                        assert picked in {"reference", "csr", "batch"}
+
+
+def test_prune_steers_small_structures_to_csr_only_with_bounds():
+    """prune=True flips the small/low-d cell to csr — but only when the
+    structure actually carries a bound table; without bounds the caller
+    runs unpruned and the reference kernel keeps its win."""
+    kw = dict(n_nodes=AUTO_SMALL_STRUCTURE_NODES, d=2)
+    assert select_kernel(**kw) == "reference"
+    assert select_kernel(prune=True, has_bounds=True, **kw) == "csr"
+    assert select_kernel(prune=True, has_bounds=False, **kw) == "reference"
+    assert select_kernel(prune=False, has_bounds=True, **kw) == "reference"
+
+
+def test_structure_supplies_has_bounds():
+    """A built structure's own has_layer_bounds feeds the prune decision;
+    an explicit has_bounds= overrides it."""
+    relation = generate("IND", 200, 2, seed=4)
+    structure = DLIndex(relation).build().structure
+    assert structure.has_layer_bounds
+    assert select_kernel(structure) == "reference"
+    assert select_kernel(structure, prune=True) == "csr"
+    assert select_kernel(structure, prune=True, has_bounds=False) == "reference"
+
+
+def test_jit_slot_guarded():
+    """kernel='jit' is scaffolding: unavailable by default with a clear
+    error, usable once something registers, and never auto-selected."""
+    from repro.core.dispatch import get_jit_kernel, register_jit_kernel
+    from repro.exceptions import KernelUnavailableError
+
+    with pytest.raises(KernelUnavailableError, match="jit"):
+        get_jit_kernel()
+    sentinel = object()
+    fake = lambda *a, **kw: sentinel  # noqa: E731
+    register_jit_kernel(fake)
+    try:
+        assert get_jit_kernel() is fake
+        # auto still never picks jit even while one is registered
+        for width in (1, AUTO_BATCH_MIN_LANES):
+            assert select_kernel(n_nodes=10**6, d=4, batch_width=width) != "jit"
+    finally:
+        register_jit_kernel(None)
+    with pytest.raises(KernelUnavailableError):
+        get_jit_kernel()

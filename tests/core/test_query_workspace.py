@@ -1,0 +1,165 @@
+"""QueryWorkspace: reuse, steady-state allocation, contention, invalidation.
+
+The solo CSR kernel checks its fused gate-state vector out of a
+per-structure :class:`~repro.core.query.QueryWorkspace` and restores it
+through an undo log instead of copying the O(n_nodes) template per query.
+These tests pin the contract: warm-workspace answers are bitwise the
+fresh-allocation answers, the second query on a warm workspace allocates
+no O(n) scratch, contended checkouts fall back to fresh allocation (and
+are counted), and a kernel that dies mid-walk poisons the cached state
+rather than corrupting the next query.
+"""
+
+import threading
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core import DLPlusIndex
+from repro.core.query import (
+    QueryWorkspace,
+    process_top_k,
+    process_top_k_reference,
+)
+from repro.data import generate
+from repro.stats import AccessCounter
+
+
+@pytest.fixture(scope="module")
+def structure():
+    relation = generate("IND", 20_000, 4, seed=81)
+    return DLPlusIndex(relation).build().structure
+
+
+def _weights(d, count, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.dirichlet(np.ones(d)) for _ in range(count)]
+
+
+def test_warm_workspace_bitwise_and_counted(structure):
+    """Repeated queries through one workspace match the reference oracle
+    bitwise (ids, score bytes, Definition 9 counts) and count checkouts."""
+    workspace = QueryWorkspace()
+    for i, w in enumerate(_weights(4, 8, 5)):
+        k = 5 + i
+        c_ref, c_ws = AccessCounter(), AccessCounter()
+        ids_ref, scores_ref = process_top_k_reference(structure, w, k, c_ref)
+        ids_ws, scores_ws = process_top_k(
+            structure, w, k, c_ws, workspace=workspace
+        )
+        assert np.array_equal(ids_ref, ids_ws)
+        assert scores_ref.tobytes() == scores_ws.tobytes()
+        assert (c_ref.real, c_ref.pseudo) == (c_ws.real, c_ws.pseudo)
+    assert workspace.checkouts == 8
+    assert workspace.fallbacks == 0
+
+
+def test_steady_state_allocates_no_on_scratch(structure):
+    """The second query on a warm workspace must not allocate O(n_nodes)
+    scratch: no template copy, no fresh visited masks.  A cold run copies
+    the 8-byte-per-node gate-state template, so its traced peak is an
+    O(n) floor the warm run must sit far below."""
+    w = np.array([0.3, 0.3, 0.2, 0.2])
+    n_bytes = structure.n_nodes * 8
+
+    tracemalloc.start()
+    process_top_k(structure, w, 10, AccessCounter())  # fresh alloc per query
+    cold_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+
+    workspace = QueryWorkspace()
+    process_top_k(structure, w, 10, AccessCounter(), workspace=workspace)
+    tracemalloc.start()
+    process_top_k(structure, w, 10, AccessCounter(), workspace=workspace)
+    warm_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+
+    # Steady state allocates only per-round scratch (heap entries, opened
+    # slices, undo-log ids) — far below one O(n) template copy.  The cold
+    # path pays that copy every query; the warm path must undercut it.
+    assert warm_peak < n_bytes / 4
+    assert warm_peak < cold_peak
+
+
+def test_contended_checkout_falls_back_and_counts(structure):
+    """A held workspace lock must not block or corrupt a query: the loser
+    falls back to fresh allocation, the answer stays bitwise, and the
+    fallback is counted."""
+    workspace = QueryWorkspace()
+    w = np.array([0.4, 0.1, 0.25, 0.25])
+    ids_ref, scores_ref = process_top_k_reference(
+        structure, w, 7, AccessCounter()
+    )
+    assert workspace._lock.acquire(blocking=False)
+    try:
+        ids, scores = process_top_k(
+            structure, w, 7, AccessCounter(), workspace=workspace
+        )
+    finally:
+        workspace._lock.release()
+    assert np.array_equal(ids_ref, ids)
+    assert scores_ref.tobytes() == scores.tobytes()
+    assert workspace.fallbacks == 1
+    assert workspace.checkouts == 0
+
+
+def test_concurrent_queries_on_shared_workspace_bitwise(structure):
+    """Threads hammering one workspace (winners reuse, losers fall back)
+    produce exactly the sequential answers."""
+    weights = _weights(4, 16, 11)
+    expected = [
+        process_top_k_reference(structure, w, 9, AccessCounter())
+        for w in weights
+    ]
+    workspace = QueryWorkspace()
+    results = [None] * len(weights)
+    barrier = threading.Barrier(4)
+
+    def worker(lane):
+        barrier.wait()
+        for i in range(lane, len(weights), 4):
+            results[i] = process_top_k(
+                structure, weights[i], 9, AccessCounter(), workspace=workspace
+            )
+
+    threads = [threading.Thread(target=worker, args=(lane,)) for lane in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for (ids_ref, scores_ref), (ids, scores) in zip(expected, results):
+        assert np.array_equal(ids_ref, ids)
+        assert scores_ref.tobytes() == scores.tobytes()
+    assert workspace.checkouts + workspace.fallbacks == len(weights)
+
+
+def test_failed_query_invalidates_workspace(structure):
+    """A query that raises mid-walk must not leave a half-mutated state
+    for the next checkout: the workspace re-copies the template and later
+    queries stay bitwise-correct."""
+    class BoomCounter(AccessCounter):
+        """Per-tuple trace hook that dies after a few accesses — the hook
+        runs mid-walk (classic path), so the checked-out state is already
+        half-mutated when the exception escapes."""
+
+        calls = 0
+
+        def count_real_tuple(self, node):
+            self.calls += 1
+            if self.calls > 3:
+                raise RuntimeError("boom")
+
+    workspace = QueryWorkspace()
+    w = np.array([0.25, 0.25, 0.25, 0.25])
+    process_top_k(structure, w, 5, AccessCounter(), workspace=workspace)
+    with pytest.raises(RuntimeError, match="boom"):
+        process_top_k(
+            structure, w, 20, BoomCounter(), workspace=workspace
+        )
+    c_ref, c_ws = AccessCounter(), AccessCounter()
+    ids_ref, scores_ref = process_top_k_reference(structure, w, 6, c_ref)
+    ids, scores = process_top_k(structure, w, 6, c_ws, workspace=workspace)
+    assert np.array_equal(ids_ref, ids)
+    assert scores_ref.tobytes() == scores.tobytes()
+    assert (c_ref.real, c_ref.pseudo) == (c_ws.real, c_ws.pseudo)

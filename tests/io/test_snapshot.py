@@ -306,3 +306,70 @@ def test_second_process_answers_bitwise(tmp_path):
         assert cell["score_hex"] == scores.tobytes().hex()
         assert cell["ids_dtype"] == np.dtype(np.intp).str
         assert cell["scores_dtype"] == np.dtype(np.float64).str
+
+
+def test_manifest_carries_v2_and_sublayer_blobs(snapshot_dir):
+    """Fresh snapshots are format v2: versioned manifest plus the
+    hierarchical sublayer bound blobs next to the block bound blobs."""
+    from repro.io.snapshot import SNAPSHOT_VERSION
+
+    manifest = read_manifest(snapshot_dir)
+    assert manifest["version"] == SNAPSHOT_VERSION == 2
+    for name in (
+        "bound_block_of",
+        "bound_block_mins",
+        "bound_sublayer_of",
+        "bound_sublayer_mins",
+    ):
+        assert name in manifest["arrays"], name
+
+
+def test_v2_snapshot_sublayer_table_is_mapped_not_recomputed(snapshot_dir):
+    """Opening a v2 snapshot hydrates the sublayer table from the mapped
+    blobs — identical to a freeze-time computation on the same arrays."""
+    from repro.core.structure import compute_sublayer_bounds
+
+    snap = open_snapshot(snapshot_dir)
+    structure = snap.structure
+    assert structure._sublayer_bounds is not None
+    sub_of, sub_mins = structure.sublayer_bound_table()
+    expect_of, expect_mins = compute_sublayer_bounds(
+        np.asarray(structure.values),
+        np.asarray(structure.coarse_levels),
+        np.asarray(structure.fine_levels),
+    )
+    np.testing.assert_array_equal(np.asarray(sub_of), expect_of)
+    assert np.asarray(sub_mins).tobytes() == expect_mins.tobytes()
+
+
+def test_v1_snapshot_opens_bitwise_identically(snapshot_dir, tmp_path):
+    """A v1-era snapshot (no sublayer blobs, version 1 manifest) still
+    opens cleanly; answers — pruned and unpruned — stay bitwise identical
+    to a v2 open of the same index, with the sublayer table recomputed
+    lazily from the mapped arrays."""
+    v1_root = _copy(snapshot_dir, tmp_path, "v1")
+
+    def downgrade(manifest):
+        manifest["version"] = 1
+        for name in ("bound_sublayer_of", "bound_sublayer_mins"):
+            del manifest["arrays"][name]
+
+    _edit_manifest(v1_root, downgrade)
+    v1 = open_snapshot(v1_root)
+    v2 = open_snapshot(snapshot_dir)
+    assert v1.structure._sublayer_bounds is None  # lazy for v1
+    rng = np.random.default_rng(77)
+    for _ in range(10):
+        w = rng.dirichlet(np.ones(3))
+        k = int(rng.integers(1, 64))
+        for prune in (False, True):
+            c1, c2 = AccessCounter(), AccessCounter()
+            ids_1, scores_1 = process_top_k(
+                v1.structure, w, k, c1, prune=prune
+            )
+            ids_2, scores_2 = process_top_k(
+                v2.structure, w, k, c2, prune=prune
+            )
+            assert np.array_equal(ids_1, ids_2)
+            assert scores_1.tobytes() == scores_2.tobytes()
+            assert (c1.real, c1.pseudo) == (c2.real, c2.pseudo)

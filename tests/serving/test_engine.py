@@ -391,3 +391,77 @@ def test_prune_promotes_reference_kernel_to_csr():
     np.testing.assert_array_equal(a.ids, b.ids)
     assert a.scores.tobytes() == b.scores.tobytes()
     assert b.cost <= a.cost
+
+
+def test_query_many_concurrent_bitwise_and_workspace_counted():
+    """Concurrent query_many threads hammering one engine (and its shared
+    QueryWorkspace) return exactly the sequential answers; every uncached
+    solo query either checked the workspace out or was counted as a
+    contention fallback."""
+    relation = generate("IND", 600, 4, seed=29)
+    index = DLPlusIndex(relation).build()
+    sequential = QueryEngine(index, cache_size=0)
+    concurrent = QueryEngine(index, cache_size=0)
+    rng = np.random.default_rng(30)
+    queries = [(rng.dirichlet(np.ones(4)), int(rng.integers(1, 21))) for _ in range(24)]
+    expected = [sequential.query(w, k) for w, k in queries]
+    results = concurrent.query_many(queries, max_workers=6)
+    for a, b in zip(expected, results):
+        np.testing.assert_array_equal(a.ids, b.ids)
+        assert a.scores.tobytes() == b.scores.tobytes()
+        assert a.cost == b.cost
+    stats = concurrent.stats()
+    assert stats["workspace_checkouts"] + stats["workspace_fallbacks"] == len(queries)
+
+
+def test_workspace_contention_fallback_counted_in_stats():
+    """A query arriving while the solo workspace is held falls back to a
+    fresh allocation — same bits, and the fallback shows in stats()."""
+    relation = generate("ANT", 400, 3, seed=31)
+    index = DLPlusIndex(relation).build()
+    engine = QueryEngine(index, cache_size=0)
+    w = np.array([0.3, 0.4, 0.3])
+    baseline = engine.query(w, 7)
+    assert engine.stats()["workspace_fallbacks"] == 0.0
+    assert engine._solo_workspace._lock.acquire(blocking=False)
+    try:
+        contended = engine.query(w, 7)
+    finally:
+        engine._solo_workspace._lock.release()
+    np.testing.assert_array_equal(baseline.ids, contended.ids)
+    assert baseline.scores.tobytes() == contended.scores.tobytes()
+    assert engine.stats()["workspace_fallbacks"] == 1.0
+
+
+def test_jit_kernel_guarded_in_engine():
+    """kernel="jit" is accepted at construction but raises a clear
+    KernelUnavailableError at query time while nothing is registered;
+    once a walker is registered the engine dispatches to it."""
+    from repro.core.dispatch import register_jit_kernel
+    from repro.exceptions import KernelUnavailableError
+
+    relation = generate("IND", 300, 3, seed=33)
+    index = DLPlusIndex(relation).build()
+    engine = QueryEngine(index, cache_size=0, kernel="jit")
+    w = np.array([0.2, 0.5, 0.3])
+    with pytest.raises(KernelUnavailableError, match="numba"):
+        engine.query(w, 5)
+
+    def fake_jit(structure, weights, k, counter):
+        # Delegate to the real kernel: registration is a promise of
+        # bitwise identity, which delegation trivially keeps.
+        return process_top_k(structure, weights, k, counter)
+
+    register_jit_kernel(fake_jit)
+    try:
+        result = engine.query(w, 5)
+    finally:
+        register_jit_kernel(None)
+    counter = AccessCounter()
+    ids, scores = process_top_k(
+        index.structure, normalize_weights(w, 3), 5, counter
+    )
+    np.testing.assert_array_equal(result.ids, ids)
+    assert result.scores.tobytes() == scores.tobytes()
+    with pytest.raises(KernelUnavailableError):
+        engine.query(np.array([0.1, 0.6, 0.3]), 5)
