@@ -1,0 +1,52 @@
+"""Dual-direction analytics: reverse top-k, why-not, and what-if.
+
+The serving stack answers "given weights, which tuples?"; this package
+answers the reverse directions over the same frozen
+:class:`~repro.core.structure.LayerStructure` — "given a tuple, which
+weights?" (:func:`monochromatic_region_2d` / :func:`certified_region`),
+"which of these workload vectors pick it?" (bichromatic), "why not mine,
+and what's the minimal fix?" (:mod:`~repro.analytics.whynot`), and "what
+changes if I edit a tuple or my weights?"
+(:mod:`~repro.analytics.whatif`).  :class:`AnalyticsEngine` is the
+facade; :mod:`~repro.analytics.oracle` is the brute-force ground truth
+every exact path is cross-checked against bitwise.
+"""
+
+from repro.analytics.engine import AnalyticsEngine
+from repro.analytics.oracle import (
+    oracle_beats,
+    oracle_membership,
+    oracle_rank,
+    oracle_top_k,
+)
+from repro.analytics.reverse import (
+    BichromaticResult,
+    BichromaticScreen,
+    CertifiedRegion,
+    MonochromaticRegion,
+    certified_region,
+    monochromatic_region_2d,
+    split_competitors,
+)
+from repro.analytics.whatif import TupleEdit, WhatIfReport, merge_edit
+from repro.analytics.whynot import WhyNotReport, minimal_promotion
+
+__all__ = [
+    "AnalyticsEngine",
+    "BichromaticResult",
+    "BichromaticScreen",
+    "CertifiedRegion",
+    "MonochromaticRegion",
+    "TupleEdit",
+    "WhatIfReport",
+    "WhyNotReport",
+    "certified_region",
+    "merge_edit",
+    "minimal_promotion",
+    "monochromatic_region_2d",
+    "oracle_beats",
+    "oracle_membership",
+    "oracle_rank",
+    "oracle_top_k",
+    "split_competitors",
+]

@@ -1,0 +1,103 @@
+"""Brute-force oracle for the dual-direction analytics queries.
+
+Every exact analytics path (reverse top-k membership, why-not ranks,
+what-if re-ranking) is cross-checked against this module: a full scan over
+the relation matrix using the **same** ``einsum`` contraction as the query
+kernels (:func:`repro.core.query.score_rows`), so oracle scores are
+bitwise identical to kernel scores and a comparison between them is a real
+equality, not a tolerance check.
+
+The ordering contract is Definition 1 throughout: tuples rank ascending by
+``(score, id)`` — a tuple ``s`` *beats* ``t`` exactly when
+``(F(s), id_s) < (F(t), id_t)`` lexicographically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.query import score_rows
+
+__all__ = [
+    "oracle_beats",
+    "oracle_membership",
+    "oracle_rank",
+    "oracle_top_k",
+]
+
+
+def _scores(matrix: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """All-row scores via the kernels' batch-size-invariant contraction."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return score_rows(matrix, np.arange(matrix.shape[0], dtype=np.intp), weights)
+
+
+def oracle_top_k(
+    matrix: np.ndarray, weights: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(ids, scores)`` of the top-k rows, ascending by ``(score, id)``.
+
+    Full-scan reference with kernel-identical score bits; returns fewer
+    than ``k`` entries when the matrix has fewer rows.
+    """
+    scores = _scores(matrix, weights)
+    n = scores.shape[0]
+    k = min(int(k), n)
+    order = np.lexsort((np.arange(n, dtype=np.intp), scores))[:k]
+    return order.astype(np.intp), scores[order]
+
+
+def oracle_beats(
+    matrix: np.ndarray,
+    weights: np.ndarray,
+    target_score: float,
+    target_id: int,
+) -> int:
+    """How many rows beat a target ``(score, id)`` under Definition 1.
+
+    The target itself (the row at ``target_id``, if it exists) is never
+    counted: a tuple does not beat itself, and a row with the target's
+    exact score at the target's id compares equal, not less.
+    """
+    scores = _scores(matrix, weights)
+    strictly = scores < target_score
+    tie_wins = (scores == target_score) & (
+        np.arange(scores.shape[0]) < target_id
+    )
+    return int(np.count_nonzero(strictly | tie_wins))
+
+
+def oracle_rank(matrix: np.ndarray, weights: np.ndarray, tuple_id: int) -> int:
+    """1-based global rank of an existing row under ``weights``."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    target_score = float(
+        score_rows(matrix, np.asarray([tuple_id], dtype=np.intp), weights)[0]
+    )
+    return oracle_beats(matrix, weights, target_score, tuple_id) + 1
+
+
+def oracle_membership(
+    matrix: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    tuple_id: int,
+    values: np.ndarray | None = None,
+) -> bool:
+    """Is the target in the top-k under ``weights``?
+
+    With ``values`` given, the target is a *hypothetical* tuple (not a
+    matrix row) competing with id ``tuple_id`` — the bichromatic
+    "candidate product" setting; otherwise the target is row ``tuple_id``.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if values is None:
+        target_score = float(
+            score_rows(matrix, np.asarray([tuple_id], dtype=np.intp), weights)[0]
+        )
+    else:
+        row = np.asarray(values, dtype=np.float64)[None, :]
+        target_score = float(
+            score_rows(row, np.asarray([0], dtype=np.intp), weights)[0]
+        )
+    beaters = oracle_beats(matrix, weights, target_score, tuple_id)
+    return beaters < min(int(k), matrix.shape[0] + (values is not None))

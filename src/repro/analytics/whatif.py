@@ -1,0 +1,153 @@
+"""What-if: re-rank under a hypothetical change without touching the index.
+
+Two change kinds:
+
+* **weight change** — "what would my top-k be under w' instead of w?":
+  two engine queries (cache/workspace reuse for free) and a diff.
+* **tuple edit** — update / delete / insert one tuple: the frozen index
+  answers top-(k+1) under the *current* data, and the hypothetical answer
+  is assembled by a merge: after removing one tuple (or changing it, which
+  removes its old incarnation), every surviving tuple's rank moves by at
+  most one, so the post-edit top-k is contained in the pre-edit top-(k+1)
+  minus the edited tuple, plus the edited tuple's new incarnation.  The
+  new score uses the kernels' einsum contraction, so merged answers carry
+  the exact bits a rebuilt index would produce.
+
+The walk runs through the serving engine, so it reuses the engine's
+:class:`~repro.core.query.QueryWorkspace` scratch; nothing here mutates
+the index or its structure.  When the frozen structure cannot answer
+``k+1`` (a bounded ``max_layers`` build at capacity), the merge falls back
+to the brute-force oracle — exact, just not walk-accelerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.oracle import oracle_top_k
+from repro.core.query import score_rows
+from repro.exceptions import IndexCapacityError, InvalidQueryError
+
+__all__ = ["TupleEdit", "WhatIfReport", "merge_edit"]
+
+_EDIT_KINDS = ("update", "delete", "insert")
+
+
+@dataclass(frozen=True)
+class TupleEdit:
+    """One hypothetical tuple change.
+
+    ``update`` re-values an existing tuple (``tuple_id`` + ``values``),
+    ``delete`` removes one (``tuple_id``), ``insert`` adds a new tuple
+    (``values``; it competes with id ``n``, i.e. loses all score ties —
+    Definition 1's id tie-break for the newest tuple).
+    """
+
+    kind: str
+    tuple_id: int | None = None
+    values: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _EDIT_KINDS:
+            raise InvalidQueryError(
+                f"edit kind must be one of {_EDIT_KINDS}, got {self.kind!r}"
+            )
+        if self.kind in ("update", "delete") and self.tuple_id is None:
+            raise InvalidQueryError(f"{self.kind} edit needs a tuple_id")
+        if self.kind in ("update", "insert") and self.values is None:
+            raise InvalidQueryError(f"{self.kind} edit needs values")
+
+
+@dataclass
+class WhatIfReport:
+    """Before/after answer of one hypothetical change."""
+
+    k: int
+    change: str  #: "weights" | "update" | "delete" | "insert"
+    before_ids: np.ndarray
+    before_scores: np.ndarray
+    after_ids: np.ndarray
+    after_scores: np.ndarray
+
+    @property
+    def entered(self) -> np.ndarray:
+        """Ids in the hypothetical top-k but not the current one."""
+        return np.setdiff1d(self.after_ids, self.before_ids)
+
+    @property
+    def exited(self) -> np.ndarray:
+        """Ids in the current top-k but not the hypothetical one."""
+        return np.setdiff1d(self.before_ids, self.after_ids)
+
+    def describe(self) -> str:
+        moved_in = ", ".join(str(int(i)) for i in self.entered) or "-"
+        moved_out = ", ".join(str(int(i)) for i in self.exited) or "-"
+        return (
+            f"what-if [{self.change}] top-{self.k}: "
+            f"enters {{{moved_in}}}, exits {{{moved_out}}}"
+        )
+
+
+def _edited_score(values: np.ndarray, weights: np.ndarray) -> float:
+    """Kernel-bitwise score of the edited tuple's new values."""
+    row = np.asarray(values, dtype=np.float64).reshape(1, -1)
+    return float(score_rows(row, np.asarray([0], dtype=np.intp), weights)[0])
+
+
+def merge_edit(
+    extended_ids: np.ndarray,
+    extended_scores: np.ndarray,
+    edit: TupleEdit,
+    weights: np.ndarray,
+    k: int,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Post-edit ``(ids, scores)`` from a pre-edit top-(k+1) answer.
+
+    ``extended_ids``/``extended_scores`` are the current top-(k+1) (or as
+    many rows as exist); the edited tuple's old incarnation is dropped,
+    its new incarnation inserted at its einsum score, and the best ``k``
+    by ``(score, id)`` returned.  ``n`` is the current tuple count (the
+    id an inserted tuple competes with).
+    """
+    entries = [
+        (float(score), int(tid))
+        for tid, score in zip(extended_ids, extended_scores)
+        if edit.kind == "insert" or int(tid) != edit.tuple_id
+    ]
+    if edit.kind == "update":
+        entries.append((_edited_score(edit.values, weights), int(edit.tuple_id)))
+    elif edit.kind == "insert":
+        entries.append((_edited_score(edit.values, weights), int(n)))
+    entries.sort()
+    top = entries[:k]
+    ids = np.asarray([tid for _, tid in top], dtype=np.intp)
+    scores = np.asarray([score for score, _ in top], dtype=np.float64)
+    return ids, scores
+
+
+def what_if_edit(
+    engine,
+    matrix: np.ndarray,
+    raw_weights: np.ndarray,
+    norm_weights: np.ndarray,
+    k: int,
+    edit: TupleEdit,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``(before_ids, before_scores, after_ids, after_scores)`` for an edit.
+
+    One engine query at ``k+1`` feeds both sides; a bounded index at
+    capacity falls back to the full-scan oracle (same bits, no walk).
+    """
+    try:
+        extended = engine.query(raw_weights, k + 1)
+        ext_ids, ext_scores = extended.ids, extended.scores
+    except IndexCapacityError:
+        ext_ids, ext_scores = oracle_top_k(matrix, norm_weights, k + 1)
+    before_ids, before_scores = ext_ids[:k], ext_scores[:k]
+    after_ids, after_scores = merge_edit(
+        ext_ids, ext_scores, edit, norm_weights, k, matrix.shape[0]
+    )
+    return before_ids, before_scores, after_ids, after_scores

@@ -1,0 +1,260 @@
+"""Why-not: explain a missing tuple and compute the weight fix.
+
+For a query ``(w, k)`` and a target tuple ``t`` absent from the answer,
+the report gives (1) ``t``'s actual rank under ``w`` (kernel-bitwise
+beater count + 1), (2) the gap to the k-th score, and (3) the minimal
+weight perturbation ``Δ`` — in L1 or L∞ — such that ``t`` enters the
+top-k under ``w + Δ``, solved with the same HiGHS LP backend the EDS
+construction uses (:mod:`repro.core.eds`).
+
+The perturbation model (the "why-not weighting" formulation): pick a
+*support* of at most ``k-1`` candidates allowed to keep beating ``t`` —
+its always-beaters (dominators and earlier duplicates, which beat it
+under every weight vector) count against the budget unconditionally —
+and require ``t`` to weakly beat everyone else:
+
+    minimize ‖Δ‖   s.t.   (w + Δ) · (s - t) ≥ margin   for s ∉ support,
+                          Σ Δ = 0,   w + Δ ≥ ε.
+
+Choosing the support is the combinatorial part (which ``k - 1 - always``
+competitors may stay ahead?).  Picking the currently-best beaters looks
+natural but fails on thin regions — the set of tuples ``t`` can beat
+*simultaneously* need not include the weights' current order.  We solve
+it with a two-phase LP instead:
+
+* **Phase A (elastic)** minimizes the total slack needed for ``t`` to
+  weakly beat *every* variable competitor.  The rows that keep positive
+  slack at the optimum are precisely the ones some beater-budget must
+  absorb; they become the support (L1 slack concentrates violations on
+  few rows, the LP analogue of minimizing their count).
+* **Phase B (strict)** minimizes ``‖Δ‖`` subject to beating everyone
+  outside that support, with a strictness margin.
+
+Only the *skyline* of the constrained candidates is materialized (a
+dominated candidate scores at least its dominator, so its constraint is
+implied), which keeps both LPs at skyline size.  Phase B is exact for
+its support; since the support choice is itself L1-relaxed, the solution
+is a certified *upper bound* on the true minimal perturbation — callers
+verify the promotion by re-ranking (d=2 callers additionally hold the
+exact answer from the interval region, see
+:meth:`repro.analytics.AnalyticsEngine.why_not`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.query import score_rows
+from repro.exceptions import InvalidQueryError
+from repro.skyline import skyline
+
+__all__ = ["WhyNotReport", "minimal_promotion", "promotion_support"]
+
+#: Strict-positivity floor for perturbed weights (the paper's query model
+#: needs w > 0; the LP keeps every coordinate at or above this).
+WEIGHT_FLOOR = 1e-9
+
+#: Strictness margin on the beat constraints: a tie promotes ``t`` only
+#: against higher ids, so requiring a hair of slack keeps the verified
+#: rank from flipping on an exact float tie.
+BEAT_MARGIN = 1e-12
+
+
+@dataclass
+class WhyNotReport:
+    """Answer to "why isn't tuple ``t`` in my top-k, and what fixes it?"."""
+
+    target_id: int
+    k: int
+    weights: np.ndarray
+    rank: int  #: 1-based rank of the target under ``weights``
+    score: float  #: target's score under ``weights`` (kernel bits)
+    kth_score: float  #: k-th answer score under ``weights``
+    gap: float  #: ``score - kth_score`` (<= 0 when already in the top-k)
+    in_top_k: bool
+    norm: str  #: "l1" | "linf"
+    feasible: bool  #: a verified promoting perturbation was found
+    certificate: str  #: "already-in-top-k" | "promoted" | "dominated-out" | "lp-infeasible"
+    perturbation: np.ndarray | None = None  #: Δ with ``w + Δ`` promoting
+    perturbed_weights: np.ndarray | None = None
+    perturbation_norm: float | None = None
+    achieved_rank: int | None = None  #: verified rank under ``w + Δ``
+    #: Per-shard beater counts when answered through a cluster (their sum
+    #: is ``rank - 1`` — the scatter-gather composition is exact).
+    shard_beaters: dict[int, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Human-readable explanation (the CLI prints this)."""
+        lines = [
+            f"tuple {self.target_id} ranks {self.rank} under "
+            f"w={np.round(self.weights, 4).tolist()} "
+            f"(score {self.score:.6f}, k-th score {self.kth_score:.6f}, "
+            f"gap {self.gap:+.6f})"
+        ]
+        if self.in_top_k:
+            lines.append(f"already in the top-{self.k}; nothing to fix")
+        elif self.certificate == "dominated-out":
+            lines.append(
+                f"{self.k} or more tuples dominate it — no weight vector "
+                f"puts it in the top-{self.k}"
+            )
+        elif self.feasible:
+            lines.append(
+                f"minimal {self.norm} fix: Δ="
+                f"{np.round(self.perturbation, 6).tolist()} "
+                f"(‖Δ‖={self.perturbation_norm:.6f}) promotes it to rank "
+                f"{self.achieved_rank}"
+            )
+        else:
+            lines.append(
+                f"no promoting perturbation found for the chosen support "
+                f"({self.certificate})"
+            )
+        return "\n".join(lines)
+
+
+def promotion_support(
+    matrix: np.ndarray,
+    cand_rows: np.ndarray,
+    target_values: np.ndarray,
+    target_id: int,
+    k: int,
+    weights: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """``(support_rows, disallowed_rows, always)`` for the promotion LP.
+
+    ``always`` counts the target's always-beaters (no weight change can
+    demote a dominator or an earlier duplicate); ``always >= k``
+    certifies infeasibility outright.  The remaining ``k - 1 - always``
+    support slots are chosen by the phase-A elastic LP: minimize the
+    total slack ``t`` needs to weakly beat every variable competitor —
+    rows keeping positive slack at the optimum are the ones no single
+    weight vector lets ``t`` beat alongside the rest, so they (and the
+    rows they dominate) are allowed to stay ahead.
+    """
+    target_values = np.asarray(target_values, dtype=np.float64)
+    diffs = matrix[cand_rows] - target_values
+    leq = (diffs <= 0).all(axis=1)
+    geq = (diffs >= 0).all(axis=1)
+    duplicate = leq & geq
+    always_mask = (leq & ~duplicate) | (duplicate & (cand_rows < target_id))
+    never_mask = (geq & ~duplicate) | (duplicate & (cand_rows >= target_id))
+    always = int(np.count_nonzero(always_mask))
+    variable = cand_rows[~always_mask & ~never_mask]
+    variable = variable[variable != target_id]
+    slots = max(k - 1 - always, 0)
+    if not slots or not variable.shape[0]:
+        return variable[:0], variable, always
+
+    # Phase A runs over ALL variable rows, not their skyline: freeing a
+    # skyline row exposes the rows it dominates as fresh constraints, and
+    # a skyline-only phase A would never see their slack.  The candidate
+    # set is layer-bounded (coarse layers 0..k-1), so m stays small.
+    sky_rows = variable
+    sky_diffs = matrix[sky_rows] - target_values
+    d = target_values.shape[0]
+    m = sky_diffs.shape[0]
+    # Variables: [Δ (d, free), s (m, >= 0)]; minimize Σ s subject to
+    # -Δ·diff_i - s_i <= w·diff_i, Σ Δ = 0, Δ_j >= floor - w_j.
+    c = np.concatenate([np.zeros(d), np.ones(m)])
+    a_ub = np.hstack([-sky_diffs, -np.eye(m)])
+    b_ub = sky_diffs @ weights
+    a_eq = np.zeros((1, d + m))
+    a_eq[0, :d] = 1.0
+    bounds = [(float(WEIGHT_FLOOR - weights[j]), None) for j in range(d)]
+    bounds += [(0.0, None)] * m
+    result = linprog(
+        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=np.zeros(1), bounds=bounds,
+        method="highs",
+    )
+    if result.success:
+        slack = result.x[d:]
+        order = np.argsort(-slack, kind="stable")
+        hard = order[slack[order] > 1e-11][:slots]
+    else:  # pragma: no cover - phase A is always feasible (s large enough)
+        scores = score_rows(matrix, sky_rows, weights)
+        hard = np.lexsort((sky_rows, scores))[:slots]
+    support = sky_rows[np.sort(hard)]
+    disallowed = variable[~np.isin(variable, support)]
+    return support, disallowed, always
+
+
+def minimal_promotion(
+    matrix: np.ndarray,
+    cand_rows: np.ndarray,
+    target_values: np.ndarray,
+    target_id: int,
+    k: int,
+    weights: np.ndarray,
+    norm: str = "l1",
+) -> tuple[np.ndarray | None, str]:
+    """``(Δ, certificate)``: the minimal promoting perturbation, or why not.
+
+    Certificates: ``"promoted"`` (Δ returned), ``"dominated-out"``
+    (``k`` always-beaters — provably no weight vector works), or
+    ``"lp-infeasible"`` (the LP for the chosen support has no solution).
+    """
+    if norm not in ("l1", "linf"):
+        raise InvalidQueryError(f"norm must be 'l1' or 'linf', got {norm!r}")
+    matrix = np.asarray(matrix, dtype=np.float64)
+    target_values = np.asarray(target_values, dtype=np.float64)
+    d = target_values.shape[0]
+    _, disallowed, always = promotion_support(
+        matrix, cand_rows, target_values, target_id, k, weights
+    )
+    if always >= k:
+        return None, "dominated-out"
+    if disallowed.shape[0]:
+        # Constraint reduction: t weakly beating the skyline of the
+        # disallowed set beats all of it (dominated rows score no lower
+        # than their dominators under positive weights).
+        sky = skyline(matrix[disallowed])
+        diffs = matrix[disallowed[sky]] - target_values
+    else:
+        diffs = np.empty((0, d), dtype=np.float64)
+    m = diffs.shape[0]
+    # Variables: x = [Δ (free), aux] with aux = |Δ| bounds (L1, d vars)
+    # or the single ∞-norm bound τ (L∞).
+    n_aux = d if norm == "l1" else 1
+    c = np.concatenate([np.zeros(d), np.ones(n_aux)])
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    # Beat constraints: -Δ·diff <= w·diff - margin.
+    for i in range(m):
+        row = np.zeros(d + n_aux)
+        row[:d] = -diffs[i]
+        rows.append(row)
+        rhs.append(float(weights @ diffs[i]) - BEAT_MARGIN)
+    # Positivity: -Δ_j <= w_j - floor.
+    for j in range(d):
+        row = np.zeros(d + n_aux)
+        row[j] = -1.0
+        rows.append(row)
+        rhs.append(float(weights[j]) - WEIGHT_FLOOR)
+    # Norm linearization: ±Δ_j - aux <= 0.
+    for j in range(d):
+        aux = d + (j if norm == "l1" else 0)
+        for sign in (1.0, -1.0):
+            row = np.zeros(d + n_aux)
+            row[j] = sign
+            row[aux] = -1.0
+            rows.append(row)
+            rhs.append(0.0)
+    a_eq = np.zeros((1, d + n_aux))
+    a_eq[0, :d] = 1.0  # Σ Δ = 0 keeps w + Δ on the simplex
+    bounds = [(None, None)] * d + [(0.0, None)] * n_aux
+    result = linprog(
+        c,
+        A_ub=np.vstack(rows),
+        b_ub=np.asarray(rhs),
+        A_eq=a_eq,
+        b_eq=np.zeros(1),
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        return None, "lp-infeasible"
+    return np.asarray(result.x[:d], dtype=np.float64), "promoted"

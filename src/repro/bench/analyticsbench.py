@@ -1,0 +1,302 @@
+"""Analytics benchmark: reverse top-k resolution rates, why-not, regions.
+
+One report (committed as ``BENCH_analytics.json``) over a distribution
+grid at a single (n, d, k).  Per cell — one (distribution, target-layer)
+pair, targets drawn from shallow / mid / deep coarse layers so the
+screens face both easy and adversarial geometry:
+
+* **bichromatic reverse top-k** — the whole query workload resolved for
+  one target through :meth:`~repro.analytics.AnalyticsEngine.bichromatic`;
+  the headline number is ``resolved_without_walk_pct``: the fraction of
+  workload vectors decided by weight-independent certificates and
+  two-sided zonemap screens alone, never reaching the walk kernel.
+  Every membership bit is cross-checked against the engine's own
+  ``query`` answer (i.e. against :func:`~repro.core.query.process_top_k`).
+* **why-not** — rank / gap / minimal-perturbation report for the same
+  target; the rank is cross-checked against the brute-force oracle, and
+  any claimed promotion is re-verified by an exact beater recount before
+  it may be reported.
+* **reverse region** — the monochromatic region (exact interval union in
+  d=2, certified simplex cells otherwise); in d=2 the region's
+  ``contains`` is spot-checked against oracle membership on a weight
+  sample, in d>2 the IN/OUT certificates are checked to never contradict
+  the oracle.
+
+A report is only written after all cross-checks pass, so the
+``crosscheck: "bitwise"`` marker the regression gate requires carries the
+same weight as in the other suites.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analytics.oracle import oracle_membership, oracle_rank
+from repro.bench.workload import DEFAULT_SEED, Workload, write_report
+from repro.relation import normalize_weights
+
+__all__ = [
+    "DEFAULT_DISTRIBUTIONS",
+    "run_analytics_bench",
+    "validate_analytics_report",
+    "write_report",
+]
+
+#: The distribution grid (COR included: correlated data concentrates the
+#: skyline, the easiest case for screens; ANT is the adversarial one).
+DEFAULT_DISTRIBUTIONS = ("IND", "ANT", "COR")
+
+#: Weight-sample size for the region spot checks.
+_REGION_SAMPLES = 64
+
+
+def _pick_targets(levels: np.ndarray, k: int, rng) -> list[tuple[str, int]]:
+    """One target per depth band: shallow (layer 0), mid, deep (layer k-1).
+
+    Depth controls how hard the target is for the screens: a layer-0
+    tuple is in many top-k answers (most vectors need the full count or a
+    walk), a layer-(k-1) tuple is in few (certain-out screens fire
+    early).
+    """
+    bands = [("shallow", 0), ("mid", max(k // 2, 1)), ("deep", k - 1)]
+    targets = []
+    for name, layer in bands:
+        pool = np.nonzero(levels == layer)[0]
+        if not pool.shape[0]:
+            continue
+        targets.append((name, int(pool[rng.integers(0, pool.shape[0])])))
+    return targets
+
+
+def run_analytics_bench(
+    *,
+    distributions=DEFAULT_DISTRIBUTIONS,
+    d: int = 3,
+    n: int = 10_000,
+    k: int = 10,
+    queries: int = 64,
+    seed: int = DEFAULT_SEED,
+    progress=None,
+) -> dict:
+    """Run the analytics suite; returns the JSON-serializable report.
+
+    ``progress`` is an optional ``callable(str)``; the CLI passes ``print``.
+    """
+    from repro.core import DLPlusIndex
+    from repro.serving import QueryEngine
+
+    rng = np.random.default_rng(seed)
+    cells = []
+    for distribution in distributions:
+        workload = Workload.make(distribution, n, d, queries, seed)
+        start = time.perf_counter()
+        engine = QueryEngine(DLPlusIndex(workload.relation).build(), cache_size=0)
+        build_seconds = time.perf_counter() - start
+        analytics = engine.analytics()
+        matrix = workload.relation.matrix
+        levels = engine.index.structure.coarse_levels[
+            : engine.index.structure.n_real
+        ]
+        weight_matrix = np.vstack(workload.weights)
+        if progress is not None:
+            progress(
+                f"{distribution} n={n} d={d} k={k}: built in "
+                f"{build_seconds:.2f}s"
+            )
+        for band, target in _pick_targets(levels, k, rng):
+            # ---- bichromatic: screens vs walks over the workload ------ #
+            start = time.perf_counter()
+            bichro = analytics.bichromatic(weight_matrix, k, target)
+            bichro_ms = (time.perf_counter() - start) * 1e3
+            for i in range(queries):
+                served = bool(
+                    np.isin(target, engine.query(weight_matrix[i], k).ids)
+                )
+                if bool(bichro.members[i]) is not served:
+                    raise AssertionError(
+                        f"bichromatic membership diverged from process_top_k "
+                        f"at {distribution}/{band} query {i} "
+                        f"(resolution={bichro.resolution[i]})"
+                    )
+            # ---- why-not: rank + verified promotion ------------------- #
+            w_probe = workload.weights[int(rng.integers(0, queries))]
+            start = time.perf_counter()
+            report = analytics.why_not(w_probe, target, k)
+            whynot_ms = (time.perf_counter() - start) * 1e3
+            w_norm = normalize_weights(w_probe, d)
+            if report.rank != oracle_rank(matrix, w_norm, target):
+                raise AssertionError(
+                    f"why-not rank diverged from the oracle at "
+                    f"{distribution}/{band}"
+                )
+            if report.certificate == "promoted":
+                w2 = normalize_weights(report.weights + report.perturbation, d)
+                if not oracle_membership(matrix, w2, k, target):
+                    raise AssertionError(
+                        f"why-not promotion failed oracle verification at "
+                        f"{distribution}/{band}"
+                    )
+            # ---- reverse region: exact (d=2) or certified (d>2) ------- #
+            start = time.perf_counter()
+            region = analytics.reverse_topk(target, k)
+            region_ms = (time.perf_counter() - start) * 1e3
+            sample = rng.dirichlet(np.ones(d), size=_REGION_SAMPLES)
+            sample = np.clip(sample, 1e-9, None)
+            if d == 2:
+                for row in sample:
+                    w_s = normalize_weights(row, d)
+                    if region.contains(w_s) is not oracle_membership(
+                        matrix, w_s, k, target
+                    ):
+                        raise AssertionError(
+                            f"exact 2-D region diverged from the oracle at "
+                            f"{distribution}/{band}"
+                        )
+                region_summary = {
+                    "kind": "exact-2d",
+                    "intervals": len(region.intervals),
+                    "measure": round(region.measure, 6),
+                }
+            else:
+                for row in sample:
+                    w_s = normalize_weights(row, d)
+                    verdict = region.classify(w_s)
+                    truth = oracle_membership(matrix, w_s, k, target)
+                    if (verdict == "in" and not truth) or (
+                        verdict == "out" and truth
+                    ):
+                        raise AssertionError(
+                            f"certified region contradicted the oracle at "
+                            f"{distribution}/{band}"
+                        )
+                region_summary = {
+                    "kind": "certified",
+                    "cells": len(region.cells),
+                    "volume_lower": round(region.volume_lower, 6),
+                    "volume_upper": round(region.volume_upper, 6),
+                }
+            region_summary["ms"] = round(region_ms, 3)
+            resolved_pct = round(100.0 * bichro.resolved_without_walk, 2)
+            cells.append(
+                {
+                    "distribution": distribution,
+                    "band": band,
+                    "target_id": target,
+                    "target_layer": int(levels[target]),
+                    "bichromatic": {
+                        "workload": queries,
+                        "members": int(np.count_nonzero(bichro.members)),
+                        "walked": bichro.walked,
+                        "resolved_without_walk_pct": resolved_pct,
+                        "ms": round(bichro_ms, 3),
+                    },
+                    "whynot": {
+                        "rank": report.rank,
+                        "gap": round(report.gap, 6),
+                        "certificate": report.certificate,
+                        "perturbation_norm": (
+                            round(report.perturbation_norm, 6)
+                            if report.perturbation_norm is not None
+                            else None
+                        ),
+                        "ms": round(whynot_ms, 3),
+                    },
+                    "reverse": region_summary,
+                    "bitwise_equal": True,
+                }
+            )
+            if progress is not None:
+                progress(
+                    f"  {band} target {target} (layer {levels[target]}): "
+                    f"{resolved_pct:.0f}% walk-free, "
+                    f"why-not {report.certificate}, "
+                    f"region {region_summary['kind']}"
+                )
+    best = max(cell["bichromatic"]["resolved_without_walk_pct"] for cell in cells)
+    return {
+        "suite": "analytics",
+        "distributions": list(distributions),
+        "d": d,
+        "n": n,
+        "k": k,
+        "queries": queries,
+        "seed": seed,
+        "crosscheck": "bitwise",
+        "cells": cells,
+        "summary": {
+            "cells": len(cells),
+            "best_resolved_without_walk_pct": best,
+        },
+    }
+
+
+def validate_analytics_report(report: dict) -> None:
+    """Schema check for an analytics report; raises ``ValueError`` on drift."""
+    for key in (
+        "suite",
+        "distributions",
+        "d",
+        "n",
+        "k",
+        "queries",
+        "seed",
+        "cells",
+        "summary",
+    ):
+        if key not in report:
+            raise ValueError(f"analytics report missing key {key!r}")
+    if report["suite"] != "analytics":
+        raise ValueError(f"unexpected suite {report['suite']!r}")
+    if not report["cells"]:
+        raise ValueError("analytics report has no cells")
+    for cell in report["cells"]:
+        for key in (
+            "distribution",
+            "band",
+            "target_id",
+            "target_layer",
+            "bichromatic",
+            "whynot",
+            "reverse",
+        ):
+            if key not in cell:
+                raise ValueError(f"analytics cell missing key {key!r}")
+        if cell.get("bitwise_equal") is not True:
+            raise ValueError(
+                f"analytics cell {cell.get('distribution')}/"
+                f"{cell.get('band')} is not bitwise-verified"
+            )
+        bichro = cell["bichromatic"]
+        for key in ("workload", "members", "walked", "resolved_without_walk_pct"):
+            if key not in bichro:
+                raise ValueError(f"bichromatic summary missing key {key!r}")
+        pct = bichro["resolved_without_walk_pct"]
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"resolved_without_walk_pct {pct} outside [0, 100]")
+        if bichro["walked"] > bichro["workload"]:
+            raise ValueError("walked exceeds the workload size")
+        whynot = cell["whynot"]
+        for key in ("rank", "gap", "certificate"):
+            if key not in whynot:
+                raise ValueError(f"whynot summary missing key {key!r}")
+        if whynot["rank"] < 1:
+            raise ValueError(f"whynot rank {whynot['rank']} < 1")
+        reverse = cell["reverse"]
+        if reverse.get("kind") not in ("exact-2d", "certified"):
+            raise ValueError(f"unknown reverse region kind {reverse.get('kind')!r}")
+        if reverse["kind"] == "certified":
+            if reverse["volume_lower"] > reverse["volume_upper"]:
+                raise ValueError(
+                    "certified region volume_lower exceeds volume_upper"
+                )
+    summary = report["summary"]
+    if summary.get("cells") != len(report["cells"]):
+        raise ValueError("summary cell count disagrees with the cell list")
+    best = max(
+        cell["bichromatic"]["resolved_without_walk_pct"]
+        for cell in report["cells"]
+    )
+    if summary.get("best_resolved_without_walk_pct") != best:
+        raise ValueError("summary best resolved-without-walk disagrees with cells")

@@ -29,11 +29,13 @@ from __future__ import annotations
 
 import json
 
+from repro.bench.analyticsbench import validate_analytics_report
 from repro.bench.servegate import validate_serve_report
 from repro.bench.snapshotbench import validate_snapshot_report
 from repro.bench.wallclock import validate_query_report
 
 __all__ = [
+    "check_analytics_regression",
     "check_query_regression",
     "check_regression",
     "check_serve_regression",
@@ -47,6 +49,7 @@ _VALIDATORS = {
     "wallclock": validate_query_report,
     "serve": validate_serve_report,
     "snapshot": validate_snapshot_report,
+    "analytics": validate_analytics_report,
 }
 
 
@@ -335,6 +338,74 @@ def check_snapshot_regression(
     return failures
 
 
+#: Minimum share of workload vectors an analytics report must resolve
+#: without a walk on at least one full-scale cell (the acceptance
+#: criterion: screens must carry real weight, not just exist).  Smoke
+#: runs below this n only hold the scale-free invariants.
+ANALYTICS_RESOLVED_FLOOR_PCT = 30.0
+ANALYTICS_FULL_SCALE_N = 10_000
+
+
+def _check_analytics_invariants(report: dict, label: str) -> list[str]:
+    """Scale-free + full-scale invariants of one analytics report.
+
+    Scale-free: every cell bitwise-verified (the validator enforces the
+    marker per cell), ranks positive, certified volumes ordered.
+    Full-scale (n >= 10k): the layer-bound screens must resolve at least
+    ``ANALYTICS_RESOLVED_FLOOR_PCT`` of the workload without a walk on
+    some cell — a report where every vector walks means the screens
+    stopped biting.
+    """
+    failures: list[str] = []
+    if report.get("crosscheck") != "bitwise":
+        failures.append(
+            f"{label} analytics report lacks the 'crosscheck: bitwise' "
+            "marker — it was produced without oracle verification"
+        )
+    if report["n"] >= ANALYTICS_FULL_SCALE_N:
+        best = report["summary"]["best_resolved_without_walk_pct"]
+        if best < ANALYTICS_RESOLVED_FLOOR_PCT:
+            failures.append(
+                f"{label}: best walk-free resolution {best:.1f}% < "
+                f"{ANALYTICS_RESOLVED_FLOOR_PCT:.0f}% at n={report['n']} — "
+                "the bichromatic screens are not pruning"
+            )
+    return failures
+
+
+def check_analytics_regression(
+    fresh: dict, baseline: dict, *, tolerance: float = 0.25
+) -> list[str]:
+    """Gate a fresh analytics report against the committed baseline.
+
+    Both reports must be schema-valid, carry the bitwise cross-check
+    marker, and hold the analytics invariants (checking the baseline too
+    keeps the committed ``BENCH_analytics.json`` honest).  When both
+    reports measured the same grid, the fresh best walk-free resolution
+    may not fall more than ``tolerance`` below the baseline's.
+    """
+    validate_analytics_report(fresh)
+    validate_analytics_report(baseline)
+    failures: list[str] = []
+    for report, label in ((fresh, "fresh"), (baseline, "baseline")):
+        failures.extend(_check_analytics_invariants(report, label))
+    same_grid = all(
+        fresh[key] == baseline[key] for key in ("distributions", "d", "n", "k")
+    )
+    if same_grid:
+        floor = baseline["summary"]["best_resolved_without_walk_pct"] / (
+            1.0 + tolerance
+        )
+        best = fresh["summary"]["best_resolved_without_walk_pct"]
+        if best < floor:
+            failures.append(
+                f"best walk-free resolution {best:.1f}% < baseline "
+                f"{baseline['summary']['best_resolved_without_walk_pct']:.1f}% "
+                f"-{tolerance:.0%}"
+            )
+    return failures
+
+
 def check_regression(
     fresh: dict, baseline: dict, *, tolerance: float = 0.25
 ) -> list[str]:
@@ -356,4 +427,6 @@ def check_regression(
         return check_serve_regression(fresh, baseline, tolerance=tolerance)
     if fresh_suite == "snapshot":
         return check_snapshot_regression(fresh, baseline, tolerance=tolerance)
+    if fresh_suite == "analytics":
+        return check_analytics_regression(fresh, baseline, tolerance=tolerance)
     return check_query_regression(fresh, baseline, tolerance=tolerance)

@@ -17,6 +17,11 @@ Examples::
     repro-topk cluster-bench --n 20000 --shards 2,4,8 --out BENCH_cluster.json
     repro-topk snapshot --index index.pkl --out index.snapshot
     repro-topk snapshot-bench --n 100000 --out BENCH_snapshot.json
+    repro-topk analytics why-not --index index.pkl --weights 0.7,0.3 --k 5 --target 8
+    repro-topk analytics reverse --index index.pkl --k 5 --target 8
+    repro-topk analytics what-if --index index.pkl --weights 0.7,0.3 --k 5 \
+        --edit delete --target 8
+    repro-topk analytics-bench --n 10000 --out BENCH_analytics.json
 """
 
 from __future__ import annotations
@@ -54,6 +59,8 @@ def main(argv: list[str] | None = None) -> int:
         "cluster-bench": _cmd_cluster_bench,
         "snapshot": _cmd_snapshot,
         "snapshot-bench": _cmd_snapshot_bench,
+        "analytics": _cmd_analytics,
+        "analytics-bench": _cmd_analytics_bench,
     }[args.command]
     return handler(args)
 
@@ -323,6 +330,59 @@ def _build_parser() -> argparse.ArgumentParser:
     snapb.add_argument("--seed", type=int, default=20120401)
     snapb.add_argument(
         "--out", default="BENCH_snapshot.json", help="output JSON report path"
+    )
+
+    analytics = commands.add_parser(
+        "analytics",
+        help="dual-direction queries: why-not, reverse top-k, what-if",
+    )
+    analytics.add_argument(
+        "mode", choices=("why-not", "reverse", "what-if"),
+        help="which analytic question to answer",
+    )
+    analytics.add_argument("--index", required=True, help="built index .pkl path")
+    analytics.add_argument(
+        "--weights", default=None,
+        help="comma-separated query weights (why-not and what-if)",
+    )
+    analytics.add_argument("--k", type=int, default=10)
+    analytics.add_argument(
+        "--target", type=int, default=None, help="target tuple id"
+    )
+    analytics.add_argument(
+        "--norm", default="l1", choices=("l1", "linf"),
+        help="perturbation norm for why-not",
+    )
+    analytics.add_argument(
+        "--edit", default=None, choices=("update", "delete", "insert"),
+        help="hypothetical tuple edit for what-if",
+    )
+    analytics.add_argument(
+        "--values", default=None,
+        help="comma-separated tuple values (update/insert edits, "
+        "or a hypothetical reverse top-k target)",
+    )
+    analytics.add_argument(
+        "--new-weights", default=None,
+        help="comma-separated hypothetical weights for what-if",
+    )
+
+    analyticsb = commands.add_parser(
+        "analytics-bench",
+        help="benchmark reverse top-k screens, why-not, and region finding",
+    )
+    analyticsb.add_argument(
+        "--distributions", default="IND,ANT,COR", help="comma-separated"
+    )
+    analyticsb.add_argument("--d", type=int, default=3)
+    analyticsb.add_argument("--n", type=int, default=10000)
+    analyticsb.add_argument("--k", type=int, default=10)
+    analyticsb.add_argument(
+        "--queries", type=int, default=64, help="workload vectors per cell"
+    )
+    analyticsb.add_argument("--seed", type=int, default=20120401)
+    analyticsb.add_argument(
+        "--out", default="BENCH_analytics.json", help="output JSON report path"
     )
 
     compare = commands.add_parser(
@@ -669,6 +729,7 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         suite_defaults = {
             "serve": "BENCH_serve.json",
             "snapshot": "BENCH_snapshot.json",
+            "analytics": "BENCH_analytics.json",
         }
         baseline_path = suite_defaults.get(fresh.get("suite"), baseline_path)
     baseline = load_report(baseline_path)
@@ -782,6 +843,99 @@ def _cmd_snapshot_bench(args: argparse.Namespace) -> int:
         f"wrote snapshot report to {args.out} "
         f"(cold open {report['open']['speedup']}x, "
         f"best pruning {max(c['reduction_pct'] for c in report['pruning'])}%)"
+    )
+    return 0
+
+
+def _parse_vector(text: str | None, what: str) -> np.ndarray | None:
+    if text is None:
+        return None
+    try:
+        return np.asarray([float(s) for s in text.split(",") if s])
+    except ValueError:
+        raise SystemExit(f"analytics: malformed {what} {text!r}")
+
+
+def _cmd_analytics(args: argparse.Namespace) -> int:
+    from repro.analytics import TupleEdit
+    from repro.serving import QueryEngine
+
+    engine = QueryEngine(load_index(args.index), cache_size=0)
+    analytics = engine.analytics()
+    weights = _parse_vector(args.weights, "--weights")
+    values = _parse_vector(args.values, "--values")
+
+    if args.mode == "why-not":
+        if weights is None or args.target is None:
+            print("analytics why-not: needs --weights and --target")
+            return 1
+        report = analytics.why_not(weights, args.target, args.k, norm=args.norm)
+        print(report.describe())
+        return 0
+
+    if args.mode == "reverse":
+        if args.target is None and values is None:
+            print("analytics reverse: needs --target or --values")
+            return 1
+        region = analytics.reverse_topk(args.target, args.k, values=values)
+        label = args.target if args.target is not None else "hypothetical"
+        if hasattr(region, "intervals"):
+            spans = ", ".join(
+                f"[{lo:.6f}, {hi:.6f}]" for lo, hi in region.intervals
+            ) or "(empty)"
+            print(
+                f"tuple {label} is in the top-{args.k} for w1 in {spans} "
+                f"(measure {region.measure:.6f})"
+            )
+        else:
+            print(
+                f"tuple {label} top-{args.k} region: volume in "
+                f"[{region.volume_lower:.6f}, {region.volume_upper:.6f}] "
+                f"of the weight simplex ({len(region.cells)} certified cells)"
+            )
+        return 0
+
+    # what-if
+    if weights is None:
+        print("analytics what-if: needs --weights")
+        return 1
+    new_weights = _parse_vector(args.new_weights, "--new-weights")
+    if args.edit is not None:
+        edit = TupleEdit(args.edit, tuple_id=args.target, values=values)
+        report = analytics.what_if(weights, args.k, edit=edit)
+    elif new_weights is not None:
+        report = analytics.what_if(weights, args.k, new_weights=new_weights)
+    else:
+        print("analytics what-if: needs --edit or --new-weights")
+        return 1
+    print(report.describe())
+    for tid, score in zip(report.after_ids, report.after_scores):
+        print(f"  {int(tid):>8}  {score:.6f}")
+    return 0
+
+
+def _cmd_analytics_bench(args: argparse.Namespace) -> int:
+    from repro.bench.analyticsbench import (
+        run_analytics_bench,
+        validate_analytics_report,
+        write_report,
+    )
+
+    report = run_analytics_bench(
+        distributions=tuple(s for s in args.distributions.split(",") if s),
+        d=args.d,
+        n=args.n,
+        k=args.k,
+        queries=args.queries,
+        seed=args.seed,
+        progress=print,
+    )
+    validate_analytics_report(report)
+    write_report(report, args.out)
+    print(
+        f"wrote {len(report['cells'])} cells to {args.out} "
+        f"(best walk-free resolution "
+        f"{report['summary']['best_resolved_without_walk_pct']}%)"
     )
     return 0
 

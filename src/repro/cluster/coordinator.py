@@ -233,6 +233,18 @@ class ClusterEngine:
         }
         return snapshot
 
+    def analytics(self):
+        """A dual-direction :class:`~repro.analytics.AnalyticsEngine` facade.
+
+        Why-not ranks compose from per-shard beater counts
+        (:meth:`~repro.cluster.shard.Shard.beater_count`); bichromatic
+        walks scatter-gather through :meth:`query_batch`, forwarding raw
+        weights so normalization happens exactly once.
+        """
+        from repro.analytics import AnalyticsEngine
+
+        return AnalyticsEngine(self)
+
     # ------------------------------------------------------------------ #
     # Serving paths
     # ------------------------------------------------------------------ #

@@ -268,6 +268,29 @@ class Shard:
             for result in results
         ]
 
+    def beater_count(
+        self, weights: np.ndarray, target_score: float, target_global_id: int
+    ) -> int:
+        """How many local tuples beat a global ``(score, id)`` target.
+
+        The analytics why-not composition: a tuple's global rank is
+        ``1 + Σ`` of these counts over all shards — each shard scores its
+        own rows with the kernels' einsum contraction (the same bits the
+        single-node count sees, since partitioning only moves rows), so
+        the scatter-gather sum is *exactly* the single-node beater count,
+        not an approximation.  ``weights`` must already be normalized (the
+        caller normalizes exactly once, same as the serving invariant).
+        """
+        from repro.core.query import score_rows
+
+        matrix = self.relation.matrix
+        rows = np.arange(matrix.shape[0], dtype=np.intp)
+        scores = score_rows(matrix, rows, weights)
+        beats = (scores < target_score) | (
+            (scores == target_score) & (self.global_ids < target_global_id)
+        )
+        return int(np.count_nonzero(beats))
+
     def cursor(self, weights: np.ndarray, *, use_replica: bool = False) -> ShardCursor:
         """A resumable global-id cursor for the threshold merge."""
         engine = self._serving_engine(use_replica)

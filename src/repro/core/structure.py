@@ -526,6 +526,55 @@ def compute_sublayer_bounds(
     return sublayer_of, mins
 
 
+def compute_block_extrema(
+    values: np.ndarray,
+    rows: np.ndarray,
+    block_size: int = 2 * BOUND_BLOCK_SIZE,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Two-sided zonemap over an arbitrary candidate row set.
+
+    The one-sided trick behind :func:`compute_layer_bounds` (value-sum
+    sorting makes block neighbours value-coherent, so per-attribute block
+    minima stay tight) generalized to both sides: ``rows`` are sorted by
+    ``(value sum, value lex, row id)`` and chunked into runs of
+    ``block_size``; the result is ``(block_rows, mins, maxs)`` where
+    ``block_rows[b]`` lists block ``b``'s members and ``mins[b]`` /
+    ``maxs[b]`` their per-attribute extrema.  For strictly positive
+    weights and any score contraction that is monotone per attribute (the
+    kernels' fixed-order ``einsum`` is), ``mins[b] · w`` lower-bounds and
+    ``maxs[b] · w`` upper-bounds every member's score *in float*, not just
+    in real arithmetic — which is what lets the reverse top-k screens
+    (:mod:`repro.analytics.reverse`) certify membership decisions that are
+    bitwise consistent with the walk kernels.
+
+    Unlike the freeze-time tables this is placement-agnostic: analytics
+    targets need bounds over a per-(target, k) candidate set, not over the
+    whole structure.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    rows = np.asarray(rows, dtype=np.intp)
+    d = values.shape[1] if values.ndim == 2 else 0
+    if rows.shape[0] == 0:
+        empty = np.empty((0, d), dtype=np.float64)
+        return [], empty, empty
+    block_size = max(1, int(block_size))
+    keys = (rows,) + tuple(
+        values[rows, j] for j in range(d - 1, -1, -1)
+    ) + (values[rows].sum(axis=1),)
+    ordered = rows[np.lexsort(keys)]
+    m = ordered.shape[0]
+    n_blocks = (m + block_size - 1) // block_size
+    block_rows = [
+        ordered[b * block_size : (b + 1) * block_size] for b in range(n_blocks)
+    ]
+    mins = np.empty((n_blocks, d), dtype=np.float64)
+    maxs = np.empty((n_blocks, d), dtype=np.float64)
+    for b, members in enumerate(block_rows):
+        mins[b] = values[members].min(axis=0)
+        maxs[b] = values[members].max(axis=0)
+    return block_rows, mins, maxs
+
+
 class LayerStructure:
     """Frozen gated layer graph consumed by the Algorithm 2 engine.
 

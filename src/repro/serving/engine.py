@@ -203,6 +203,17 @@ class QueryEngine:
         snapshot["workspace_fallbacks"] = float(self._solo_workspace.fallbacks)
         return snapshot
 
+    def analytics(self):
+        """A dual-direction :class:`~repro.analytics.AnalyticsEngine` facade.
+
+        The facade serves reverse top-k / why-not / what-if through this
+        engine's kernels and cache; it snapshots placements per structure
+        version, so the same facade stays valid across maintenance.
+        """
+        from repro.analytics import AnalyticsEngine
+
+        return AnalyticsEngine(self)
+
     # ------------------------------------------------------------------ #
     # Serving paths
     # ------------------------------------------------------------------ #

@@ -1,0 +1,1 @@
+"""Dual-direction analytics tests."""

@@ -1,0 +1,82 @@
+"""Cluster analytics: bitwise equivalence with a single node, the
+normalize-once invariant, and survival across routed maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import AnalyticsEngine
+from repro.analytics.oracle import oracle_membership
+from repro.cluster import ClusterEngine
+from repro.core import DLPlusIndex
+from repro.data import generate
+from repro.relation import normalize_weights
+from repro.serving import QueryEngine
+
+
+def pair(distribution, n, d, shards, seed=23):
+    relation = generate(distribution, n, d, seed=seed)
+    single = QueryEngine(DLPlusIndex(relation).build(), cache_size=0)
+    cluster = ClusterEngine(relation, shards=shards, cache_size=0)
+    return relation, AnalyticsEngine(single), AnalyticsEngine(cluster)
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT", "COR"])
+@pytest.mark.parametrize("shards", [1, 3])
+def test_bichromatic_cluster_equals_single_node(distribution, shards, rng):
+    """Acceptance (satellite): raw weights forwarded, normalized exactly
+    once — the membership vector is identical through either engine."""
+    relation, a_single, a_cluster = pair(distribution, 160, 3, shards)
+    raw = np.clip(rng.dirichlet(np.ones(3), size=32), 1e-9, None)
+    for target in [1, 44, 159]:
+        b1 = a_single.bichromatic(raw, 6, target)
+        b2 = a_cluster.bichromatic(raw, 6, target)
+        assert np.array_equal(b1.members, b2.members), f"target {target}"
+        # And both equal the oracle at the normalized weights.
+        for i in range(raw.shape[0]):
+            w = normalize_weights(raw[i], 3)
+            assert bool(b1.members[i]) is oracle_membership(
+                relation.matrix, w, 6, target
+            )
+
+
+def test_unnormalized_workload_rows_resolve_identically(rng):
+    """Scaling a workload row by 100x must not change any answer — the
+    facade normalizes its own screens and forwards RAW rows to engines,
+    which normalize exactly once."""
+    relation, a_single, a_cluster = pair("IND", 120, 3, 2)
+    base = np.clip(rng.dirichlet(np.ones(3), size=16), 1e-9, None)
+    scaled = base * 100.0
+    for analytics in (a_single, a_cluster):
+        r1 = analytics.bichromatic(base, 5, 7)
+        r2 = analytics.bichromatic(scaled, 5, 7)
+        assert np.array_equal(r1.members, r2.members)
+
+
+def test_reverse_regions_identical_across_engines(rng):
+    """The snapshot (matrix + layer placements) is engine-independent, so
+    regions come out identical."""
+    relation, a_single, a_cluster = pair("ANT", 100, 2, 4)
+    for target in [0, 50, 99]:
+        r1 = a_single.reverse_topk(target, 4)
+        r2 = a_cluster.reverse_topk(target, 4)
+        assert r1.intervals == r2.intervals
+
+
+def test_cluster_analytics_survives_maintenance(rng):
+    """Insert + delete through the cluster: the facade re-snapshots on
+    version bump and keeps matching the oracle on the live population."""
+    relation, _, a_cluster = pair("IND", 90, 3, 3)
+    cluster = a_cluster.engine
+    w = np.asarray([0.3, 0.4, 0.3])
+    victim = int(cluster.query(w, 1).ids[0])
+    cluster.delete(victim)
+    new_values = relation.matrix.min(axis=0) - 0.5
+    new_id = cluster.insert(new_values)
+    report = a_cluster.why_not(w, new_id, 3)
+    assert report.in_top_k, "a dominating insert must be in the top-k"
+    assert report.rank == 1
+    # The deleted tuple is gone: targeting it raises at the boundary.
+    from repro.exceptions import InvalidQueryError
+
+    with pytest.raises(InvalidQueryError):
+        a_cluster.why_not(w, victim, 3)

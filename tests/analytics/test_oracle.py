@@ -1,0 +1,68 @@
+"""The brute-force oracle itself: tie-breaks, hypothetical targets, and
+bitwise agreement with the walk kernels."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.oracle import (
+    oracle_beats,
+    oracle_membership,
+    oracle_rank,
+    oracle_top_k,
+)
+from repro.core import DLPlusIndex
+from repro.core.query import process_top_k
+from repro.data import generate
+from repro.relation import normalize_weights
+from repro.stats import AccessCounter
+
+
+def test_oracle_matches_walk_kernel_bitwise(rng):
+    relation = generate("ANT", 200, 3, seed=8)
+    index = DLPlusIndex(relation).build()
+    for _ in range(10):
+        w = normalize_weights(np.clip(rng.dirichlet(np.ones(3)), 1e-9, None), 3)
+        ids, scores = process_top_k(index.structure, w, 7, AccessCounter())
+        oids, oscores = oracle_top_k(relation.matrix, w, 7)
+        assert np.array_equal(ids, oids)
+        assert scores.tobytes() == oscores.tobytes()
+
+
+def test_tie_break_by_id():
+    matrix = np.asarray([[1.0, 1.0], [1.0, 1.0], [0.5, 1.5]])
+    w = np.asarray([0.5, 0.5])
+    ids, _ = oracle_top_k(matrix, w, 3)
+    assert ids.tolist() == [0, 1, 2]
+    assert oracle_rank(matrix, w, 0) == 1
+    assert oracle_rank(matrix, w, 1) == 2
+    assert oracle_beats(matrix, w, 1.0, 1) == 1  # only id 0 wins the tie
+
+
+def test_membership_hypothetical_target():
+    matrix = np.asarray([[1.0, 1.0], [2.0, 2.0]])
+    w = np.asarray([0.5, 0.5])
+    # A duplicate of row 0 arriving as id 2 loses the tie: out at k=1.
+    assert not oracle_membership(matrix, w, 1, 2, values=np.asarray([1.0, 1.0]))
+    assert oracle_membership(matrix, w, 2, 2, values=np.asarray([1.0, 1.0]))
+    # A strictly better hypothetical wins at k=1.
+    assert oracle_membership(matrix, w, 1, 2, values=np.asarray([0.5, 0.5]))
+
+
+def test_membership_k_covers_pool():
+    matrix = np.asarray([[1.0, 2.0], [2.0, 1.0]])
+    w = np.asarray([0.5, 0.5])
+    assert oracle_membership(matrix, w, 5, 0)
+    assert oracle_membership(matrix, w, 5, 1)
+
+
+def test_rank_is_one_plus_beats():
+    from repro.core.query import score_rows
+
+    relation = generate("IND", 50, 2, seed=2)
+    w = normalize_weights(np.asarray([0.3, 0.7]), 2)
+    scores = score_rows(relation.matrix, np.arange(50, dtype=np.intp), w)
+    for tid in range(0, 50, 11):
+        rank = oracle_rank(relation.matrix, w, tid)
+        assert rank == 1 + oracle_beats(
+            relation.matrix, w, float(scores[tid]), tid
+        )

@@ -1,0 +1,108 @@
+"""Boundary-validation contract: every analytics entry point rejects
+malformed k, weights, and targets with the shared serving exceptions —
+scalar and batch forms alike (the satellite acceptance)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import AnalyticsEngine
+from repro.cluster import ClusterEngine
+from repro.core import DLPlusIndex
+from repro.data import generate
+from repro.exceptions import InvalidQueryError, InvalidWeightError
+from repro.serving import QueryEngine
+
+
+@pytest.fixture(scope="module")
+def analytics():
+    relation = generate("IND", 60, 3, seed=41)
+    return AnalyticsEngine(QueryEngine(DLPlusIndex(relation).build(), cache_size=0))
+
+
+BAD_KS = ["3", 2.5, 0, -1, True, None]
+BAD_WEIGHTS = [
+    np.asarray([0.5, 0.5]),          # wrong d
+    np.asarray([0.2, -0.3, 1.1]),    # negative component
+    np.asarray([0.0, 0.0, 0.0]),     # zero sum
+    np.asarray([0.2, np.nan, 0.6]),  # non-finite
+]
+GOOD_W = np.asarray([0.2, 0.3, 0.5])
+
+
+@pytest.mark.parametrize("bad_k", BAD_KS)
+def test_bad_k_rejected_everywhere(analytics, bad_k):
+    with pytest.raises(InvalidQueryError):
+        analytics.reverse_topk(0, bad_k)
+    with pytest.raises(InvalidQueryError):
+        analytics.bichromatic(GOOD_W[None, :], bad_k, 0)
+    with pytest.raises(InvalidQueryError):
+        analytics.why_not(GOOD_W, 0, bad_k)
+    with pytest.raises(InvalidQueryError):
+        analytics.what_if(GOOD_W, bad_k, new_weights=GOOD_W)
+
+
+@pytest.mark.parametrize("bad_w", BAD_WEIGHTS)
+def test_bad_weights_rejected_everywhere(analytics, bad_w):
+    with pytest.raises(InvalidWeightError):
+        analytics.why_not(bad_w, 0, 5)
+    with pytest.raises(InvalidWeightError):
+        analytics.what_if(bad_w, 5, new_weights=GOOD_W)
+    with pytest.raises(InvalidWeightError):
+        analytics.what_if(GOOD_W, 5, new_weights=bad_w)
+    # Batch form: one malformed row poisons the whole workload up front.
+    workload = np.vstack([GOOD_W, bad_w]) if bad_w.shape == (3,) else bad_w
+    with pytest.raises(InvalidWeightError):
+        analytics.bichromatic(workload, 5, 0)
+
+
+def test_empty_and_misshapen_workloads(analytics):
+    with pytest.raises(InvalidWeightError):
+        analytics.bichromatic(np.zeros((0, 3)), 5, 0)
+    with pytest.raises(InvalidWeightError):
+        analytics.bichromatic(np.zeros((2, 2, 3)), 5, 0)
+
+
+@pytest.mark.parametrize("bad_id", ["3", 2.5, -1, 60, 10_000, True, None])
+def test_bad_target_ids_rejected(analytics, bad_id):
+    with pytest.raises(InvalidQueryError):
+        analytics.reverse_topk(bad_id, 5)
+    with pytest.raises(InvalidQueryError):
+        analytics.bichromatic(GOOD_W[None, :], 5, bad_id)
+    with pytest.raises(InvalidQueryError):
+        analytics.why_not(GOOD_W, bad_id, 5)
+
+
+def test_target_id_and_values_mutually_exclusive(analytics):
+    with pytest.raises(InvalidQueryError):
+        analytics.reverse_topk(0, 5, values=np.asarray([0.1, 0.2, 0.3]))
+    with pytest.raises(InvalidQueryError):
+        analytics.bichromatic(
+            GOOD_W[None, :], 5, 0, values=np.asarray([0.1, 0.2, 0.3])
+        )
+
+
+def test_hypothetical_values_validated(analytics):
+    with pytest.raises(InvalidQueryError):
+        analytics.reverse_topk(values=np.asarray([0.1, 0.2]), k=5)  # wrong d
+    with pytest.raises(InvalidQueryError):
+        analytics.reverse_topk(values=np.asarray([0.1, np.inf, 0.2]), k=5)
+
+
+def test_integral_float_ids_accepted(analytics):
+    """np.int64 / float 7.0 are fine — only non-integral values raise."""
+    report = analytics.why_not(GOOD_W, np.int64(7), 5)
+    assert report.target_id == 7
+    region = analytics.reverse_topk(7.0, 5)
+    assert region is not None
+
+
+def test_cluster_boundary_contract():
+    """The same contract holds through a ClusterEngine facade."""
+    relation = generate("IND", 60, 3, seed=42)
+    analytics = AnalyticsEngine(ClusterEngine(relation, shards=2, cache_size=0))
+    with pytest.raises(InvalidQueryError):
+        analytics.why_not(GOOD_W, 0, 0)
+    with pytest.raises(InvalidWeightError):
+        analytics.why_not(np.asarray([0.5, 0.5]), 0, 5)
+    with pytest.raises(InvalidQueryError):
+        analytics.bichromatic(GOOD_W[None, :], 5, 999)

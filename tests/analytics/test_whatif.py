@@ -1,0 +1,143 @@
+"""What-if: hypothetical edits and weight changes vs rebuilt-index oracle."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import AnalyticsEngine, TupleEdit
+from repro.analytics.oracle import oracle_top_k
+from repro.analytics.whatif import merge_edit
+from repro.core import DLPlusIndex
+from repro.data import generate
+from repro.exceptions import InvalidQueryError
+from repro.relation import normalize_weights
+from repro.serving import QueryEngine
+
+
+def make_engine(distribution, n, d, seed=77):
+    relation = generate(distribution, n, d, seed=seed)
+    return QueryEngine(DLPlusIndex(relation).build(), cache_size=0)
+
+
+@pytest.mark.parametrize("distribution", ["IND", "ANT"])
+@pytest.mark.parametrize("d", [2, 3])
+def test_edits_match_edited_matrix_oracle(distribution, d, rng):
+    """Acceptance: the merged what-if answer equals the brute-force top-k
+    of the actually-edited matrix, ids and score bytes."""
+    engine = make_engine(distribution, 140, d)
+    analytics = AnalyticsEngine(engine)
+    matrix = engine.index.relation.matrix
+    raw = np.clip(rng.dirichlet(np.ones(d)), 1e-9, None)
+    w = normalize_weights(raw, d)
+    k = 5
+    answer = engine.query(raw, k)
+
+    # Delete the current winner.
+    victim = int(answer.ids[0])
+    report = analytics.what_if(raw, k, edit=TupleEdit("delete", tuple_id=victim))
+    edited = matrix.copy()
+    edited[victim] = np.inf  # deletion: the row can never score
+    ids, scores = oracle_top_k(edited, w, k)
+    assert np.array_equal(report.after_ids, ids)
+    assert report.after_scores.tobytes() == scores.tobytes()
+    assert victim in report.exited
+
+    # Update the winner to the worst corner.
+    worst = matrix[np.isfinite(matrix).all(axis=1)].max(axis=0) + 1.0
+    report = analytics.what_if(
+        raw, k, edit=TupleEdit("update", tuple_id=victim, values=worst)
+    )
+    edited = matrix.copy()
+    edited[victim] = worst
+    ids, scores = oracle_top_k(edited, w, k)
+    assert np.array_equal(report.after_ids, ids)
+    assert report.after_scores.tobytes() == scores.tobytes()
+
+    # Insert a new global winner: it must enter with id n.
+    best = matrix.min(axis=0) - 1.0
+    report = analytics.what_if(raw, k, edit=TupleEdit("insert", values=best))
+    ids, scores = oracle_top_k(np.vstack([matrix, best]), w, k)
+    assert np.array_equal(report.after_ids, ids)
+    assert report.after_scores.tobytes() == scores.tobytes()
+    assert matrix.shape[0] in report.entered
+
+
+def test_insert_loses_score_ties(rng):
+    """An inserted duplicate of the current k-th answer must NOT displace
+    it — the new tuple has the largest id and loses the tie."""
+    engine = make_engine("IND", 80, 2)
+    analytics = AnalyticsEngine(engine)
+    raw = np.asarray([0.4, 0.6])
+    k = 4
+    answer = engine.query(raw, k)
+    kth_values = engine.index.relation.matrix[int(answer.ids[-1])]
+    report = analytics.what_if(
+        raw, k, edit=TupleEdit("insert", values=kth_values.copy())
+    )
+    assert np.array_equal(report.after_ids, report.before_ids)
+    assert report.entered.size == 0
+
+
+def test_weight_change_diff(rng):
+    engine = make_engine("ANT", 120, 3)
+    analytics = AnalyticsEngine(engine)
+    w_before = np.asarray([0.6, 0.2, 0.2])
+    w_after = np.asarray([0.1, 0.1, 0.8])
+    report = analytics.what_if(w_before, 5, new_weights=w_after)
+    assert report.change == "weights"
+    expected_before = engine.query(w_before, 5)
+    expected_after = engine.query(w_after, 5)
+    assert np.array_equal(report.before_ids, expected_before.ids)
+    assert np.array_equal(report.after_ids, expected_after.ids)
+    assert set(report.entered) == set(report.after_ids) - set(report.before_ids)
+
+
+def test_merge_edit_is_pure():
+    """merge_edit never mutates its inputs and handles the k+1 window."""
+    ids = np.asarray([4, 1, 9], dtype=np.intp)
+    scores = np.asarray([0.1, 0.2, 0.3])
+    edit = TupleEdit("delete", tuple_id=1)
+    out_ids, out_scores = merge_edit(ids, scores, edit, np.asarray([0.5, 0.5]), 2, 10)
+    assert out_ids.tolist() == [4, 9]
+    assert ids.tolist() == [4, 1, 9]
+    assert out_scores.tolist() == [0.1, 0.3]
+
+
+def test_edit_validation():
+    with pytest.raises(InvalidQueryError):
+        TupleEdit("replace", tuple_id=1)
+    with pytest.raises(InvalidQueryError):
+        TupleEdit("update", tuple_id=1)  # no values
+    with pytest.raises(InvalidQueryError):
+        TupleEdit("insert")  # no values
+    with pytest.raises(InvalidQueryError):
+        TupleEdit("delete")  # no tuple_id
+    engine = make_engine("IND", 40, 2)
+    analytics = AnalyticsEngine(engine)
+    w = np.asarray([0.5, 0.5])
+    with pytest.raises(InvalidQueryError):
+        analytics.what_if(w, 3)  # neither edit nor new_weights
+    with pytest.raises(InvalidQueryError):
+        analytics.what_if(
+            w,
+            3,
+            edit=TupleEdit("delete", tuple_id=0),
+            new_weights=np.asarray([0.4, 0.6]),
+        )
+    with pytest.raises(InvalidQueryError):
+        analytics.what_if(w, 3, edit=TupleEdit("delete", tuple_id=400))
+    with pytest.raises(InvalidQueryError):
+        analytics.what_if(
+            w, 3, edit=TupleEdit("insert", values=np.asarray([1.0, np.nan]))
+        )
+
+
+def test_index_never_mutated(rng):
+    engine = make_engine("IND", 90, 2)
+    analytics = AnalyticsEngine(engine)
+    raw = np.asarray([0.3, 0.7])
+    before_matrix = engine.index.relation.matrix.copy()
+    version = engine.version
+    analytics.what_if(raw, 4, edit=TupleEdit("delete", tuple_id=0))
+    analytics.what_if(raw, 4, edit=TupleEdit("insert", values=np.asarray([0.0, 0.0])))
+    assert np.array_equal(engine.index.relation.matrix, before_matrix)
+    assert engine.version == version

@@ -1,0 +1,122 @@
+"""Analytics bench suite: report schema, oracle discipline, regression gate."""
+
+import copy
+
+import pytest
+
+from repro.bench.analyticsbench import (
+    run_analytics_bench,
+    validate_analytics_report,
+)
+from repro.bench.regression import (
+    ANALYTICS_FULL_SCALE_N,
+    ANALYTICS_RESOLVED_FLOOR_PCT,
+    check_analytics_regression,
+    check_regression,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_analytics_bench(
+        distributions=("IND", "ANT"),
+        d=3,
+        n=1500,
+        k=8,
+        queries=16,
+        seed=7,
+    )
+
+
+def test_report_is_schema_valid(report):
+    validate_analytics_report(report)
+    assert report["suite"] == "analytics"
+    assert report["crosscheck"] == "bitwise"
+    assert all(cell["bitwise_equal"] for cell in report["cells"])
+    bands = {cell["band"] for cell in report["cells"]}
+    assert "shallow" in bands and "deep" in bands
+
+
+def test_self_gate_passes(report):
+    """A fresh small-scale report gates cleanly against itself (the
+    walk-free floor only applies at n >= 10k)."""
+    assert check_analytics_regression(report, report) == []
+    assert check_regression(report, report) == []
+
+
+def test_validator_rejects_drift(report):
+    broken = copy.deepcopy(report)
+    del broken["summary"]
+    with pytest.raises(ValueError, match="summary"):
+        validate_analytics_report(broken)
+
+    unverified = copy.deepcopy(report)
+    unverified["cells"][0]["bitwise_equal"] = False
+    with pytest.raises(ValueError, match="bitwise"):
+        validate_analytics_report(unverified)
+
+    out_of_range = copy.deepcopy(report)
+    out_of_range["cells"][0]["bichromatic"]["resolved_without_walk_pct"] = 120.0
+    with pytest.raises(ValueError, match="outside"):
+        validate_analytics_report(out_of_range)
+
+    inflated = copy.deepcopy(report)
+    inflated["summary"]["best_resolved_without_walk_pct"] = 100.0
+    if inflated["summary"]["best_resolved_without_walk_pct"] != max(
+        c["bichromatic"]["resolved_without_walk_pct"] for c in inflated["cells"]
+    ):
+        with pytest.raises(ValueError, match="disagrees"):
+            validate_analytics_report(inflated)
+
+    bad_volume = copy.deepcopy(report)
+    for cell in bad_volume["cells"]:
+        if cell["reverse"]["kind"] == "certified":
+            cell["reverse"]["volume_lower"] = (
+                cell["reverse"]["volume_upper"] + 1.0
+            )
+            with pytest.raises(ValueError, match="volume"):
+                validate_analytics_report(bad_volume)
+            break
+
+
+def test_gate_enforces_walk_free_floor_at_full_scale(report):
+    """A full-scale report where every vector walked must fail the gate —
+    on the fresh side and on the baseline side alike."""
+    stale = copy.deepcopy(report)
+    stale["n"] = ANALYTICS_FULL_SCALE_N
+    for cell in stale["cells"]:
+        cell["bichromatic"]["resolved_without_walk_pct"] = (
+            ANALYTICS_RESOLVED_FLOOR_PCT - 10.0
+        )
+    stale["summary"]["best_resolved_without_walk_pct"] = (
+        ANALYTICS_RESOLVED_FLOOR_PCT - 10.0
+    )
+    failures = check_analytics_regression(stale, stale)
+    assert any("not pruning" in failure for failure in failures)
+    assert any(failure.startswith("fresh") for failure in failures)
+    assert any(failure.startswith("baseline") for failure in failures)
+
+
+def test_gate_flags_resolution_regression(report):
+    regressed = copy.deepcopy(report)
+    best = report["summary"]["best_resolved_without_walk_pct"]
+    if best == 0.0:
+        pytest.skip("workload resolved nothing walk-free at smoke scale")
+    for cell in regressed["cells"]:
+        cell["bichromatic"]["resolved_without_walk_pct"] = round(best / 4.0, 2)
+    regressed["summary"]["best_resolved_without_walk_pct"] = round(best / 4.0, 2)
+    failures = check_analytics_regression(regressed, report)
+    assert any("walk-free resolution" in failure for failure in failures)
+
+
+def test_gate_rejects_missing_crosscheck(report):
+    unchecked = copy.deepcopy(report)
+    del unchecked["crosscheck"]
+    failures = check_analytics_regression(unchecked, report)
+    assert any("crosscheck" in failure for failure in failures)
+
+
+def test_suite_mismatch_reported(report):
+    other = {"suite": "snapshot"}
+    failures = check_regression(report, other)
+    assert failures and "suite mismatch" in failures[0]
