@@ -145,17 +145,64 @@ def _check_invariants(fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+#: Floor on the native kernel's p50 speedup over csr at the committed
+#: full-scale gate cell.  The committed BENCH_query.json measures 5–9x;
+#: 1.3x is the hold-the-win threshold: losing it means the compiled
+#: kernel stopped paying for itself while still passing bitwise checks,
+#: which is exactly the silent regression this gate exists to catch.
+NATIVE_SPEEDUP_FLOOR = 1.3
+
+#: The (distribution, d, n, k) cell the native floor binds on — the
+#: full-scale cell the ROADMAP's raw-speed item targets.  Smoke reports
+#: never contain it, so CI's miniature runs are not latency-gated; any
+#: report that *does* carry the cell (the committed baseline, refreshed
+#: full-scale runs) must both include a native column and hold the floor.
+NATIVE_GATE_CELL = ("IND", 4, 100_000, 10)
+
+
+def _check_native_floor(report: dict, label: str) -> list[str]:
+    """Enforce the native-vs-csr speedup floor on the gate cell."""
+    failures: list[str] = []
+    for cell in report["cells"]:
+        if _cell_key(cell) != NATIVE_GATE_CELL:
+            continue
+        native = cell["kernels"].get("native")
+        if native is None:
+            failures.append(
+                f"{label} {NATIVE_GATE_CELL}: full-scale report lacks a "
+                "native kernel column (run perf-bench on a host with a C "
+                "toolchain)"
+            )
+            continue
+        csr_p50 = cell["kernels"]["csr"]["p50_ms"]
+        ratio = (
+            csr_p50 / native["p50_ms"] if native["p50_ms"] > 0 else float("inf")
+        )
+        if ratio < NATIVE_SPEEDUP_FLOOR:
+            failures.append(
+                f"{label} {NATIVE_GATE_CELL}: native p50 "
+                f"{native['p50_ms']:.4f}ms is only {ratio:.2f}x over csr "
+                f"{csr_p50:.4f}ms (floor {NATIVE_SPEEDUP_FLOOR}x)"
+            )
+    return failures
+
+
 def check_query_regression(
     fresh: dict, baseline: dict, *, tolerance: float = 0.25
 ) -> list[str]:
     """Compare a fresh wall-clock report against a committed baseline.
 
     Returns a list of human-readable failure strings (empty = gate
-    passes).  Always enforced: both reports schema-valid and the fresh
-    report carries the bitwise cross-check marker.  Cells present in both
-    reports are compared on absolute p50 latency and batch qps; with no
-    overlap, the fresh report's within-run invariants are checked instead
-    (see module docstring for why absolute smoke latencies don't gate).
+    passes).  Always enforced: both reports schema-valid, the fresh
+    report carries the bitwise cross-check marker, and any report
+    containing the full-scale :data:`NATIVE_GATE_CELL` holds the native
+    kernel's :data:`NATIVE_SPEEDUP_FLOOR` over csr (the committed
+    baseline always contains it, so the compiled kernel's win is held on
+    every CI run even though smoke cells are too small to latency-gate).
+    Cells present in both reports are compared on absolute p50 latency
+    and batch qps; with no overlap, the fresh report's within-run
+    invariants are checked instead (see module docstring for why
+    absolute smoke latencies don't gate).
     """
     validate_query_report(fresh)
     validate_query_report(baseline)
@@ -165,6 +212,8 @@ def check_query_regression(
             "fresh report lacks the 'crosscheck: bitwise' marker — it was "
             "produced without (or predates) per-query oracle verification"
         )
+    failures.extend(_check_native_floor(fresh, "fresh"))
+    failures.extend(_check_native_floor(baseline, "baseline"))
     matched_failures = _check_matched(fresh, baseline, tolerance)
     if matched_failures == ["__no_overlap__"]:
         failures.extend(_check_invariants(fresh, tolerance))

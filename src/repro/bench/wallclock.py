@@ -2,11 +2,13 @@
 
 The cost-model sweeps (:mod:`repro.bench.harness`) count tuple evaluations;
 this suite measures *time*: how long an index takes to build and how fast
-queries run through the two Algorithm 2 kernels —
+queries run through the Algorithm 2 kernels —
 :func:`~repro.core.query.process_top_k_reference` (the per-node traversal,
-the "before") and :func:`~repro.core.query.process_top_k` (the vectorized
-CSR kernel, the "after").  Both kernels are timed on the identical frozen
-structure and weight stream, so the reported speedup isolates the kernel.
+the "before"), :func:`~repro.core.query.process_top_k` (the vectorized
+CSR kernel), and — when the host can build it — the compiled
+:func:`~repro.core.native.native_process_top_k` C walker.  All kernels are
+timed on the identical frozen structure and weight stream, so the
+reported speedups isolate the kernel.
 
 Every timed query is also checked for bitwise agreement between the kernels
 (ids, scores, Definition 9 counts) — a benchmark run doubles as an
@@ -41,6 +43,12 @@ from repro.bench.workload import (
     write_report,
 )
 from repro.core.dispatch import select_kernel
+from repro.core.native import (
+    NativeWorkspace,
+    native_process_top_k,
+    native_ready,
+    native_supported,
+)
 from repro.core.query import (
     BatchWorkspace,
     QueryWorkspace,
@@ -68,22 +76,28 @@ __all__ = [
 
 
 def _auto_kernel(structure, w, k, counter):
-    """Single-query ``auto`` dispatch (batch_width=1: reference or csr)."""
-    return KERNELS[select_kernel(structure)](structure, w, k, counter)
+    """Single-query ``auto`` dispatch (batch_width=1: native/reference/csr)."""
+    name = select_kernel(structure)
+    if name == "native":
+        return native_process_top_k(structure, w, k, counter)
+    return KERNELS[name](structure, w, k, counter)
 
 
 KERNELS = {
     "reference": process_top_k_reference,
     "csr": process_top_k,
+    "native": native_process_top_k,
     "auto": _auto_kernel,
 }
 
 
-def _make_kernels() -> dict:
+def _make_kernels(structure) -> dict:
     """Per-run kernel table: csr (and auto's csr path) reuse one warm
-    :class:`QueryWorkspace`, matching how a serving engine runs the solo
-    kernel — steady-state queries reset the workspace via the undo log
-    instead of copying the O(n) gate-state template."""
+    :class:`QueryWorkspace`, and the native column (present only when the
+    compiled kernel loads and supports the structure) a warm
+    :class:`NativeWorkspace` — matching how a serving engine runs each
+    solo kernel: steady-state queries reset workspace state via the undo
+    log instead of copying the O(n) gate-state template."""
     workspace = QueryWorkspace()
 
     def csr(structure, w, k, counter):
@@ -97,6 +111,15 @@ def _make_kernels() -> dict:
         "csr": csr,
         "auto": auto,
     }
+    if native_supported(structure) and native_ready(warn=True):
+        native_workspace = NativeWorkspace()
+
+        def native(structure, w, k, counter):
+            return native_process_top_k(
+                structure, w, k, counter, workspace=native_workspace
+            )
+
+        kernels["native"] = native
     return kernels
 
 #: Lane counts of the multi-query batch sweep (B=1 exposes the batch
@@ -153,6 +176,20 @@ class WallclockCell:
         csr = self.kernels["csr"].p50_ms
         return ref / csr if csr > 0 else float("inf")
 
+    @property
+    def speedup_native_p50(self) -> float:
+        """Median-latency ratio csr/native (>1 means native is faster).
+
+        0.0 when the cell has no native column (compiler-less host or
+        unsupported structure) — the regression gate treats a missing
+        column at full scale as a failure, not this sentinel.
+        """
+        native = self.kernels.get("native")
+        if native is None:
+            return 0.0
+        csr = self.kernels["csr"].p50_ms
+        return csr / native.p50_ms if native.p50_ms > 0 else float("inf")
+
 
 def _time_kernel(kernel, structure, weights, k: int, repeats: int) -> list[float]:
     """Best-of-``repeats`` latency (ms) of ``kernel`` per weight vector."""
@@ -169,14 +206,22 @@ def _time_kernel(kernel, structure, weights, k: int, repeats: int) -> list[float
 
 
 def _check_equivalence(structure, weights, k: int) -> float:
-    """Assert both kernels agree bitwise; returns the mean Definition 9 cost.
+    """Assert every kernel agrees bitwise; returns the mean Definition 9 cost.
 
     The CSR side runs exactly as it is later timed — through a warm
     :class:`QueryWorkspace` — so the bitwise check covers the workspace
-    checkout/undo-reset path, not just the fresh-allocation one.
+    checkout/undo-reset path, not just the fresh-allocation one.  When
+    the compiled native kernel is available it is held to the same bar
+    on every query (ids, score bytes, real/pseudo counts vs the
+    reference oracle), likewise through a warm :class:`NativeWorkspace`.
     """
     costs: list[int] = []
     workspace = QueryWorkspace()
+    native_workspace = (
+        NativeWorkspace()
+        if native_supported(structure) and native_ready(warn=True)
+        else None
+    )
     for w in weights:
         c_ref, c_csr = AccessCounter(), AccessCounter()
         ids_ref, scores_ref = process_top_k_reference(structure, w, k, c_ref)
@@ -192,6 +237,20 @@ def _check_equivalence(structure, weights, k: int) -> float:
                 "kernel mismatch: CSR and reference disagree for weights "
                 f"{w.tolist()} (k={k})"
             )
+        if native_workspace is not None:
+            c_nat = AccessCounter()
+            ids_nat, scores_nat = native_process_top_k(
+                structure, w, k, c_nat, workspace=native_workspace
+            )
+            if not (
+                np.array_equal(ids_ref, ids_nat)
+                and scores_ref.tobytes() == scores_nat.tobytes()
+                and (c_ref.real, c_ref.pseudo) == (c_nat.real, c_nat.pseudo)
+            ):
+                raise AssertionError(
+                    "kernel mismatch: native and reference disagree for "
+                    f"weights {w.tolist()} (k={k})"
+                )
         costs.append(c_csr.total)
     return float(np.mean(costs))
 
@@ -308,7 +367,7 @@ def run_wallclock(
                         ).items()
                     },
                 )
-                for name, kernel in _make_kernels().items():
+                for name, kernel in _make_kernels(structure).items():
                     # One untimed pass warms caches (seed block, indptr
                     # lists, gate-state template) so neither kernel pays
                     # one-time costs inside its timings.
@@ -333,6 +392,11 @@ def run_wallclock(
                         f"csr p50 {cell.kernels['csr'].p50_ms:.3f}ms "
                         f"({cell.speedup_p50:.2f}x)"
                     )
+                    if "native" in cell.kernels:
+                        line += (
+                            f", native p50 {cell.kernels['native'].p50_ms:.3f}ms"
+                            f" ({cell.speedup_native_p50:.2f}x over csr)"
+                        )
                     if cell.batch:
                         line += ", batch " + " ".join(
                             f"B{t.B}={t.speedup_vs_csr:.2f}x" for t in cell.batch
@@ -350,7 +414,11 @@ def run_wallclock(
         # (the bench-check regression gate) require this marker.
         "crosscheck": "bitwise",
         "cells": [
-            {**asdict(cell), "speedup_p50": round(cell.speedup_p50, 2)}
+            {
+                **asdict(cell),
+                "speedup_p50": round(cell.speedup_p50, 2),
+                "speedup_native_p50": round(cell.speedup_native_p50, 2),
+            }
             for cell in cells
         ],
     }

@@ -135,8 +135,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--kernel",
         default="auto",
-        choices=("auto", "reference", "csr", "batch"),
-        help="traversal kernel for the engine (auto dispatches per call)",
+        choices=("auto", "reference", "csr", "batch", "native", "jit"),
+        help="traversal kernel for the engine (auto dispatches per call; "
+        "native forces the compiled C walker and fails without a C "
+        "toolchain, jit is its legacy alias)",
     )
     serve.add_argument(
         "--workers",

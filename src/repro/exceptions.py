@@ -82,8 +82,21 @@ class GatewayClosedError(ReproError):
 class KernelUnavailableError(ReproError):
     """A requested kernel cannot run in this environment.
 
-    Raised when ``kernel="jit"`` is requested but no JIT-compiled kernel
-    has been registered (numba is absent from the environment, or the
-    optional registration hook was never called).  ``kernel="auto"``
+    Raised when ``kernel="native"`` (or its ``"jit"`` alias) is requested
+    but no compiled walk kernel is available — the bundled C walker could
+    not be built (no C toolchain, or the build failed) and nothing else
+    was registered through ``register_jit_kernel``.  ``kernel="auto"``
     never selects unavailable kernels, so only explicit requests see it.
+    """
+
+
+class NativeBuildError(ReproError):
+    """The bundled C walk kernel could not be compiled or loaded.
+
+    Raised by :mod:`repro.core.native` when no C compiler is found, the
+    compile fails, cffi is absent, or the built library fails its
+    load-time bitwise scoring self-check.  The ``auto`` dispatch path
+    catches it (one logged warning, permanent fallback to the python
+    kernels); an explicit ``kernel="native"`` request surfaces it as
+    :class:`KernelUnavailableError`.
     """

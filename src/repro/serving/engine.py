@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.base import TopKIndex, TopKResult
 from repro.core.dispatch import VALID_KERNELS, get_jit_kernel, select_kernel
+from repro.core.native import NativeWorkspace, build_info
 from repro.core.query import (
     BatchWorkspace,
     QueryWorkspace,
@@ -111,16 +112,22 @@ class QueryEngine:
         :func:`~repro.core.query.process_top_k_reference` on small
         low-dimensional structures (where whole-slice numpy overhead loses
         to the python loop), and the vectorized
-        :func:`~repro.core.query.process_top_k` otherwise.  ``"csr"``,
-        ``"reference"``, and ``"batch"`` force one kernel unconditionally.
-        Every kernel returns bitwise-identical answers, so this switch only
-        changes wall-clock behaviour — it exists for A/B latency
-        measurements (``repro-topk perf-bench``) and for ruling individual
-        kernels in or out when debugging.  ``"jit"`` dispatches to a
-        registered compiled walker (see
-        :func:`~repro.core.dispatch.register_jit_kernel`) and raises
-        :class:`~repro.exceptions.KernelUnavailableError` when none is
-        registered; ``auto`` never selects it.
+        :func:`~repro.core.query.process_top_k` otherwise — and, when the
+        compiled C walker is available (built on first use; see
+        :mod:`repro.core.native`), the ``"native"`` kernel for every solo
+        and narrow-batch miss.  ``"csr"``, ``"reference"``, and
+        ``"batch"`` force one kernel unconditionally.  Every kernel
+        returns bitwise-identical answers, so this switch only changes
+        wall-clock behaviour — it exists for A/B latency measurements
+        (``repro-topk perf-bench``) and for ruling individual kernels in
+        or out when debugging.  ``"native"`` (alias ``"jit"``) forces the
+        compiled walker and raises
+        :class:`~repro.exceptions.KernelUnavailableError` when it cannot
+        be built (no C toolchain) and nothing else was registered through
+        :func:`~repro.core.dispatch.register_jit_kernel`; ``auto`` only
+        selects it when it is actually loadable, so a compiler-less host
+        serves every query through the python kernels with one logged
+        warning and no errors.
     build_parallel:
         Worker count for (re)builds the engine triggers: applied to the
         fronted index's ``parallel`` knob before the initial build and for
@@ -168,6 +175,10 @@ class QueryEngine:
         # non-blocking checkout fall back to a fresh allocation and are
         # counted — see stats()["workspace_fallbacks"]).
         self._solo_workspace = QueryWorkspace()
+        # Reusable buffers for the compiled native kernel (gate state,
+        # heap scratch, pinned cffi pointers — see NativeWorkspace);
+        # cheap to hold even when the native kernel never loads.
+        self._native_workspace = NativeWorkspace()
         self.cache = ResultCache(cache_size, decimals=quantize_decimals)
         self.metrics = MetricsRegistry(latency_window=latency_window)
         self._seen_version = self.version
@@ -201,6 +212,19 @@ class QueryEngine:
         snapshot["throughput_qps"] = self.metrics.throughput()
         snapshot["workspace_checkouts"] = float(self._solo_workspace.checkouts)
         snapshot["workspace_fallbacks"] = float(self._solo_workspace.fallbacks)
+        snapshot["native_workspace_checkouts"] = float(
+            self._native_workspace.checkouts
+        )
+        snapshot["native_workspace_fallbacks"] = float(
+            self._native_workspace.fallbacks
+        )
+        # Native build outcome as 0/1 flags ("built" = compiled this
+        # process, "cached" = loaded a prior build, "fallback" = build
+        # failed or was never demanded — the python kernels serve).
+        status = build_info()["status"]
+        snapshot["native_built"] = float(status == "built")
+        snapshot["native_cached"] = float(status == "cached")
+        snapshot["native_fallback"] = float(status not in ("built", "cached"))
         return snapshot
 
     def analytics(self):
@@ -322,6 +346,7 @@ class QueryEngine:
                     np.stack([item[2] for item in group])
                 )
                 counters = [AccessCounter() for _ in group]
+                self.metrics.record_kernel("batch", width)
                 start = time.perf_counter()
                 outputs = process_top_k_batch(
                     structure,
@@ -446,13 +471,24 @@ class QueryEngine:
                 kernel = self.kernel
                 if kernel == "auto":
                     kernel = select_kernel(structure, prune=self.prune)
-                if kernel == "jit":
-                    # Registered compiled walker (raises a clear
-                    # KernelUnavailableError when nothing is registered —
-                    # numba is an optional, absent dependency here).
-                    return get_jit_kernel()(structure, w, k, counter)
+                if kernel in ("native", "jit"):
+                    # Compiled walker: the bundled C kernel auto-registers
+                    # on first demand (building its .so if needed); an
+                    # explicit request on a host without a toolchain
+                    # raises a clear KernelUnavailableError, while auto
+                    # only lands here when the kernel is loadable.
+                    self.metrics.record_kernel("native")
+                    return get_jit_kernel()(
+                        structure,
+                        w,
+                        k,
+                        counter,
+                        prune=self.prune,
+                        workspace=self._native_workspace,
+                    )
                 if kernel == "reference":
                     if not (self.prune and structure.has_layer_bounds):
+                        self.metrics.record_kernel("reference")
                         return process_top_k_reference(structure, w, k, counter)
                     # The reference kernel has no pruning path; the CSR
                     # kernel is bitwise identical, so promote when the
@@ -460,6 +496,7 @@ class QueryEngine:
                     kernel = "csr"
                 if kernel == "batch":
                     # Forced batch kernel on a single query: one lane.
+                    self.metrics.record_kernel("batch")
                     outputs = process_top_k_batch(
                         structure,
                         np.asarray(w, dtype=np.float64)[None, :],
@@ -469,6 +506,7 @@ class QueryEngine:
                         prune=self.prune,
                     )
                     return outputs[0]
+                self.metrics.record_kernel("csr")
                 return process_top_k(
                     structure,
                     w,

@@ -66,6 +66,12 @@ class MetricsRegistry:
         #: Batch-size histogram: power-of-two bucket lower bound -> count
         #: (a batch of 12 rows lands in bucket 8).
         self.batch_size_hist: dict[int, int] = {}
+        #: Per-kernel dispatch counters: kernel name ("reference", "csr",
+        #: "batch", "native") -> queries served by that kernel.  Cache
+        #: hits touch no kernel and are not counted here, so the sum
+        #: attributes exactly the traversal work (bench runs read these
+        #: to attribute wins to the kernel that produced them).
+        self.kernel_counts: dict[str, int] = {}
         self.started_at = time.perf_counter()
         self._latency = LatencyWindow(latency_window)
         #: Amortized per-query latency of batched execution (seconds/row,
@@ -138,6 +144,19 @@ class MetricsRegistry:
             if seconds is not None:
                 self._latency.record(seconds)
 
+    def record_kernel(self, name: str, count: int = 1) -> None:
+        """Attribute ``count`` served queries to kernel ``name``.
+
+        Called by the engine on every traversal (never on cache hits):
+        once per query on the solo paths, once per group with the lane
+        count on the fused batch path.  Surfaced as ``kernel_<name>``
+        in :meth:`as_dict` and summed by :meth:`aggregate`.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            self.kernel_counts[name] = self.kernel_counts.get(name, 0) + count
+
     def record_batch(self, size: int, seconds: float | None = None) -> None:
         """Record one fused batch-kernel invocation covering ``size`` rows.
 
@@ -181,6 +200,7 @@ class MetricsRegistry:
         slo_violations = 0
         batches = batch_rows = max_batch_size = 0
         batch_hist: dict[int, int] = {}
+        kernel_counts: dict[str, int] = {}
         samples: list[float] = []
         amortized: list[float] = []
         total_seconds = 0.0
@@ -202,6 +222,8 @@ class MetricsRegistry:
                 max_batch_size = max(max_batch_size, registry.max_batch_size)
                 for bucket, count in registry.batch_size_hist.items():
                     batch_hist[bucket] = batch_hist.get(bucket, 0) + count
+                for name, count in registry.kernel_counts.items():
+                    kernel_counts[name] = kernel_counts.get(name, 0) + count
                 samples.extend(registry._latency._samples)
                 amortized.extend(registry._batch_amortized._samples)
                 total_seconds += registry._latency.total
@@ -244,6 +266,8 @@ class MetricsRegistry:
         }
         for bucket in sorted(batch_hist):
             merged[f"batch_size_hist_{bucket}"] = float(batch_hist[bucket])
+        for name in sorted(kernel_counts):
+            merged[f"kernel_{name}"] = float(kernel_counts[name])
         return merged
 
     @property
@@ -296,6 +320,8 @@ class MetricsRegistry:
                 snapshot[f"batch_size_hist_{bucket}"] = float(
                     self.batch_size_hist[bucket]
                 )
+            for name in sorted(self.kernel_counts):
+                snapshot[f"kernel_{name}"] = float(self.kernel_counts[name])
             return snapshot
 
     def reset(self) -> None:
@@ -313,6 +339,7 @@ class MetricsRegistry:
             self.batch_rows = 0
             self.max_batch_size = 0
             self.batch_size_hist = {}
+            self.kernel_counts = {}
             self.started_at = time.perf_counter()
             window = self._latency._samples.maxlen or 4096
             self._latency = LatencyWindow(window)

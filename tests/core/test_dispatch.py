@@ -1,19 +1,47 @@
-"""Auto-kernel dispatch: pin the decision on both sides of each threshold."""
+"""Auto-kernel dispatch: pin the decision on both sides of each threshold.
+
+The native compiled kernel, when loadable, wins every solo cell it
+supports, so ``select_kernel`` consults availability first.  The python
+crossover tests below therefore run under the ``no_native`` fixture,
+which simulates a host without a C toolchain — that is exactly the
+environment whose dispatch decisions they pin.
+"""
 
 import pytest
 
 from repro.core import DLIndex
+from repro.core import dispatch
 from repro.core.dispatch import (
     AUTO_BATCH_MIN_LANES,
     AUTO_SMALL_STRUCTURE_DIM,
     AUTO_SMALL_STRUCTURE_NODES,
+    NATIVE_DISPATCH_MAX_DIM,
+    NATIVE_DISPATCH_MAX_NODES,
     VALID_KERNELS,
     select_kernel,
 )
 from repro.data import generate
 
 
-def test_small_structure_dispatches_reference_both_sides():
+@pytest.fixture
+def no_native(monkeypatch):
+    """Dispatch as on a host where the native kernel cannot load."""
+    monkeypatch.setattr(dispatch, "native_kernel_usable", lambda n, d: False)
+
+
+@pytest.fixture
+def native_available(monkeypatch):
+    """Dispatch as on a host where the native kernel is loadable for
+    every shape inside its contract, without actually building it."""
+    monkeypatch.setattr(
+        dispatch,
+        "native_kernel_usable",
+        lambda n, d: d <= NATIVE_DISPATCH_MAX_DIM
+        and n <= NATIVE_DISPATCH_MAX_NODES,
+    )
+
+
+def test_small_structure_dispatches_reference_both_sides(no_native):
     """At d=2 the reference kernel wins below the node threshold and the
     CSR kernel wins above it — pin the decision one node either side."""
     at = select_kernel(n_nodes=AUTO_SMALL_STRUCTURE_NODES, d=2)
@@ -22,7 +50,7 @@ def test_small_structure_dispatches_reference_both_sides():
     assert above == "csr"
 
 
-def test_dimension_threshold_both_sides():
+def test_dimension_threshold_both_sides(no_native):
     """The small-structure exception only applies at d<=2: a 10k-node d=3
     structure already pays off the vectorized einsum."""
     small_n = AUTO_SMALL_STRUCTURE_NODES // 2
@@ -30,7 +58,7 @@ def test_dimension_threshold_both_sides():
     assert select_kernel(n_nodes=small_n, d=AUTO_SMALL_STRUCTURE_DIM + 1) == "csr"
 
 
-def test_batch_width_threshold_both_sides():
+def test_batch_width_threshold_both_sides(no_native):
     """batch_width >= AUTO_BATCH_MIN_LANES dispatches the lane-parallel
     kernel regardless of structure size; one lane fewer falls back to the
     single-query decision."""
@@ -42,7 +70,7 @@ def test_batch_width_threshold_both_sides():
     assert select_kernel(batch_width=AUTO_BATCH_MIN_LANES - 1, **kw) == "csr"
 
 
-def test_structure_argument_supplies_shape():
+def test_structure_argument_supplies_shape(no_native):
     relation = generate("IND", 200, 3, seed=3)
     structure = DLIndex(relation).build().structure
     assert select_kernel(structure) == "csr"  # d=3 > small-structure dim
@@ -61,10 +89,10 @@ def test_missing_shape_rejected():
         select_kernel(d=2)
 
 
-def test_valid_kernels_registry():
-    assert set(VALID_KERNELS) == {"auto", "reference", "csr", "batch", "jit"}
+def test_valid_kernels_registry(no_native):
+    assert set(VALID_KERNELS) == {"auto", "reference", "csr", "batch", "native", "jit"}
     # select_kernel only ever returns concrete runnable kernels — never
-    # "auto", and never "jit" (registration-only; may be unavailable).
+    # "auto", and never the "jit" alias (it resolves to "native").
     for n in (100, AUTO_SMALL_STRUCTURE_NODES + 1):
         for d in (2, 4):
             for width in (1, AUTO_BATCH_MIN_LANES):
@@ -80,7 +108,7 @@ def test_valid_kernels_registry():
                         assert picked in {"reference", "csr", "batch"}
 
 
-def test_prune_steers_small_structures_to_csr_only_with_bounds():
+def test_prune_steers_small_structures_to_csr_only_with_bounds(no_native):
     """prune=True flips the small/low-d cell to csr — but only when the
     structure actually carries a bound table; without bounds the caller
     runs unpruned and the reference kernel keeps its win."""
@@ -91,7 +119,7 @@ def test_prune_steers_small_structures_to_csr_only_with_bounds():
     assert select_kernel(prune=False, has_bounds=True, **kw) == "reference"
 
 
-def test_structure_supplies_has_bounds():
+def test_structure_supplies_has_bounds(no_native):
     """A built structure's own has_layer_bounds feeds the prune decision;
     an explicit has_bounds= overrides it."""
     relation = generate("IND", 200, 2, seed=4)
@@ -102,23 +130,101 @@ def test_structure_supplies_has_bounds():
     assert select_kernel(structure, prune=True, has_bounds=False) == "reference"
 
 
-def test_jit_slot_guarded():
-    """kernel='jit' is scaffolding: unavailable by default with a clear
-    error, usable once something registers, and never auto-selected."""
-    from repro.core.dispatch import get_jit_kernel, register_jit_kernel
+def test_native_wins_every_solo_cell_when_available(native_available):
+    """With the compiled walker loadable, availability is the only solo
+    crossover: every in-contract shape dispatches native, regardless of
+    the python reference/csr thresholds."""
+    for n in (100, AUTO_SMALL_STRUCTURE_NODES, 10**6):
+        for d in (2, 4, NATIVE_DISPATCH_MAX_DIM):
+            for prune in (False, True):
+                assert select_kernel(n_nodes=n, d=d, prune=prune,
+                                     has_bounds=True) == "native"
+
+
+def test_batch_width_beats_native(native_available):
+    """The lane-parallel batch kernel still owns wide batches — native
+    is a solo/low-batch kernel only."""
+    kw = dict(n_nodes=10**6, d=4)
+    assert select_kernel(batch_width=AUTO_BATCH_MIN_LANES, **kw) == "batch"
+    assert select_kernel(batch_width=AUTO_BATCH_MIN_LANES - 1, **kw) == "native"
+
+
+def test_native_shape_gates(native_available):
+    """Shapes outside the bitwise contract fall back to the python
+    crossovers even when the library is loadable."""
+    assert select_kernel(n_nodes=10**5, d=NATIVE_DISPATCH_MAX_DIM) == "native"
+    assert select_kernel(n_nodes=10**5, d=NATIVE_DISPATCH_MAX_DIM + 1) == "csr"
+    assert select_kernel(n_nodes=NATIVE_DISPATCH_MAX_NODES, d=4) == "native"
+    assert select_kernel(n_nodes=NATIVE_DISPATCH_MAX_NODES + 1, d=4) == "csr"
+
+
+def test_dispatch_dim_ceiling_mirrors_native_contract():
+    """NATIVE_DISPATCH_MAX_DIM is a mirror of the kernel's own ceiling —
+    pin them equal so neither can drift alone."""
+    from repro.core.native import NATIVE_MAX_DIM
+
+    assert NATIVE_DISPATCH_MAX_DIM == NATIVE_MAX_DIM
+
+
+def test_native_kernel_usable_gates_shape_before_probe(monkeypatch):
+    """The shape gates reject out-of-contract shapes without ever
+    probing the build; in-contract shapes consult native_ready."""
+    probes = []
+
+    def fake_ready(warn=False):
+        probes.append(warn)
+        return False
+
+    import repro.core.native as native_mod
+
+    monkeypatch.setattr(native_mod, "native_ready", fake_ready)
+    assert not dispatch.native_kernel_usable(1000, NATIVE_DISPATCH_MAX_DIM + 1)
+    assert not dispatch.native_kernel_usable(NATIVE_DISPATCH_MAX_NODES + 1, 4)
+    assert probes == []  # shape gates never reached the probe
+    monkeypatch.setattr(dispatch, "_JIT_KERNEL", None)
+    assert not dispatch.native_kernel_usable(1000, 4)
+    assert probes == [True]  # auto path probes with warn=True
+    # A registered kernel short-circuits the probe entirely.
+    monkeypatch.setattr(dispatch, "_JIT_KERNEL", lambda *a, **kw: None)
+    assert dispatch.native_kernel_usable(1000, 4)
+    assert probes == [True]
+
+
+def test_jit_slot_guarded(monkeypatch):
+    """kernel='jit'/'native' raises a clear error when the compiled
+    walker cannot load and nothing is registered; a registered walker is
+    returned; auto never returns the 'jit' alias."""
+    from repro.core.dispatch import get_jit_kernel
     from repro.exceptions import KernelUnavailableError
 
-    with pytest.raises(KernelUnavailableError, match="jit"):
+    # Simulate a host where the native build already failed: slot empty,
+    # one-shot autoload spent.
+    monkeypatch.setattr(dispatch, "_JIT_KERNEL", None)
+    monkeypatch.setattr(dispatch, "_AUTOLOAD_ATTEMPTED", True)
+    with pytest.raises(KernelUnavailableError, match="no compiled walk kernel"):
         get_jit_kernel()
     sentinel = object()
     fake = lambda *a, **kw: sentinel  # noqa: E731
-    register_jit_kernel(fake)
-    try:
-        assert get_jit_kernel() is fake
-        # auto still never picks jit even while one is registered
-        for width in (1, AUTO_BATCH_MIN_LANES):
-            assert select_kernel(n_nodes=10**6, d=4, batch_width=width) != "jit"
-    finally:
-        register_jit_kernel(None)
+    monkeypatch.setattr(dispatch, "_JIT_KERNEL", fake)
+    assert get_jit_kernel() is fake
+    # select_kernel resolves to "native", never the "jit" alias
+    for width in (1, AUTO_BATCH_MIN_LANES):
+        assert select_kernel(n_nodes=10**6, d=4, batch_width=width) != "jit"
+    monkeypatch.setattr(dispatch, "_JIT_KERNEL", None)
     with pytest.raises(KernelUnavailableError):
         get_jit_kernel()
+
+
+def test_register_none_rearms_autoload():
+    """Clearing the slot re-arms the one-shot native autoload probe, so
+    a later get_jit_kernel() may self-register the bundled walker."""
+    from repro.core.dispatch import register_jit_kernel
+
+    prev_kernel = dispatch._JIT_KERNEL
+    prev_flag = dispatch._AUTOLOAD_ATTEMPTED
+    try:
+        register_jit_kernel(None)
+        assert dispatch._AUTOLOAD_ATTEMPTED is False
+    finally:
+        dispatch._JIT_KERNEL = prev_kernel
+        dispatch._AUTOLOAD_ATTEMPTED = prev_flag

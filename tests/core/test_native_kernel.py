@@ -1,0 +1,385 @@
+"""Native compiled solo-walk kernel: bitwise equivalence + fallback ladder.
+
+Three concerns, matching the kernel's contract:
+
+* **Bitwise identity** — across correlation families, dimensionalities,
+  DL/DL+ structures, and prune on/off, the C walk must return the same
+  answer *bytes* and the same Definition-9 real/pseudo counts as the
+  python kernels (which are themselves pinned to the per-node reference
+  oracle).
+* **Fallback ladder** — on a host without a compiler (or with a broken
+  build), ``kernel="auto"`` must silently serve via the python kernels
+  with exactly one logged warning, while an explicit ``kernel="native"``
+  raises :class:`~repro.exceptions.KernelUnavailableError`.
+* **Cache lifecycle** — the ``.so`` cache key is version+source keyed:
+  a version bump must land in a fresh directory and trigger a rebuild.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import DLIndex, DLPlusIndex, dispatch
+from repro.core.query import process_top_k, process_top_k_reference
+from repro.data import generate
+from repro.exceptions import KernelUnavailableError, NativeBuildError
+from repro.relation import normalize_weights
+from repro.serving import QueryEngine
+from repro.stats import AccessCounter
+
+native = pytest.importorskip("repro.core.native")
+from repro.core.native import (  # noqa: E402
+    NATIVE_MAX_DIM,
+    NativeWorkspace,
+    build_info,
+    native_process_top_k,
+    native_ready,
+    native_supported,
+)
+from repro.core.native import build as native_build  # noqa: E402
+from repro.core.native import kernel as native_kernel_mod  # noqa: E402
+
+requires_native = pytest.mark.skipif(
+    not native_ready(), reason="native kernel not buildable on this host"
+)
+
+
+def _weights(d: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return normalize_weights(rng.dirichlet(np.ones(d)), d)
+
+
+@requires_native
+@pytest.mark.parametrize("family", ["IND", "ANT", "COR"])
+@pytest.mark.parametrize("d", [2, 3, 4])
+@pytest.mark.parametrize("index_cls", [DLIndex, DLPlusIndex])
+@pytest.mark.parametrize("prune", [False, True])
+def test_bitwise_identity_grid(family, d, index_cls, prune):
+    """ids bytes, score bytes, and real/pseudo counts match the python
+    CSR kernel exactly — and the unpruned cells also match the per-node
+    reference oracle — across the full family x d x index x prune grid."""
+    relation = generate(family, 500, d, seed=7 + d)
+    structure = index_cls(relation).build().structure
+    ws = NativeWorkspace()
+    for qi, k in enumerate((1, 5, 23)):
+        w = _weights(d, 100 * d + qi)
+        py_counter = AccessCounter()
+        py_ids, py_scores = process_top_k(
+            structure, w, k, py_counter, prune=prune
+        )
+        nat_counter = AccessCounter()
+        nat_ids, nat_scores = native_process_top_k(
+            structure, w, k, nat_counter, prune=prune, workspace=ws
+        )
+        assert nat_ids.tobytes() == py_ids.tobytes()
+        assert nat_scores.tobytes() == py_scores.tobytes()
+        assert nat_counter.real == py_counter.real
+        assert nat_counter.pseudo == py_counter.pseudo
+        if not prune:
+            ref_counter = AccessCounter()
+            ref_ids, ref_scores = process_top_k_reference(
+                structure, w, k, ref_counter
+            )
+            assert nat_ids.tobytes() == ref_ids.tobytes()
+            assert nat_scores.tobytes() == ref_scores.tobytes()
+            assert nat_counter.real == ref_counter.real
+            assert nat_counter.pseudo == ref_counter.pseudo
+
+
+@requires_native
+def test_full_k_and_overask_match():
+    """k == n_real and k > n_real are served bitwise like the python
+    kernel (answer capped at the real population)."""
+    relation = generate("IND", 200, 3, seed=11)
+    structure = DLPlusIndex(relation).build().structure
+    w = _weights(3, 42)
+    for k in (200, 500):
+        c_py, c_nat = AccessCounter(), AccessCounter()
+        py = process_top_k(structure, w, k, c_py)
+        nat = native_process_top_k(structure, w, k, c_nat)
+        assert nat[0].tobytes() == py[0].tobytes()
+        assert nat[1].tobytes() == py[1].tobytes()
+        assert (c_nat.real, c_nat.pseudo) == (c_py.real, c_py.pseudo)
+
+
+@requires_native
+def test_workspace_checkout_reuse_and_rebuild_invalidation():
+    """Sequential queries share one prepared buffer set; a rebuilt
+    structure (new gate-state template identity) transparently re-primes,
+    and results stay bitwise right after the swap."""
+    relation = generate("COR", 300, 3, seed=5)
+    index = DLPlusIndex(relation).build()
+    ws = NativeWorkspace()
+    w = _weights(3, 9)
+    for _ in range(4):
+        native_process_top_k(index.structure, w, 10, AccessCounter(), workspace=ws)
+    assert ws.checkouts == 4
+    assert ws.fallbacks == 0
+    prepared_before = ws._prepared
+    index = DLPlusIndex(generate("COR", 300, 3, seed=6)).build()
+    c_nat, c_py = AccessCounter(), AccessCounter()
+    nat = native_process_top_k(index.structure, w, 10, c_nat, workspace=ws)
+    py = process_top_k(index.structure, w, 10, c_py)
+    assert ws._prepared is not prepared_before
+    assert nat[0].tobytes() == py[0].tobytes()
+    assert nat[1].tobytes() == py[1].tobytes()
+
+
+@requires_native
+def test_workspace_contention_falls_back_to_private_buffers():
+    """A busy workspace is never waited on: the query allocates private
+    buffers, counts a fallback, and still answers bitwise."""
+    relation = generate("IND", 300, 3, seed=8)
+    structure = DLPlusIndex(relation).build().structure
+    ws = NativeWorkspace()
+    w = _weights(3, 13)
+    expected = process_top_k(structure, w, 5, AccessCounter())
+    assert ws._lock.acquire(blocking=False)
+    try:
+        got = native_process_top_k(structure, w, 5, AccessCounter(), workspace=ws)
+    finally:
+        ws._lock.release()
+    assert ws.fallbacks == 1
+    assert ws.checkouts == 0
+    assert got[0].tobytes() == expected[0].tobytes()
+    assert got[1].tobytes() == expected[1].tobytes()
+
+
+@requires_native
+def test_concurrent_native_queries_bitwise():
+    """Hammer one workspace from several threads: every answer must be
+    bitwise identical to the solo python kernel."""
+    relation = generate("ANT", 400, 3, seed=15)
+    structure = DLPlusIndex(relation).build().structure
+    ws = NativeWorkspace()
+    queries = [_weights(3, 200 + i) for i in range(12)]
+    expected = [
+        process_top_k(structure, w, 8, AccessCounter()) for w in queries
+    ]
+    results: list = [None] * len(queries)
+
+    def worker(i: int) -> None:
+        results[i] = native_process_top_k(
+            structure, queries[i], 8, AccessCounter(), workspace=ws
+        )
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(len(queries))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for got, exp in zip(results, expected):
+        assert got[0].tobytes() == exp[0].tobytes()
+        assert got[1].tobytes() == exp[1].tobytes()
+    assert ws.checkouts + ws.fallbacks == len(queries)
+
+
+def test_high_dimension_delegates_to_python():
+    """d > NATIVE_MAX_DIM is outside the bitwise contract (einsum changes
+    its reduction tree at d=8): the wrapper must delegate, not guess."""
+    d = NATIVE_MAX_DIM + 1
+    relation = generate("IND", 150, d, seed=21)
+    structure = DLIndex(relation).build().structure
+    assert not native_supported(structure)
+    w = _weights(d, 3)
+    c_py, c_nat = AccessCounter(), AccessCounter()
+    py = process_top_k(structure, w, 5, c_py)
+    nat = native_process_top_k(structure, w, 5, c_nat)
+    assert nat[0].tobytes() == py[0].tobytes()
+    assert nat[1].tobytes() == py[1].tobytes()
+    assert (c_nat.real, c_nat.pseudo) == (c_py.real, c_py.pseudo)
+
+
+@requires_native
+def test_trace_hook_delegates_to_python():
+    """A counter with a per-access trace hook needs the python walk's
+    access order — the native wrapper must hand the query over."""
+    relation = generate("IND", 200, 3, seed=23)
+    structure = DLPlusIndex(relation).build().structure
+
+    class TracingCounter(AccessCounter):
+        __slots__ = ("trace",)
+
+        def __init__(self):
+            super().__init__()
+            self.trace = []
+
+        def count_real_tuple(self, node_id):
+            # The kernel counts via count_real separately; the hook only
+            # observes per-access order (see test_trace_hook_is_additive).
+            self.trace.append(int(node_id))
+
+    w = _weights(3, 31)
+    traced = TracingCounter()
+    nat = native_process_top_k(structure, w, 5, traced)
+    plain = AccessCounter()
+    py = process_top_k(structure, w, 5, plain)
+    assert nat[0].tobytes() == py[0].tobytes()
+    assert len(traced.trace) == traced.real == plain.real
+
+
+@pytest.fixture
+def isolated_native_state(monkeypatch):
+    """Snapshot + clear every module-global the load path mutates, so a
+    test can simulate a fresh process; restores the real state after."""
+    nk = native_kernel_mod
+    snapshot = (nk._ffi, nk._lib, nk._status, nk._detail, nk._warned)
+    monkeypatch.setattr(dispatch, "_JIT_KERNEL", None)
+    monkeypatch.setattr(dispatch, "_AUTOLOAD_ATTEMPTED", False)
+    nk._reset_for_tests()
+    yield nk
+    nk._ffi, nk._lib, nk._status, nk._detail, nk._warned = snapshot
+
+
+def test_no_compiler_fallback_matrix(
+    isolated_native_state, monkeypatch, tmp_path, caplog
+):
+    """Compiler-less host: auto never selects native, serves correct
+    answers via the python kernels with exactly one warning; explicit
+    native raises KernelUnavailableError naming the remedy."""
+    monkeypatch.setenv("REPRO_NATIVE_CC", "none")
+    monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path / "cache"))
+    with caplog.at_level("WARNING", logger="repro.core.native.kernel"):
+        assert native_kernel_mod.native_ready(warn=True) is False
+        assert native_kernel_mod.native_ready(warn=True) is False
+    warnings = [r for r in caplog.records if "native walk kernel" in r.message]
+    assert len(warnings) == 1  # warned once, then silent
+    info = native_kernel_mod.build_info()
+    assert info["status"] == "failed"
+    assert "no C compiler" in info["detail"]
+    # auto dispatch: never native, python crossovers intact
+    assert dispatch.select_kernel(n_nodes=10**6, d=4) == "csr"
+    assert dispatch.select_kernel(n_nodes=1000, d=2) == "reference"
+    # explicit native: actionable error
+    with pytest.raises(KernelUnavailableError, match="no compiled walk kernel"):
+        dispatch.get_jit_kernel()
+    # end-to-end: an auto engine still answers correctly
+    relation = generate("IND", 300, 3, seed=40)
+    index = DLPlusIndex(relation).build()
+    engine = QueryEngine(index, cache_size=0)
+    w = np.array([0.2, 0.5, 0.3])
+    result = engine.query(w, 5)
+    expected = process_top_k(
+        index.structure, normalize_weights(w, 3), 5, AccessCounter()
+    )
+    assert result.ids.tobytes() == expected[0].tobytes()
+    assert result.scores.tobytes() == expected[1].tobytes()
+    stats = engine.stats()
+    assert stats["native_fallback"] == 1.0
+    assert stats["native_built"] == 0.0 and stats["native_cached"] == 0.0
+    assert stats.get("kernel_native", 0.0) == 0.0
+    # an explicit-native engine surfaces the same error at query time
+    strict = QueryEngine(index, cache_size=0, kernel="native")
+    with pytest.raises(KernelUnavailableError):
+        strict.query(w, 5)
+
+
+def test_build_failure_fallback(isolated_native_state, monkeypatch):
+    """A compile that *fails* (not just a missing compiler) walks the
+    same ladder: auto falls back, explicit raises, status is failed."""
+
+    def broken_build(force=False):
+        raise NativeBuildError("simulated compile explosion")
+
+    monkeypatch.setattr(native_kernel_mod, "build_library", broken_build)
+    assert native_kernel_mod.native_ready() is False
+    assert not dispatch.native_kernel_usable(1000, 4)
+    assert dispatch.select_kernel(n_nodes=10**6, d=4) == "csr"
+    with pytest.raises(KernelUnavailableError):
+        dispatch.get_jit_kernel()
+    assert native_kernel_mod.build_info()["status"] == "failed"
+    assert "simulated compile explosion" in native_kernel_mod.build_info()["detail"]
+
+
+@requires_native
+def test_version_bump_invalidates_cached_library(monkeypatch, tmp_path):
+    """The cache key embeds NATIVE_KERNEL_VERSION: bumping it must land
+    in a fresh directory and recompile rather than reuse the stale .so."""
+    monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+    path1, cached1 = native_build.build_library()
+    assert cached1 is False  # fresh cache dir -> compiled
+    path1_again, cached2 = native_build.build_library()
+    assert path1_again == path1
+    assert cached2 is True  # second call reuses the artifact
+    monkeypatch.setattr(
+        native_build,
+        "NATIVE_KERNEL_VERSION",
+        native_build.NATIVE_KERNEL_VERSION + 1,
+    )
+    path2, cached3 = native_build.build_library()
+    assert cached3 is False  # version bump -> new key -> rebuild
+    assert path2 != path1
+    assert path1.exists() and path2.exists()
+    assert f"v{native_build.NATIVE_KERNEL_VERSION}-" in path2.parent.name
+
+
+@requires_native
+def test_engine_native_end_to_end_and_kernel_counters():
+    """kernel='native' engines answer bitwise like a reference engine,
+    and the dispatch counters attribute each query to its kernel."""
+    relation = generate("COR", 400, 3, seed=17)
+    index = DLPlusIndex(relation).build()
+    native_engine = QueryEngine(index, cache_size=0, kernel="native")
+    ref_engine = QueryEngine(index, cache_size=0, kernel="reference")
+    csr_engine = QueryEngine(index, cache_size=0, kernel="csr")
+    for i in range(3):
+        w = np.asarray(_weights(3, 300 + i))
+        got = native_engine.query(w, 7)
+        ref = ref_engine.query(w, 7)
+        assert got.ids.tobytes() == ref.ids.tobytes()
+        assert got.scores.tobytes() == ref.scores.tobytes()
+        csr_engine.query(w, 7)
+    stats = native_engine.stats()
+    assert stats["kernel_native"] == 3.0
+    assert stats["native_built"] + stats["native_cached"] == 1.0
+    assert stats["native_fallback"] == 0.0
+    assert stats["native_workspace_checkouts"] == 3.0
+    assert ref_engine.stats()["kernel_reference"] == 3.0
+    assert csr_engine.stats()["kernel_csr"] == 3.0
+    # the auto batch path counts all lanes of a fused group in one record
+    auto_engine = QueryEngine(index, cache_size=0)
+    ws = np.stack([np.asarray(_weights(3, 400 + i)) for i in range(8)])
+    auto_engine.query_batch(ws, 5)
+    assert auto_engine.stats()["kernel_batch"] == 8.0
+    # a pinned-csr engine attributes batch rows to csr, one per row
+    csr_engine.query_batch(ws, 5)
+    assert csr_engine.stats()["kernel_csr"] == 3.0 + 8.0
+    # aggregate rolls the per-kernel counters up across registries
+    merged = type(native_engine.metrics).aggregate(
+        [native_engine.metrics, csr_engine.metrics, auto_engine.metrics]
+    )
+    assert merged["kernel_native"] == 3.0
+    assert merged["kernel_csr"] == 11.0
+    assert merged["kernel_batch"] == 8.0
+
+
+@requires_native
+def test_cluster_engine_accepts_native_kernel():
+    """The cluster passes kernel= through to every shard engine; a
+    native cluster answers bitwise like an auto (python-pinned) one."""
+    from repro.cluster import ClusterEngine
+
+    relation = generate("IND", 600, 3, seed=25)
+    native_cluster = ClusterEngine(relation, shards=2, kernel="native")
+    csr_cluster = ClusterEngine(relation, shards=2, kernel="csr")
+    for i in range(3):
+        w = np.asarray(_weights(3, 500 + i))
+        got = native_cluster.query(w, 7)
+        exp = csr_cluster.query(w, 7)
+        np.testing.assert_array_equal(got.ids, exp.ids)
+        assert got.scores.tobytes() == exp.scores.tobytes()
+
+
+@requires_native
+def test_auto_engine_prefers_native_and_build_info_is_sane():
+    """With a toolchain present, an auto engine's solo queries land on
+    the native kernel and build_info reports a loadable artifact."""
+    relation = generate("IND", 300, 3, seed=19)
+    index = DLPlusIndex(relation).build()
+    engine = QueryEngine(index, cache_size=0)
+    engine.query(np.array([0.3, 0.4, 0.3]), 5)
+    assert engine.stats().get("kernel_native", 0.0) == 1.0
+    info = build_info()
+    assert info["status"] in ("built", "cached")
+    assert info["path"].endswith((".so", ".dll"))

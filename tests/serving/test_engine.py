@@ -397,11 +397,13 @@ def test_query_many_concurrent_bitwise_and_workspace_counted():
     """Concurrent query_many threads hammering one engine (and its shared
     QueryWorkspace) return exactly the sequential answers; every uncached
     solo query either checked the workspace out or was counted as a
-    contention fallback."""
+    contention fallback.  (kernel="csr" pins the python solo kernel —
+    auto dispatches to the native kernel where available, whose
+    workspace has its own counters and test.)"""
     relation = generate("IND", 600, 4, seed=29)
     index = DLPlusIndex(relation).build()
-    sequential = QueryEngine(index, cache_size=0)
-    concurrent = QueryEngine(index, cache_size=0)
+    sequential = QueryEngine(index, cache_size=0, kernel="csr")
+    concurrent = QueryEngine(index, cache_size=0, kernel="csr")
     rng = np.random.default_rng(30)
     queries = [(rng.dirichlet(np.ones(4)), int(rng.integers(1, 21))) for _ in range(24)]
     expected = [sequential.query(w, k) for w, k in queries]
@@ -416,10 +418,12 @@ def test_query_many_concurrent_bitwise_and_workspace_counted():
 
 def test_workspace_contention_fallback_counted_in_stats():
     """A query arriving while the solo workspace is held falls back to a
-    fresh allocation — same bits, and the fallback shows in stats()."""
+    fresh allocation — same bits, and the fallback shows in stats().
+    (kernel="csr" pins the python solo kernel; the native workspace has
+    an equivalent test in tests/core/test_native_kernel.py.)"""
     relation = generate("ANT", 400, 3, seed=31)
     index = DLPlusIndex(relation).build()
-    engine = QueryEngine(index, cache_size=0)
+    engine = QueryEngine(index, cache_size=0, kernel="csr")
     w = np.array([0.3, 0.4, 0.3])
     baseline = engine.query(w, 7)
     assert engine.stats()["workspace_fallbacks"] == 0.0
@@ -433,35 +437,47 @@ def test_workspace_contention_fallback_counted_in_stats():
     assert engine.stats()["workspace_fallbacks"] == 1.0
 
 
-def test_jit_kernel_guarded_in_engine():
-    """kernel="jit" is accepted at construction but raises a clear
-    KernelUnavailableError at query time while nothing is registered;
-    once a walker is registered the engine dispatches to it."""
-    from repro.core.dispatch import register_jit_kernel
+def test_native_kernel_guarded_in_engine(monkeypatch):
+    """kernel="jit" (alias of "native") is accepted at construction but
+    raises KernelUnavailableError at query time when the compiled walker
+    cannot load and nothing is registered; the message names the actual
+    remedy (C toolchain / native build), and a registered walker is
+    dispatched to with the full kernel kwargs."""
+    from repro.core import dispatch
     from repro.exceptions import KernelUnavailableError
 
     relation = generate("IND", 300, 3, seed=33)
     index = DLPlusIndex(relation).build()
     engine = QueryEngine(index, cache_size=0, kernel="jit")
     w = np.array([0.2, 0.5, 0.3])
-    with pytest.raises(KernelUnavailableError, match="numba"):
+    # Simulate an environment where the native build already failed: the
+    # slot is empty and the one-shot autoload has been spent.
+    monkeypatch.setattr(dispatch, "_JIT_KERNEL", None)
+    monkeypatch.setattr(dispatch, "_AUTOLOAD_ATTEMPTED", True)
+    with pytest.raises(
+        KernelUnavailableError, match="no compiled walk kernel"
+    ):
         engine.query(w, 5)
 
-    def fake_jit(structure, weights, k, counter):
+    seen_kwargs = {}
+
+    def fake_jit(structure, weights, k, counter, **kwargs):
         # Delegate to the real kernel: registration is a promise of
         # bitwise identity, which delegation trivially keeps.
+        seen_kwargs.update(kwargs)
         return process_top_k(structure, weights, k, counter)
 
-    register_jit_kernel(fake_jit)
-    try:
-        result = engine.query(w, 5)
-    finally:
-        register_jit_kernel(None)
+    monkeypatch.setattr(dispatch, "_JIT_KERNEL", fake_jit)
+    result = engine.query(w, 5)
     counter = AccessCounter()
     ids, scores = process_top_k(
         index.structure, normalize_weights(w, 3), 5, counter
     )
     np.testing.assert_array_equal(result.ids, ids)
     assert result.scores.tobytes() == scores.tobytes()
+    # The engine passes its prune setting and the native workspace.
+    assert seen_kwargs["prune"] is False
+    assert seen_kwargs["workspace"] is engine._native_workspace
+    monkeypatch.setattr(dispatch, "_JIT_KERNEL", None)
     with pytest.raises(KernelUnavailableError):
         engine.query(np.array([0.1, 0.6, 0.3]), 5)
